@@ -1,0 +1,61 @@
+// Ablation — the two communication knobs (Sections IV-B and IV-C):
+//  * retraining batch size B: central-node accuracy vs training bytes
+//  * compression rate m: query bytes vs recovery bit-error rate
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "hdc/compress.hpp"
+#include "hdc/random.hpp"
+#include "hdc/wire.hpp"
+
+int main() {
+  using namespace edgehd;
+
+  std::printf("Ablation: retraining batch size B (PDP, 3-level TREE)\n");
+  bench::print_rule(60);
+  std::printf("%-6s %14s %16s\n", "B", "central-acc", "retrain-bytes");
+  bench::print_rule(60);
+  for (const std::size_t b : {1u, 5u, 25u, 75u, 200u}) {
+    auto setup = bench::hier_setup(data::DatasetId::kPdp);
+    setup.cfg.batch_size = b;
+    core::EdgeHdSystem system(setup.ds, setup.topo, setup.cfg);
+    const auto comm = system.retrain_batches();
+    (void)system.train_initial();
+    // Re-run full training in protocol order for the accuracy number.
+    core::EdgeHdSystem fresh(setup.ds, setup.topo, setup.cfg);
+    fresh.train();
+    std::printf("%-6zu %13.1f%% %13.1f KiB\n", static_cast<std::size_t>(b),
+                bench::pct(fresh.accuracy_at_node(fresh.topology().root())),
+                static_cast<double>(comm.bytes) / 1024.0);
+  }
+  bench::print_rule(60);
+
+  std::printf("\nAblation: compression rate m (D=4000)\n");
+  bench::print_rule(60);
+  std::printf("%-6s %16s %14s %14s\n", "m", "bytes/query", "bit-err",
+              "predicted");
+  bench::print_rule(60);
+  const std::size_t dim = 4000;
+  hdc::Rng rng(123);
+  for (const std::size_t m : {1u, 5u, 10u, 25u, 50u, 100u}) {
+    const hdc::HvCompressor comp(dim, m, 7);
+    std::vector<hdc::BipolarHV> batch(m);
+    for (auto& hv : batch) hv = rng.sign_vector(dim);
+    const auto packed = comp.compress(batch);
+    std::size_t flips = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto rec = comp.decompress(packed, i);
+      for (std::size_t d = 0; d < dim; ++d) {
+        if (rec[d] != batch[i][d]) ++flips;
+      }
+    }
+    const double ber =
+        static_cast<double>(flips) / static_cast<double>(m * dim);
+    const std::uint64_t bundle_bytes = hdc::wire_bytes_accum(packed);
+    std::printf("%-6zu %13.1f B %13.4f %14.4f\n", static_cast<std::size_t>(m),
+                static_cast<double>(bundle_bytes) / static_cast<double>(m),
+                ber, hdc::HvCompressor::expected_bit_error(m));
+  }
+  bench::print_rule(60);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation — encoding design choices (Section VI-B / DESIGN.md #2, #3):
+//  * encoder family: linear-level vs dense RBF vs sparse RBF (80%)
+//  * hypervector dimensionality D sweep
+//  * sparsity sweep at D = 4000
+// Run on the two mid-size workloads (PAMAP2, UCIHAR).
+#include <cstdio>
+
+#include "baseline/hd_model.hpp"
+#include "bench_util.hpp"
+#include "hdc/classifier.hpp"
+
+namespace {
+
+using namespace edgehd;
+
+double eval_encoder(const data::Dataset& ds, const hdc::Encoder& enc) {
+  hdc::HDClassifier clf(ds.num_classes, enc.dim());
+  std::vector<hdc::BipolarHV> train(ds.train_size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    train[i] = enc.encode(ds.train_x[i]);
+    clf.add_sample(ds.train_y[i], train[i]);
+  }
+  clf.retrain(train, ds.train_y);
+  std::vector<hdc::BipolarHV> test(ds.test_size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    test[i] = enc.encode(ds.test_x[i]);
+  }
+  return clf.accuracy(test, ds.test_y);
+}
+
+}  // namespace
+
+int main() {
+  for (const auto id : {data::DatasetId::kPamap2, data::DatasetId::kUciHar}) {
+    const auto ds = bench::bench_dataset(id);
+    std::printf("Ablation [%s]\n", ds.name.c_str());
+    bench::print_rule(66);
+
+    std::printf("encoder family at D=4000:\n");
+    for (const auto [kind, name] :
+         {std::pair{hdc::EncoderKind::kLinearLevel, "linear-level"},
+          std::pair{hdc::EncoderKind::kRbfDense, "dense-RBF"},
+          std::pair{hdc::EncoderKind::kRbfSparse, "sparse-RBF-80%"}}) {
+      const auto enc = hdc::make_encoder(kind, ds.num_features, 4000, 5);
+      std::printf("  %-16s %.1f%%\n", name, bench::pct(eval_encoder(ds, *enc)));
+    }
+
+    std::printf("dimensionality sweep (sparse RBF):\n");
+    for (const std::size_t d : {500u, 1000u, 2000u, 4000u, 8000u}) {
+      hdc::SparseRbfEncoder enc(ds.num_features, d, 5);
+      std::printf("  D=%-6zu %.1f%%\n", static_cast<std::size_t>(d),
+                  bench::pct(eval_encoder(ds, enc)));
+    }
+
+    std::printf("sparsity sweep (D=4000):\n");
+    for (const float s : {0.0F, 0.5F, 0.8F, 0.9F, 0.95F}) {
+      hdc::SparseRbfEncoder enc(ds.num_features, 4000, 5, s);
+      std::printf("  s=%-5.2f  %.1f%%  (%zu MACs/dim)\n", s,
+                  bench::pct(eval_encoder(ds, enc)), enc.macs_per_dim());
+    }
+    bench::print_rule(66);
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 10 — execution time and energy of DNN-GPU / HD-GPU / HD-FPGA
+// (all centralized) and hierarchical EdgeHD, for training and inference, on
+// the STAR and TREE topologies with an ideal 1 Gbps network. All values are
+// normalized to DNN-GPU on the TREE topology, as in the paper. Uses
+// paper-scale sample counts (the model is analytic).
+//
+// Also prints the Section VI-D headline ratios: EdgeHD vs HD-GPU speedup and
+// energy efficiency, and communication reduction vs the centralized
+// deployments.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/cost_model.hpp"
+
+namespace {
+
+using namespace edgehd;
+
+struct Row {
+  core::ScenarioCosts star;
+  core::ScenarioCosts tree;
+};
+
+Row evaluate(data::DatasetId id, core::Deployment dep) {
+  core::WorkloadShape shape = core::WorkloadShape::from_spec(data::spec(id));
+  shape.partitions = bench::hier_partitions(id);
+  const core::CostModel model(shape);
+  const auto& medium = net::medium(net::MediumKind::kWired1G);
+  const std::size_t leaves = shape.partitions.size();
+  Row row;
+  row.star = model.evaluate(dep, net::Topology::star(leaves), medium);
+  row.tree = model.evaluate(dep, bench::hier_topology(id), medium);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const char* names[] = {"DNN-GPU", "HD-GPU", "HD-FPGA", "EdgeHD"};
+  const core::Deployment deps[] = {
+      core::Deployment::kDnnGpu, core::Deployment::kHdGpu,
+      core::Deployment::kHdFpga, core::Deployment::kEdgeHd};
+
+  double speedup_train = 0.0, speedup_infer = 0.0;
+  double energy_train = 0.0, energy_infer = 0.0;
+  double comm_train = 0.0, comm_infer = 0.0;
+  std::size_t count = 0;
+
+  for (const auto id : data::hierarchical_ids()) {
+    std::printf("Figure 10 [%s]: normalized to DNN-GPU/TREE\n",
+                data::spec(id).name.c_str());
+    bench::print_rule(94);
+    std::printf("%-8s | %10s %10s %10s | %10s %10s %10s\n", "config",
+                "train-time", "train-en", "train-MB", "inf-time", "inf-en",
+                "inf-MB");
+    bench::print_rule(94);
+
+    Row rows[4];
+    for (int d = 0; d < 4; ++d) rows[d] = evaluate(id, deps[d]);
+    const auto& base = rows[0].tree;  // DNN-GPU on TREE
+
+    for (const char* topo : {"STAR", "TREE"}) {
+      for (int d = 0; d < 4; ++d) {
+        const bool star = topo[0] == 'S';
+        // EdgeHD is hierarchical by construction; its STAR row is the same
+        // deployment with every end node directly under the central node.
+        const auto& r = star ? rows[d].star : rows[d].tree;
+        std::printf("%-8s | %10.4f %10.4f %10.2f | %10.4f %10.4f %10.2f  (%s)\n",
+                    names[d],
+                    static_cast<double>(r.train.time) /
+                        static_cast<double>(base.train.time),
+                    r.train.energy_j / base.train.energy_j,
+                    static_cast<double>(r.train.bytes) / 1e6,
+                    static_cast<double>(r.infer.time) /
+                        static_cast<double>(base.infer.time),
+                    r.infer.energy_j / base.infer.energy_j,
+                    static_cast<double>(r.infer.bytes) / 1e6, topo);
+      }
+    }
+    bench::print_rule(94);
+
+    const auto& hd_gpu = rows[1].tree;
+    const auto& edge = rows[3].tree;
+    speedup_train += static_cast<double>(hd_gpu.train.time) /
+                     static_cast<double>(edge.train.time);
+    speedup_infer += static_cast<double>(hd_gpu.infer.time) /
+                     static_cast<double>(edge.infer.time);
+    energy_train += hd_gpu.train.energy_j / edge.train.energy_j;
+    energy_infer += hd_gpu.infer.energy_j / edge.infer.energy_j;
+    comm_train += 1.0 - static_cast<double>(edge.train.bytes) /
+                            static_cast<double>(hd_gpu.train.bytes);
+    comm_infer += 1.0 - static_cast<double>(edge.infer.bytes) /
+                            static_cast<double>(hd_gpu.infer.bytes);
+    ++count;
+  }
+
+  const auto n = static_cast<double>(count);
+  std::printf("\nheadline ratios, EdgeHD vs centralized HD-GPU (TREE):\n");
+  std::printf("  training:  %.1fx speedup, %.1fx energy efficiency "
+              "(paper: 3.4x, 11.7x)\n",
+              speedup_train / n, energy_train / n);
+  std::printf("  inference: %.1fx speedup, %.1fx energy efficiency "
+              "(paper: 1.9x, 7.8x)\n",
+              speedup_infer / n, energy_infer / n);
+  std::printf("  communication reduction: %.0f%% training, %.0f%% inference "
+              "(paper: 85%%, 78%%)\n",
+              100.0 * comm_train / n, 100.0 * comm_infer / n);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 13 — impact of hierarchy depth on PECAN: (a) EdgeHD speedup over
+// centralized learning on the same topology at 1 Gbps and 802.11n, for
+// hierarchy depths 3..7; (b) central-node accuracy vs depth.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/cost_model.hpp"
+
+int main() {
+  using namespace edgehd;
+  const auto& spec = data::spec(data::DatasetId::kPecan);
+
+  std::printf("Figure 13a: PECAN end-to-end (train+infer) speedup vs "
+              "centralized HD-FPGA\n");
+  bench::print_rule(60);
+  std::printf("%-6s %14s %14s\n", "depth", "Wired-1Gbps", "WiFi-802.11n");
+  bench::print_rule(60);
+
+  core::WorkloadShape shape = core::WorkloadShape::from_spec(spec);
+  shape.partitions = bench::hier_partitions(data::DatasetId::kPecan);
+  const core::CostModel model(shape);
+
+  for (std::size_t depth = 3; depth <= 7; ++depth) {
+    const auto topo =
+        net::Topology::uniform_depth(shape.partitions.size(), depth);
+    std::printf("%-6zu", depth);
+    for (const auto kind :
+         {net::MediumKind::kWired1G, net::MediumKind::kWifi80211n}) {
+      const auto& medium = net::medium(kind);
+      const auto central =
+          model.evaluate(core::Deployment::kHdFpga, topo, medium);
+      const auto edge = model.evaluate(core::Deployment::kEdgeHd, topo, medium);
+      const double central_total = static_cast<double>(central.train.time) +
+                                   static_cast<double>(central.infer.time);
+      const double edge_total = static_cast<double>(edge.train.time) +
+                                static_cast<double>(edge.infer.time);
+      std::printf(" %13.1fx", central_total / edge_total);
+    }
+    std::printf("\n");
+  }
+  bench::print_rule(60);
+
+  std::printf("\nFigure 13b: PECAN central-node accuracy vs depth (%%)\n");
+  bench::print_rule(60);
+  auto setup = bench::hier_setup(data::DatasetId::kPecan);
+  for (std::size_t depth = 3; depth <= 7; ++depth) {
+    auto ds = setup.ds;
+    core::EdgeHdSystem system(
+        ds, net::Topology::uniform_depth(ds.partitions.size(), depth),
+        setup.cfg);
+    system.train();
+    // Deeper chains of sign-projections lose information at fixed D; the
+    // paper compensates with a larger dimensionality in deep configurations.
+    auto comp_cfg = setup.cfg;
+    comp_cfg.total_dim = setup.cfg.total_dim * depth / 3;
+    core::EdgeHdSystem compensated(
+        ds, net::Topology::uniform_depth(ds.partitions.size(), depth),
+        comp_cfg);
+    compensated.train();
+    std::printf("depth=%zu  central accuracy = %.1f%%   (D=%zu: %.1f%%)\n",
+                depth,
+                bench::pct(system.accuracy_at_node(system.topology().root())),
+                comp_cfg.total_dim,
+                bench::pct(compensated.accuracy_at_node(
+                    compensated.topology().root())));
+  }
+  bench::print_rule(60);
+  std::printf("paper: speedup grows with depth (3.3x at 1Gbps by depth 7); "
+              "accuracy stays within ~1%% of the 3-level configuration\n");
+  return 0;
+}

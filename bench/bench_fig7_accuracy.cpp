@@ -1,0 +1,60 @@
+// Figure 7 — classification accuracy: DNN vs SVM vs AdaBoost vs baseline
+// (linear-encoding) HD vs EdgeHD, all centralized, on the nine Table-I
+// workloads. Baselines are grid-searched as in the paper; EdgeHD runs at
+// D = 4000 with 80% sparsity.
+#include <cstdio>
+
+#include "baseline/hd_model.hpp"
+#include "baseline/model_select.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace edgehd;
+  std::printf("Figure 7: classification accuracy comparison (%%)\n");
+  bench::print_rule();
+  std::printf("%-8s %8s %8s %9s %12s %8s %8s\n", "dataset", "DNN", "SVM",
+              "AdaBoost", "baselineHD", "EdgeHD", "gap");
+  bench::print_rule();
+
+  double gap_sum = 0.0;
+  double edgehd_sum = 0.0;
+  double dnn_sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& spec : data::all_specs()) {
+    // Smaller caps than the other benches: five grid-searched models per
+    // dataset is the most compute-heavy experiment in the suite.
+    const auto ds = bench::bench_dataset(spec.id, 1200, 400);
+
+    const auto mlp = baseline::best_mlp(ds);
+    const auto svm = baseline::best_svm(ds);
+    const auto ada = baseline::best_adaboost(ds);
+
+    baseline::HdModelConfig lin_cfg;
+    lin_cfg.encoder = hdc::EncoderKind::kLinearLevel;
+    baseline::HdModel hd_linear(lin_cfg);
+    hd_linear.fit(ds);
+
+    baseline::HdModel edgehd;  // sparse RBF encoder, D = 4000
+    edgehd.fit(ds);
+
+    const double lin_acc = hd_linear.test_accuracy(ds);
+    const double hd_acc = edgehd.test_accuracy(ds);
+    gap_sum += hd_acc - lin_acc;
+    edgehd_sum += hd_acc;
+    dnn_sum += mlp.test_accuracy(ds);
+    ++count;
+
+    std::printf("%-8s %8.1f %8.1f %9.1f %12.1f %8.1f %+7.1f\n",
+                spec.name.c_str(), bench::pct(mlp.test_accuracy(ds)),
+                bench::pct(svm.test_accuracy(ds)),
+                bench::pct(ada.test_accuracy(ds)), bench::pct(lin_acc),
+                bench::pct(hd_acc), bench::pct(hd_acc - lin_acc));
+  }
+  bench::print_rule();
+  std::printf("mean EdgeHD gain over baseline HD: %+.1f%% (paper: +4.7%%)\n",
+              bench::pct(gap_sum / static_cast<double>(count)));
+  std::printf("mean EdgeHD accuracy: %.1f%%  mean DNN accuracy: %.1f%%\n",
+              bench::pct(edgehd_sum / static_cast<double>(count)),
+              bench::pct(dnn_sum / static_cast<double>(count)));
+  return 0;
+}

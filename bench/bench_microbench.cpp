@@ -1,0 +1,106 @@
+// Micro-benchmarks (google-benchmark) of the HD primitives the FPGA design
+// pipelines (Section V), plus the FPGA model's own per-operation estimates.
+#include <benchmark/benchmark.h>
+
+#include "fpga/fpga_model.hpp"
+#include "hdc/classifier.hpp"
+#include "hdc/compress.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/random.hpp"
+#include "hier/hier_encoder.hpp"
+
+namespace {
+
+using namespace edgehd;
+
+void BM_EncodeSparse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  hdc::SparseRbfEncoder enc(n, d, 1);
+  hdc::Rng rng(2);
+  const auto x = rng.gaussian_vector(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EncodeSparse)->Args({75, 4000})->Args({617, 4000})->Args({75, 1000});
+
+void BM_EncodeDense(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  hdc::RbfEncoder enc(n, 4000, 1);
+  hdc::Rng rng(2);
+  const auto x = rng.gaussian_vector(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(x));
+  }
+}
+BENCHMARK(BM_EncodeDense)->Arg(75)->Arg(617);
+
+void BM_AssociativeSearch(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 4000;
+  hdc::HDClassifier clf(k, d);
+  hdc::Rng rng(3);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (int i = 0; i < 32; ++i) clf.add_sample(c, rng.sign_vector(d));
+  }
+  const auto q = rng.sign_vector(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.predict(q));
+  }
+}
+BENCHMARK(BM_AssociativeSearch)->Arg(2)->Arg(5)->Arg(26);
+
+void BM_Bundle(benchmark::State& state) {
+  const std::size_t d = 4000;
+  hdc::Rng rng(4);
+  const auto hv = rng.sign_vector(d);
+  hdc::AccumHV acc(d, 0);
+  for (auto _ : state) {
+    hdc::bundle_into(acc, hv);
+    benchmark::DoNotOptimize(acc.data());
+  }
+}
+BENCHMARK(BM_Bundle);
+
+void BM_HierAggregate(benchmark::State& state) {
+  const auto nnz = static_cast<std::size_t>(state.range(0));
+  hier::HierEncoder enc({1333, 1333, 1334}, 4000, 5,
+                        hier::AggregationMode::kHolographic, nnz);
+  hdc::Rng rng(6);
+  std::vector<hdc::BipolarHV> kids = {rng.sign_vector(1333),
+                                      rng.sign_vector(1333),
+                                      rng.sign_vector(1334)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.aggregate(kids));
+  }
+}
+BENCHMARK(BM_HierAggregate)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Compress(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 4000;
+  hdc::HvCompressor comp(d, m, 8);
+  hdc::Rng rng(9);
+  std::vector<hdc::BipolarHV> batch(m);
+  for (auto& hv : batch) hv = rng.sign_vector(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comp.compress(batch));
+  }
+}
+BENCHMARK(BM_Compress)->Arg(5)->Arg(25)->Arg(100);
+
+void BM_FpgaModelEstimates(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto model = fpga::central_design(617, 4000, 26);
+    benchmark::DoNotOptimize(model.train_sample_cycles());
+    benchmark::DoNotOptimize(model.infer_sample_cycles());
+    benchmark::DoNotOptimize(model.power_w());
+  }
+}
+BENCHMARK(BM_FpgaModelEstimates);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,23 @@
+// Table I — dataset summary: n, K, end nodes, paper sizes, generated sizes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace edgehd;
+  std::printf("Table I: evaluated datasets (synthetic stand-ins; see DESIGN.md)\n");
+  bench::print_rule(96);
+  std::printf("%-8s %5s %3s %10s %11s %10s %9s %8s  %s\n", "name", "n", "K",
+              "end-nodes", "paper-train", "paper-test", "gen-train",
+              "gen-test", "description");
+  bench::print_rule(96);
+  for (const auto& spec : data::all_specs()) {
+    const auto ds = bench::bench_dataset(spec.id);
+    std::printf("%-8s %5zu %3zu %10zu %11zu %10zu %9zu %8zu  %s\n",
+                spec.name.c_str(), spec.num_features, spec.num_classes,
+                spec.end_nodes, spec.paper_train, spec.paper_test,
+                ds.train_size(), ds.test_size(), spec.description.c_str());
+  }
+  bench::print_rule(96);
+  return 0;
+}

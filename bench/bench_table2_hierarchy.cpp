@@ -1,0 +1,53 @@
+// Table II — classification accuracy at hierarchy levels (end nodes /
+// gateway / central node) vs centralized training, for the four
+// hierarchical workloads on the 3-level TREE.
+#include <cstdio>
+
+#include "baseline/hd_model.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace edgehd;
+  std::printf(
+      "Table II: accuracy in hierarchy levels (%%), 3-level TREE, D=4000\n");
+  bench::print_rule();
+  std::printf("%-8s %12s %10s %9s %13s\n", "dataset", "centralized",
+              "end-nodes", "gateway", "central-node");
+  bench::print_rule();
+
+  double end_sum = 0.0;
+  double central_sum = 0.0;
+  double centralized_sum = 0.0;
+  std::size_t count = 0;
+  for (const auto id : data::hierarchical_ids()) {
+    auto setup = bench::hier_setup(id);
+
+    baseline::HdModel centralized;
+    centralized.fit(setup.ds);
+    const double central_acc = centralized.test_accuracy(setup.ds);
+
+    core::EdgeHdSystem system(setup.ds, setup.topo, setup.cfg);
+    system.train();
+    const std::size_t depth = system.topology().depth();
+    const double l1 = system.accuracy_at_level(1);
+    const double l2 = system.accuracy_at_level(2);
+    const double l3 = system.accuracy_at_level(depth);
+
+    end_sum += l1;
+    central_sum += l3;
+    centralized_sum += central_acc;
+    ++count;
+
+    std::printf("%-8s %12.1f %10.1f %9.1f %13.1f\n",
+                setup.ds.name.c_str(), bench::pct(central_acc),
+                bench::pct(l1), bench::pct(l2), bench::pct(l3));
+  }
+  bench::print_rule();
+  const auto n = static_cast<double>(count);
+  std::printf(
+      "means: end-nodes %.1f%%, central %.1f%%, centralized %.1f%% "
+      "(paper: 85.7%%, 94.4%%, 94.8%%)\n",
+      bench::pct(end_sum / n), bench::pct(central_sum / n),
+      bench::pct(centralized_sum / n));
+  return 0;
+}

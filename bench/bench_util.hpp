@@ -1,0 +1,88 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Every bench prints the rows/series of one table or figure from the paper's
+// evaluation (Section VI); EXPERIMENTS.md records paper-vs-measured. The
+// learning benches shrink the Table-I sample counts (the cost benches do
+// not — they are analytic and use paper-scale counts), and scale the
+// retraining batch size with scaled_batch_size() so the protocol stays
+// comparable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/edgehd.hpp"
+#include "data/dataset.hpp"
+#include "net/topology.hpp"
+
+namespace edgehd::bench {
+
+/// Default scaled sizes for the learning benches.
+inline constexpr std::size_t kTrainCap = 2000;
+inline constexpr std::size_t kTestCap = 600;
+inline constexpr std::uint64_t kSeed = 99;
+
+/// Generates a Table-I workload at bench scale.
+inline data::Dataset bench_dataset(data::DatasetId id,
+                                   std::size_t train_cap = kTrainCap,
+                                   std::size_t test_cap = kTestCap) {
+  data::GenOptions opt;
+  opt.max_train = train_cap;
+  opt.max_test = test_cap;
+  return data::make_dataset(id, kSeed, opt);
+}
+
+/// Hierarchical deployment for a Table-I workload: the paper's 3-level TREE
+/// for PAMAP2/APRI/PDP; for PECAN, houses (6 appliance readings each) are
+/// the encoding leaves, grouped into streets under the central node, since
+/// classification starts at the house level (Figure 8).
+struct HierSetup {
+  data::Dataset ds;
+  net::Topology topo;
+  core::SystemConfig cfg;
+};
+
+inline HierSetup hier_setup(data::DatasetId id,
+                            std::size_t train_cap = kTrainCap,
+                            std::size_t test_cap = kTestCap) {
+  const auto& spec = data::spec(id);
+  HierSetup s{bench_dataset(id, train_cap, test_cap),
+              net::Topology::paper_tree(std::max<std::size_t>(1, spec.end_nodes)),
+              {}};
+  s.cfg.batch_size =
+      core::scaled_batch_size(75, spec.paper_train, s.ds.train_size());
+  if (id == data::DatasetId::kPecan) {
+    s.ds.partitions.assign(52, 6);
+    s.topo = net::Topology::uniform_depth(52, 3);
+  }
+  return s;
+}
+
+/// Feature partition matching hier_setup for the analytic cost model.
+inline std::vector<std::size_t> hier_partitions(data::DatasetId id) {
+  if (id == data::DatasetId::kPecan) {
+    return std::vector<std::size_t>(52, 6);
+  }
+  const auto& spec = data::spec(id);
+  const std::size_t nodes = std::max<std::size_t>(1, spec.end_nodes);
+  std::vector<std::size_t> parts(nodes, spec.num_features / nodes);
+  for (std::size_t i = 0; i < spec.num_features % nodes; ++i) ++parts[i];
+  return parts;
+}
+
+/// Cost-model topology matching hier_setup.
+inline net::Topology hier_topology(data::DatasetId id) {
+  if (id == data::DatasetId::kPecan) {
+    return net::Topology::uniform_depth(52, 3);
+  }
+  return net::Topology::paper_tree(data::spec(id).end_nodes);
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+inline double pct(double v) { return 100.0 * v; }
+
+}  // namespace edgehd::bench

@@ -1,0 +1,89 @@
+// Image classification with the fractional-power spatial encoder (the
+// paper's Section III-A image construction, as used for the MNIST-style
+// workloads): tiny synthetic glyphs are encoded with position-correlated
+// phasor hypervectors — nearby pixels share correlated codes, so spatial
+// structure survives the mapping — and classified with the standard
+// class-hypervector model.
+//
+// Build & run: ./build/examples/image_digits
+#include <cstdio>
+#include <vector>
+
+#include "hdc/classifier.hpp"
+#include "hdc/random.hpp"
+#include "hdc/spatial_encoder.hpp"
+
+namespace {
+
+using namespace edgehd;
+
+constexpr std::size_t kSide = 8;
+constexpr std::size_t kClasses = 4;  // horizontal / vertical / diagonal / blob
+
+std::vector<float> make_glyph(std::size_t cls, hdc::Rng& rng) {
+  std::vector<float> img(kSide * kSide, 0.0F);
+  const std::size_t offset = rng.index(kSide - 2) + 1;  // jitter position
+  for (std::size_t i = 0; i < kSide; ++i) {
+    switch (cls) {
+      case 0: img[offset * kSide + i] = 1.0F; break;          // horizontal bar
+      case 1: img[i * kSide + offset] = 1.0F; break;          // vertical bar
+      case 2: img[i * kSide + i] = 1.0F; break;               // main diagonal
+      default:                                                 // 3x3 blob
+        if (i < 3) {
+          for (std::size_t j = 0; j < 3; ++j) {
+            img[(offset + i - 1) * kSide + offset + j - 1] = 1.0F;
+          }
+        }
+    }
+  }
+  for (auto& p : img) p += 0.25F * rng.gaussian();  // sensor noise
+  return img;
+}
+
+}  // namespace
+
+int main() {
+  hdc::SpatialEncoder encoder(kSide, kSide, 4096, /*seed=*/3,
+                              /*length_scale=*/1.5F);
+  hdc::HDClassifier clf(kClasses, encoder.dim());
+  hdc::Rng rng(7);
+
+  // Train: encode each glyph, binarize the phasor code, bundle per class.
+  std::vector<hdc::BipolarHV> train_hvs;
+  std::vector<std::size_t> train_labels;
+  for (std::size_t i = 0; i < 400; ++i) {
+    const std::size_t cls = i % kClasses;
+    const auto hv =
+        hdc::SpatialEncoder::binarize_real(encoder.encode(make_glyph(cls, rng)));
+    clf.add_sample(cls, hv);
+    train_hvs.push_back(hv);
+    train_labels.push_back(cls);
+  }
+  clf.retrain(train_hvs, train_labels);
+
+  const char* names[kClasses] = {"horizontal", "vertical", "diagonal", "blob"};
+  std::size_t correct = 0;
+  std::size_t per_class_correct[kClasses] = {};
+  const std::size_t per_class_total = 50;
+  for (std::size_t cls = 0; cls < kClasses; ++cls) {
+    for (std::size_t i = 0; i < per_class_total; ++i) {
+      const auto hv = hdc::SpatialEncoder::binarize_real(
+          encoder.encode(make_glyph(cls, rng)));
+      const auto p = clf.predict(hv);
+      if (p.label == cls) {
+        ++correct;
+        ++per_class_correct[cls];
+      }
+    }
+  }
+  std::printf("spatial-encoder glyph recognition (8x8, D=4096):\n");
+  for (std::size_t cls = 0; cls < kClasses; ++cls) {
+    std::printf("  %-10s %3.0f%%\n", names[cls],
+                100.0 * static_cast<double>(per_class_correct[cls]) /
+                    static_cast<double>(per_class_total));
+  }
+  std::printf("  overall    %3.0f%%\n",
+              100.0 * static_cast<double>(correct) /
+                  static_cast<double>(kClasses * per_class_total));
+  return 0;
+}

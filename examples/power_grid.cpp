@@ -1,0 +1,64 @@
+// City-scale power management (the PECAN workload of Table I and Figure 8):
+// 52 houses, each aggregating six instrumented appliances, grouped into
+// streets under a city node. This example uses the *analytic* side of the
+// library — the network simulator, platform models and cost model — to plan
+// a deployment: which learning configuration to run, and over which network.
+//
+// Build & run: ./build/examples/power_grid
+#include <cstdio>
+
+#include "core/cost_model.hpp"
+#include "data/dataset.hpp"
+#include "net/medium.hpp"
+#include "net/topology.hpp"
+
+int main() {
+  using namespace edgehd;
+
+  // Paper-scale PECAN shape: 312 appliance readings, 52 six-sensor houses.
+  core::WorkloadShape shape =
+      core::WorkloadShape::from_spec(data::spec(data::DatasetId::kPecan));
+  shape.partitions.assign(52, 6);
+  const core::CostModel model(shape);
+  const auto city = net::Topology::uniform_depth(52, 3);
+
+  std::printf("PECAN deployment planning (%zu houses, %zu-level hierarchy)\n",
+              city.leaves().size(), city.depth());
+
+  const char* names[] = {"DNN-GPU (central)", "HD-GPU (central)",
+                         "HD-FPGA (central)", "EdgeHD (hierarchical)"};
+  const core::Deployment deps[] = {
+      core::Deployment::kDnnGpu, core::Deployment::kHdGpu,
+      core::Deployment::kHdFpga, core::Deployment::kEdgeHd};
+
+  for (const auto kind :
+       {net::MediumKind::kWired1G, net::MediumKind::kWifi80211n}) {
+    const auto& medium = net::medium(kind);
+    std::printf("\n-- %s --\n", medium.name.c_str());
+    std::printf("%-22s %12s %12s %12s\n", "configuration", "train(s)",
+                "energy(J)", "traffic(MB)");
+    for (int i = 0; i < 4; ++i) {
+      const auto costs = model.evaluate(deps[i], city, medium);
+      std::printf("%-22s %12.3f %12.1f %12.2f\n", names[i],
+                  static_cast<double>(costs.train.time) / 1e9,
+                  costs.train.energy_j,
+                  static_cast<double>(costs.train.bytes) / 1e6);
+    }
+  }
+
+  // Interactive queries: how long until a house / street / city answer?
+  std::printf("\nper-query latency over WiFi 802.11n:\n");
+  const auto& wifi = net::medium(net::MediumKind::kWifi80211n);
+  for (std::size_t level = 1; level <= city.depth(); ++level) {
+    std::printf("  served at level %zu: %.2f ms\n", level,
+                static_cast<double>(
+                    model.edgehd_query_latency(city, wifi, level)) /
+                    1e6);
+  }
+  const auto central_latency = model.centralized_query_latency(
+      city, wifi, net::hd_fpga_central(),
+      model.hd_central_infer_macs_per_query(true));
+  std::printf("  centralized HD-FPGA:  %.2f ms\n",
+              static_cast<double>(central_latency) / 1e6);
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "adaboost.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "hdc/random.hpp"
+
+namespace edgehd::baseline {
+
+using hdc::Rng;
+using hdc::derive_seed;
+
+AdaBoost::AdaBoost(AdaBoostConfig config) : config_(std::move(config)) {
+  if (config_.rounds == 0 || config_.threshold_candidates == 0) {
+    throw std::invalid_argument(
+        "AdaBoost: rounds and threshold_candidates must be positive");
+  }
+}
+
+void AdaBoost::fit(const data::Dataset& ds) {
+  if (ds.train_x.empty()) {
+    throw std::invalid_argument("AdaBoost::fit: empty training split");
+  }
+  num_classes_ = ds.num_classes;
+  stumps_.clear();
+
+  const std::size_t n = ds.num_features;
+  const std::size_t m = ds.train_x.size();
+  const std::size_t feats_per_round =
+      config_.features_per_round != 0
+          ? std::min(config_.features_per_round, n)
+          : static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+
+  std::vector<double> weights(m, 1.0 / static_cast<double>(m));
+  Rng rng(derive_seed(config_.seed, 0));
+  std::vector<std::size_t> features(n);
+  std::iota(features.begin(), features.end(), 0);
+  std::vector<float> values(m);
+  std::vector<double> left_hist(num_classes_);
+  std::vector<double> right_hist(num_classes_);
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    std::shuffle(features.begin(), features.end(), rng.engine());
+
+    Stump best;
+    double best_err = 1.0;
+    for (std::size_t fi = 0; fi < feats_per_round; ++fi) {
+      const std::size_t f = features[fi];
+      for (std::size_t i = 0; i < m; ++i) values[i] = ds.train_x[i][f];
+      auto sorted = values;
+      std::sort(sorted.begin(), sorted.end());
+      for (std::size_t t = 0; t < config_.threshold_candidates; ++t) {
+        // Quantile-spaced candidate thresholds over the feature range.
+        const std::size_t q =
+            (t + 1) * m / (config_.threshold_candidates + 1);
+        const float threshold = sorted[std::min(q, m - 1)];
+
+        std::fill(left_hist.begin(), left_hist.end(), 0.0);
+        std::fill(right_hist.begin(), right_hist.end(), 0.0);
+        for (std::size_t i = 0; i < m; ++i) {
+          auto& hist = values[i] <= threshold ? left_hist : right_hist;
+          hist[ds.train_y[i]] += weights[i];
+        }
+        const auto left_best = static_cast<std::size_t>(
+            std::max_element(left_hist.begin(), left_hist.end()) -
+            left_hist.begin());
+        const auto right_best = static_cast<std::size_t>(
+            std::max_element(right_hist.begin(), right_hist.end()) -
+            right_hist.begin());
+        const double total =
+            std::accumulate(left_hist.begin(), left_hist.end(), 0.0) +
+            std::accumulate(right_hist.begin(), right_hist.end(), 0.0);
+        const double err =
+            total - left_hist[left_best] - right_hist[right_best];
+        if (err < best_err) {
+          best_err = err;
+          best = {f, threshold, left_best, right_best, 0.0F};
+        }
+      }
+    }
+
+    // SAMME requires the weak learner to beat random K-way guessing.
+    const double guard = 1.0 - 1.0 / static_cast<double>(num_classes_);
+    if (best_err >= guard) break;
+    best_err = std::max(best_err, 1e-10);
+    best.alpha = static_cast<float>(
+        std::log((1.0 - best_err) / best_err) +
+        std::log(static_cast<double>(num_classes_) - 1.0));
+    stumps_.push_back(best);
+
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t pred = ds.train_x[i][best.feature] <= best.threshold
+                                   ? best.left_class
+                                   : best.right_class;
+      if (pred != ds.train_y[i]) {
+        weights[i] *= std::exp(best.alpha);
+      }
+      sum += weights[i];
+    }
+    for (auto& w : weights) w /= sum;
+  }
+
+  if (stumps_.empty()) {
+    // Degenerate data: keep one majority-class stump so predict() works.
+    std::vector<std::size_t> counts(num_classes_, 0);
+    for (std::size_t y : ds.train_y) ++counts[y];
+    const auto majority = static_cast<std::size_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    stumps_.push_back({0, 0.0F, majority, majority, 1.0F});
+  }
+}
+
+std::size_t AdaBoost::predict(std::span<const float> x) const {
+  if (stumps_.empty()) {
+    throw std::logic_error("AdaBoost::predict: model not fitted");
+  }
+  std::vector<double> votes(num_classes_, 0.0);
+  for (const auto& s : stumps_) {
+    const std::size_t pred =
+        x[s.feature] <= s.threshold ? s.left_class : s.right_class;
+    votes[pred] += s.alpha;
+  }
+  return static_cast<std::size_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+}  // namespace edgehd::baseline

@@ -1,0 +1,56 @@
+#include "hd_model.hpp"
+
+#include <stdexcept>
+
+#include "hdc/random.hpp"
+
+namespace edgehd::baseline {
+
+HdModel::HdModel(HdModelConfig config) : config_(std::move(config)) {
+  if (config_.dim == 0) {
+    throw std::invalid_argument("HdModel: dim must be positive");
+  }
+}
+
+void HdModel::fit(const data::Dataset& ds) {
+  if (ds.train_x.empty()) {
+    throw std::invalid_argument("HdModel::fit: empty training split");
+  }
+  encoder_ = hdc::make_encoder(config_.encoder, ds.num_features, config_.dim,
+                               hdc::derive_seed(config_.seed, 0));
+  hdc::ClassifierConfig cc;
+  cc.retrain_epochs = config_.retrain_epochs;
+  classifier_ =
+      std::make_unique<hdc::HDClassifier>(ds.num_classes, config_.dim, cc);
+
+  std::vector<hdc::BipolarHV> encoded;
+  encoded.reserve(ds.train_x.size());
+  for (const auto& x : ds.train_x) encoded.push_back(encoder_->encode(x));
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    classifier_->add_sample(ds.train_y[i], encoded[i]);
+  }
+  classifier_->retrain(encoded, ds.train_y);
+}
+
+std::size_t HdModel::predict(std::span<const float> x) const {
+  return predict_full(x).label;
+}
+
+hdc::Prediction HdModel::predict_full(std::span<const float> x) const {
+  if (encoder_ == nullptr) {
+    throw std::logic_error("HdModel::predict: model not fitted");
+  }
+  return classifier_->predict(encoder_->encode(x));
+}
+
+const hdc::Encoder& HdModel::encoder() const {
+  if (encoder_ == nullptr) throw std::logic_error("HdModel: not fitted");
+  return *encoder_;
+}
+
+const hdc::HDClassifier& HdModel::classifier() const {
+  if (classifier_ == nullptr) throw std::logic_error("HdModel: not fitted");
+  return *classifier_;
+}
+
+}  // namespace edgehd::baseline

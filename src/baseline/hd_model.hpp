@@ -1,0 +1,44 @@
+// Model-interface adapter wrapping an HD encoder + class-hypervector
+// classifier, so HD variants slot into the same comparison harness as the
+// DNN/SVM/AdaBoost baselines (Figure 7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "hdc/classifier.hpp"
+#include "hdc/encoder.hpp"
+#include "model.hpp"
+
+namespace edgehd::baseline {
+
+struct HdModelConfig {
+  hdc::EncoderKind encoder = hdc::EncoderKind::kRbfSparse;
+  std::size_t dim = 4000;          ///< hypervector dimensionality D
+  std::size_t retrain_epochs = 20;
+  std::uint64_t seed = 4;
+};
+
+/// Centralized HD classifier: encode → bundle per class → retrain → nearest
+/// class hypervector. With kLinearLevel encoding this is the Figure 7
+/// "baseline HD" [36]; with kRbfDense/kRbfSparse it is centralized EdgeHD.
+class HdModel final : public Model {
+ public:
+  explicit HdModel(HdModelConfig config = {});
+
+  void fit(const data::Dataset& ds) override;
+  std::size_t predict(std::span<const float> x) const override;
+
+  /// Prediction with confidence (exposed for threshold studies).
+  hdc::Prediction predict_full(std::span<const float> x) const;
+
+  const hdc::Encoder& encoder() const;
+  const hdc::HDClassifier& classifier() const;
+
+ private:
+  HdModelConfig config_;
+  std::unique_ptr<hdc::Encoder> encoder_;
+  std::unique_ptr<hdc::HDClassifier> classifier_;
+};
+
+}  // namespace edgehd::baseline

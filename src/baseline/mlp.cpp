@@ -1,0 +1,197 @@
+#include "mlp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "hdc/random.hpp"
+
+namespace edgehd::baseline {
+
+using hdc::Rng;
+using hdc::derive_seed;
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {
+  if (config_.epochs == 0 || config_.batch_size == 0) {
+    throw std::invalid_argument("Mlp: epochs and batch_size must be positive");
+  }
+}
+
+void Mlp::build(std::size_t in_dim, std::size_t out_dim) {
+  layers_.clear();
+  std::vector<std::size_t> sizes;
+  sizes.push_back(in_dim);
+  sizes.insert(sizes.end(), config_.hidden.begin(), config_.hidden.end());
+  sizes.push_back(out_dim);
+
+  Rng rng(derive_seed(config_.seed, 0));
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    layer.in = sizes[l];
+    layer.out = sizes[l + 1];
+    layer.w.resize(layer.out * layer.in);
+    const float he = std::sqrt(2.0F / static_cast<float>(layer.in));
+    for (auto& w : layer.w) w = rng.gaussian() * he;
+    layer.b.assign(layer.out, 0.0F);
+    layer.vw.assign(layer.w.size(), 0.0F);
+    layer.vb.assign(layer.b.size(), 0.0F);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::vector<float> Mlp::forward(
+    std::span<const float> x,
+    std::vector<std::vector<float>>* activations) const {
+  std::vector<float> cur(x.begin(), x.end());
+  if (activations != nullptr) {
+    activations->clear();
+    activations->push_back(cur);
+  }
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    assert(cur.size() == layer.in);
+    std::vector<float> next(layer.out);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      const float* row = layer.w.data() + o * layer.in;
+      float acc = layer.b[o];
+      for (std::size_t i = 0; i < layer.in; ++i) acc += row[i] * cur[i];
+      next[o] = acc;
+    }
+    const bool last = l + 1 == layers_.size();
+    if (!last) {
+      for (auto& v : next) v = std::max(v, 0.0F);  // ReLU
+    }
+    cur = std::move(next);
+    if (activations != nullptr) activations->push_back(cur);
+  }
+  // Softmax on the final logits.
+  const float max = *std::max_element(cur.begin(), cur.end());
+  float sum = 0.0F;
+  for (auto& v : cur) {
+    v = std::exp(v - max);
+    sum += v;
+  }
+  for (auto& v : cur) v /= sum;
+  return cur;
+}
+
+void Mlp::fit(const data::Dataset& ds) {
+  if (ds.train_x.empty()) {
+    throw std::invalid_argument("Mlp::fit: empty training split");
+  }
+  build(ds.num_features, ds.num_classes);
+
+  Rng rng(derive_seed(config_.seed, 1));
+  std::vector<std::size_t> order(ds.train_x.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  // Per-sample gradient accumulation buffers reused across steps.
+  std::vector<std::vector<float>> grad_w(layers_.size());
+  std::vector<std::vector<float>> grad_b(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    grad_w[l].assign(layers_[l].w.size(), 0.0F);
+    grad_b[l].assign(layers_[l].b.size(), 0.0F);
+  }
+
+  std::vector<std::vector<float>> acts;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const float lr =
+        config_.learning_rate / (1.0F + 0.1F * static_cast<float>(epoch));
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(start + config_.batch_size, order.size());
+      const float inv_batch = 1.0F / static_cast<float>(end - start);
+      for (auto& g : grad_w) std::fill(g.begin(), g.end(), 0.0F);
+      for (auto& g : grad_b) std::fill(g.begin(), g.end(), 0.0F);
+
+      for (std::size_t idx = start; idx < end; ++idx) {
+        const auto& x = ds.train_x[order[idx]];
+        const std::size_t y = ds.train_y[order[idx]];
+        const std::vector<float> probs = forward(x, &acts);
+
+        // delta at output: softmax-CE gradient.
+        std::vector<float> delta = probs;
+        delta[y] -= 1.0F;
+
+        for (std::size_t l = layers_.size(); l-- > 0;) {
+          const Layer& layer = layers_[l];
+          const std::vector<float>& input = acts[l];
+          for (std::size_t o = 0; o < layer.out; ++o) {
+            grad_b[l][o] += delta[o];
+            float* grow = grad_w[l].data() + o * layer.in;
+            for (std::size_t i = 0; i < layer.in; ++i) {
+              grow[i] += delta[o] * input[i];
+            }
+          }
+          if (l == 0) break;
+          // Backpropagate through the ReLU of the previous layer.
+          std::vector<float> prev_delta(layer.in, 0.0F);
+          for (std::size_t o = 0; o < layer.out; ++o) {
+            const float* row = layer.w.data() + o * layer.in;
+            for (std::size_t i = 0; i < layer.in; ++i) {
+              prev_delta[i] += row[i] * delta[o];
+            }
+          }
+          for (std::size_t i = 0; i < layer.in; ++i) {
+            if (acts[l][i] <= 0.0F) prev_delta[i] = 0.0F;
+          }
+          delta = std::move(prev_delta);
+        }
+      }
+
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        for (std::size_t k = 0; k < layer.w.size(); ++k) {
+          const float g =
+              grad_w[l][k] * inv_batch + config_.weight_decay * layer.w[k];
+          layer.vw[k] = config_.momentum * layer.vw[k] - lr * g;
+          layer.w[k] += layer.vw[k];
+        }
+        for (std::size_t k = 0; k < layer.b.size(); ++k) {
+          const float g = grad_b[l][k] * inv_batch;
+          layer.vb[k] = config_.momentum * layer.vb[k] - lr * g;
+          layer.b[k] += layer.vb[k];
+        }
+      }
+    }
+  }
+}
+
+std::size_t Mlp::predict(std::span<const float> x) const {
+  const auto probs = predict_proba(x);
+  return static_cast<std::size_t>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+std::vector<float> Mlp::predict_proba(std::span<const float> x) const {
+  if (layers_.empty()) {
+    throw std::logic_error("Mlp::predict: model not fitted");
+  }
+  return forward(x, nullptr);
+}
+
+std::uint64_t Mlp::forward_macs() const noexcept {
+  std::uint64_t macs = 0;
+  for (const auto& layer : layers_) {
+    macs += static_cast<std::uint64_t>(layer.in) * layer.out;
+  }
+  return macs;
+}
+
+std::uint64_t Mlp::train_macs_per_sample() const noexcept {
+  return 3 * forward_macs();
+}
+
+std::uint64_t Mlp::parameter_count() const noexcept {
+  std::uint64_t count = 0;
+  for (const auto& layer : layers_) {
+    count += static_cast<std::uint64_t>(layer.w.size()) + layer.b.size();
+  }
+  return count;
+}
+
+}  // namespace edgehd::baseline

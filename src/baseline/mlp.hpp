@@ -1,0 +1,68 @@
+// From-scratch multi-layer perceptron: the "DNN" comparator of the paper.
+//
+// Dense layers with ReLU activations, softmax + cross-entropy output,
+// mini-batch SGD with classical momentum, He weight initialization. Also
+// exposes the operation counts (MACs) per training/inference pass that the
+// platform cost models use to price DNN-GPU execution in Figure 10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model.hpp"
+
+namespace edgehd::baseline {
+
+/// MLP hyper-parameters. Defaults match the grid-search winners used across
+/// the synthetic workloads (two hidden layers, as typical for these tabular
+/// tasks).
+struct MlpConfig {
+  std::vector<std::size_t> hidden = {128, 64};
+  std::size_t epochs = 30;
+  std::size_t batch_size = 32;
+  /// Initial step size; decayed as lr/(1 + 0.1*epoch). 0.02 is stable across
+  /// the tested class counts (larger rates diverge on many-class workloads).
+  float learning_rate = 0.02F;
+  float momentum = 0.9F;
+  float weight_decay = 1e-4F;
+  std::uint64_t seed = 1;
+};
+
+class Mlp final : public Model {
+ public:
+  explicit Mlp(MlpConfig config = {});
+
+  void fit(const data::Dataset& ds) override;
+  std::size_t predict(std::span<const float> x) const override;
+
+  /// Class probabilities for one input (softmax output).
+  std::vector<float> predict_proba(std::span<const float> x) const;
+
+  /// Multiply-accumulate operations in one forward pass.
+  std::uint64_t forward_macs() const noexcept;
+  /// Multiply-accumulate operations in one forward+backward pass (~3x
+  /// forward: forward, output-gradient backprop, weight-gradient).
+  std::uint64_t train_macs_per_sample() const noexcept;
+
+  /// Total trainable parameters (used for model-transfer byte accounting).
+  std::uint64_t parameter_count() const noexcept;
+
+ private:
+  struct Layer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::vector<float> w;   // row-major out x in
+    std::vector<float> b;
+    std::vector<float> vw;  // momentum buffers
+    std::vector<float> vb;
+  };
+
+  void build(std::size_t in_dim, std::size_t out_dim);
+  std::vector<float> forward(std::span<const float> x,
+                             std::vector<std::vector<float>>* activations) const;
+
+  MlpConfig config_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace edgehd::baseline

@@ -1,0 +1,22 @@
+#include "model.hpp"
+
+#include <cassert>
+
+namespace edgehd::baseline {
+
+double Model::accuracy(std::span<const std::vector<float>> xs,
+                       std::span<const std::size_t> ys) const {
+  assert(xs.size() == ys.size());
+  if (xs.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (predict(xs[i]) == ys[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(xs.size());
+}
+
+double Model::test_accuracy(const data::Dataset& ds) const {
+  return accuracy(ds.test_x, ds.test_y);
+}
+
+}  // namespace edgehd::baseline

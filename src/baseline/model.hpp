@@ -1,0 +1,31 @@
+// Common interface for the non-HD comparator models of Figure 7.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace edgehd::baseline {
+
+/// A trainable multi-class classifier over float feature vectors.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Trains on the dataset's train split.
+  virtual void fit(const data::Dataset& ds) = 0;
+
+  /// Predicts the class of one feature vector.
+  virtual std::size_t predict(std::span<const float> x) const = 0;
+
+  /// Fraction of (xs, ys) classified correctly.
+  double accuracy(std::span<const std::vector<float>> xs,
+                  std::span<const std::size_t> ys) const;
+
+  /// Accuracy on the dataset's test split.
+  double test_accuracy(const data::Dataset& ds) const;
+};
+
+}  // namespace edgehd::baseline

@@ -1,0 +1,83 @@
+#include "model_select.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace edgehd::baseline {
+
+namespace {
+
+/// Carves the last 20% of the train split off as validation data.
+std::pair<data::Dataset, data::Dataset> split_for_validation(
+    const data::Dataset& ds) {
+  data::Dataset fit = ds;
+  data::Dataset val = ds;
+  const std::size_t cut = ds.train_size() * 4 / 5;
+  fit.train_x.assign(ds.train_x.begin(), ds.train_x.begin() + cut);
+  fit.train_y.assign(ds.train_y.begin(), ds.train_y.begin() + cut);
+  // Validation samples become the "test" split of the probe dataset.
+  val.test_x.assign(ds.train_x.begin() + cut, ds.train_x.end());
+  val.test_y.assign(ds.train_y.begin() + cut, ds.train_y.end());
+  val.train_x = fit.train_x;
+  val.train_y = fit.train_y;
+  return {std::move(fit), std::move(val)};
+}
+
+template <typename ModelT, typename ConfigT>
+ModelT select(const data::Dataset& ds, const std::vector<ConfigT>& grid) {
+  const auto [fit_ds, val_ds] = split_for_validation(ds);
+  double best_acc = -1.0;
+  ConfigT best_cfg = grid.front();
+  for (const ConfigT& cfg : grid) {
+    ModelT candidate(cfg);
+    candidate.fit(val_ds);
+    const double acc = candidate.test_accuracy(val_ds);
+    if (acc > best_acc) {
+      best_acc = acc;
+      best_cfg = cfg;
+    }
+  }
+  ModelT model(best_cfg);
+  model.fit(ds);
+  return model;
+}
+
+}  // namespace
+
+Svm best_svm(const data::Dataset& ds, std::uint64_t seed) {
+  const float base = std::sqrt(static_cast<float>(ds.num_features));
+  std::vector<SvmConfig> grid;
+  for (const float alpha : {0.5F, 0.75F, 1.0F, 1.5F}) {
+    SvmConfig cfg;
+    cfg.seed = seed;
+    cfg.rff_dim = 2048;
+    cfg.length_scale = alpha * base;
+    grid.push_back(cfg);
+  }
+  return select<Svm>(ds, grid);
+}
+
+Mlp best_mlp(const data::Dataset& ds, std::uint64_t seed) {
+  std::vector<MlpConfig> grid;
+  for (const float lr : {0.01F, 0.02F}) {
+    MlpConfig cfg;
+    cfg.seed = seed;
+    cfg.learning_rate = lr;
+    grid.push_back(cfg);
+  }
+  return select<Mlp>(ds, grid);
+}
+
+AdaBoost best_adaboost(const data::Dataset& ds, std::uint64_t seed) {
+  std::vector<AdaBoostConfig> grid;
+  for (const std::size_t rounds : {std::size_t{80}, std::size_t{160}}) {
+    AdaBoostConfig cfg;
+    cfg.seed = seed;
+    cfg.rounds = rounds;
+    grid.push_back(cfg);
+  }
+  return select<AdaBoost>(ds, grid);
+}
+
+}  // namespace edgehd::baseline

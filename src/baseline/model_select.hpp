@@ -1,0 +1,28 @@
+// Hyper-parameter selection for the comparator models.
+//
+// The paper tunes every baseline with "the common practice of grid search"
+// (Section VI-B). These helpers reproduce that: candidates are fitted on an
+// internal 80/20 train/validation split, the best validated configuration is
+// refitted on the full training split.
+#pragma once
+
+#include <cstdint>
+
+#include "adaboost.hpp"
+#include "mlp.hpp"
+#include "svm.hpp"
+
+namespace edgehd::baseline {
+
+/// Grid-searched RBF-kernel SVM: sweeps the kernel length scale (the
+/// decisive hyper-parameter for RFF SVMs) over {0.5, 0.75, 1, 1.5}*sqrt(n).
+Svm best_svm(const data::Dataset& ds, std::uint64_t seed = 2);
+
+/// Grid-searched MLP: sweeps learning rate {0.01, 0.02} and hidden layout
+/// {128-64, 256-128}.
+Mlp best_mlp(const data::Dataset& ds, std::uint64_t seed = 1);
+
+/// Grid-searched AdaBoost: sweeps rounds {80, 160}.
+AdaBoost best_adaboost(const data::Dataset& ds, std::uint64_t seed = 3);
+
+}  // namespace edgehd::baseline

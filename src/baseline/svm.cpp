@@ -1,0 +1,92 @@
+#include "svm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "hdc/random.hpp"
+
+namespace edgehd::baseline {
+
+using hdc::Rng;
+using hdc::derive_seed;
+
+Svm::Svm(SvmConfig config) : config_(std::move(config)) {
+  if (config_.rff_dim == 0 || config_.epochs == 0) {
+    throw std::invalid_argument("Svm: rff_dim and epochs must be positive");
+  }
+}
+
+void Svm::fit(const data::Dataset& ds) {
+  if (ds.train_x.empty()) {
+    throw std::invalid_argument("Svm::fit: empty training split");
+  }
+  num_classes_ = ds.num_classes;
+  rff_ = std::make_unique<hdc::RbfEncoder>(
+      ds.num_features, config_.rff_dim, derive_seed(config_.seed, 0),
+      config_.length_scale, hdc::RbfForm::kCos);
+  w_.assign(num_classes_ * config_.rff_dim, 0.0F);
+  b_.assign(num_classes_, 0.0F);
+
+  // Pre-map the training set once; the feature map is fixed.
+  std::vector<std::vector<float>> phi;
+  phi.reserve(ds.train_x.size());
+  for (const auto& x : ds.train_x) phi.push_back(rff_->encode_real(x));
+
+  Rng rng(derive_seed(config_.seed, 1));
+  std::vector<std::size_t> order(phi.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::size_t step = 0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    for (const std::size_t idx : order) {
+      ++step;
+      // 1/sqrt(t) learning-rate decay keeps late epochs stable.
+      const float lr =
+          config_.learning_rate / std::sqrt(static_cast<float>(step));
+      const auto& f = phi[idx];
+      const std::size_t y = ds.train_y[idx];
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        float* row = w_.data() + c * config_.rff_dim;
+        float margin = b_[c];
+        for (std::size_t d = 0; d < config_.rff_dim; ++d) margin += row[d] * f[d];
+        const float target = c == y ? 1.0F : -1.0F;
+        // L2 shrinkage every step; hinge push only when the margin is soft.
+        const float shrink = 1.0F - lr * config_.l2;
+        for (std::size_t d = 0; d < config_.rff_dim; ++d) row[d] *= shrink;
+        if (target * margin < 1.0F) {
+          for (std::size_t d = 0; d < config_.rff_dim; ++d) {
+            row[d] += lr * target * f[d];
+          }
+          b_[c] += lr * target;
+        }
+      }
+    }
+  }
+}
+
+std::vector<float> Svm::decision_values(std::span<const float> x) const {
+  if (rff_ == nullptr) {
+    throw std::logic_error("Svm::predict: model not fitted");
+  }
+  const auto f = rff_->encode_real(x);
+  std::vector<float> scores(num_classes_);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const float* row = w_.data() + c * config_.rff_dim;
+    float s = b_[c];
+    for (std::size_t d = 0; d < config_.rff_dim; ++d) s += row[d] * f[d];
+    scores[c] = s;
+  }
+  return scores;
+}
+
+std::size_t Svm::predict(std::span<const float> x) const {
+  const auto scores = decision_values(x);
+  return static_cast<std::size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+}  // namespace edgehd::baseline

@@ -1,0 +1,555 @@
+#include "edgehd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "hdc/random.hpp"
+#include "hdc/wire.hpp"
+
+namespace edgehd::core {
+
+using hdc::AccumHV;
+using hdc::BipolarHV;
+using hdc::derive_seed;
+using net::NodeId;
+
+std::size_t scaled_batch_size(std::size_t paper_batch, std::size_t paper_train,
+                              std::size_t actual_train) {
+  if (paper_train == 0) return std::max<std::size_t>(1, paper_batch);
+  const double scaled = static_cast<double>(paper_batch) *
+                        static_cast<double>(actual_train) /
+                        static_cast<double>(paper_train);
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(scaled)));
+}
+
+EdgeHdSystem::EdgeHdSystem(const data::Dataset& ds, net::Topology topology,
+                           SystemConfig config)
+    : ds_(ds), topology_(std::move(topology)), config_(config) {
+  leaves_ = topology_.leaves();
+  if (leaves_.size() != ds_.partitions.size()) {
+    throw std::invalid_argument(
+        "EdgeHdSystem: topology leaf count must match dataset partitions");
+  }
+  if (config_.classify_min_level == 0 ||
+      config_.classify_min_level > topology_.depth()) {
+    throw std::invalid_argument(
+        "EdgeHdSystem: classify_min_level outside the hierarchy depth");
+  }
+
+  std::vector<std::size_t> leaf_features(leaves_.size());
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    leaf_features[i] = ds_.partitions[i];
+  }
+  alloc_ = hier::allocate_dims(topology_, leaf_features, config_.total_dim,
+                               config_.min_node_dim);
+
+  nodes_.resize(topology_.num_nodes());
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    nodes_[leaves_[i]].partition = i;
+  }
+
+  // Leaves first so concatenation-mode internal dims can be summed upward.
+  for (NodeId id : bottom_up_order()) {
+    NodeState& st = nodes_[id];
+    if (topology_.is_leaf(id)) {
+      st.dim = alloc_.dims[id];
+      st.leaf_encoder = hdc::make_encoder(
+          config_.leaf_encoder, ds_.partitions[st.partition], st.dim,
+          derive_seed(config_.seed, 1000 + id));
+    } else {
+      const auto& kids = topology_.children(id);
+      std::vector<std::size_t> child_dims(kids.size());
+      for (std::size_t c = 0; c < kids.size(); ++c) {
+        child_dims[c] = nodes_[kids[c]].dim;
+      }
+      const std::size_t concat_dim = std::accumulate(
+          child_dims.begin(), child_dims.end(), std::size_t{0});
+      st.dim = config_.aggregation == hier::AggregationMode::kConcatenation
+                   ? concat_dim
+                   : alloc_.dims[id];
+      st.aggregator = std::make_unique<hier::HierEncoder>(
+          std::move(child_dims), st.dim, derive_seed(config_.seed, 2000 + id),
+          config_.aggregation, config_.projection_row_nnz);
+    }
+    if (topology_.level(id) >= config_.classify_min_level) {
+      hdc::ClassifierConfig cc;
+      cc.retrain_epochs = config_.retrain_epochs;
+      cc.softmax_beta = config_.softmax_beta;
+      st.classifier = std::make_unique<hdc::HDClassifier>(ds_.num_classes,
+                                                          st.dim, cc);
+    }
+  }
+}
+
+std::size_t EdgeHdSystem::node_dim(NodeId id) const {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("EdgeHdSystem: node id out of range");
+  }
+  return nodes_[id].dim;
+}
+
+bool EdgeHdSystem::has_classifier(NodeId id) const {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("EdgeHdSystem: node id out of range");
+  }
+  return nodes_[id].classifier != nullptr;
+}
+
+const hdc::HDClassifier& EdgeHdSystem::classifier_at(NodeId id) const {
+  if (!has_classifier(id)) {
+    throw std::invalid_argument("EdgeHdSystem: node hosts no classifier");
+  }
+  return *nodes_[id].classifier;
+}
+
+std::vector<NodeId> EdgeHdSystem::bottom_up_order() const {
+  std::vector<NodeId> order;
+  order.reserve(topology_.num_nodes());
+  for (std::size_t level = 1; level <= topology_.depth(); ++level) {
+    for (NodeId id : topology_.nodes_at_level(level)) order.push_back(id);
+  }
+  return order;
+}
+
+std::vector<BipolarHV> EdgeHdSystem::encode_all(
+    std::span<const float> x) const {
+  if (x.size() != ds_.num_features) {
+    throw std::invalid_argument("EdgeHdSystem: feature count mismatch");
+  }
+  std::vector<BipolarHV> hvs(topology_.num_nodes());
+  for (NodeId id : bottom_up_order()) {
+    const NodeState& st = nodes_[id];
+    if (topology_.is_leaf(id)) {
+      const std::size_t offset = ds_.partition_offset(st.partition);
+      hvs[id] = st.leaf_encoder->encode(
+          x.subspan(offset, ds_.partitions[st.partition]));
+    } else {
+      const auto& kids = topology_.children(id);
+      std::vector<BipolarHV> child_hvs(kids.size());
+      for (std::size_t c = 0; c < kids.size(); ++c) {
+        child_hvs[c] = hvs[kids[c]];
+      }
+      hvs[id] = st.aggregator->aggregate(child_hvs);
+    }
+  }
+  return hvs;
+}
+
+std::vector<std::size_t> EdgeHdSystem::effective_indices(
+    std::span<const std::size_t> train_indices) const {
+  if (!train_indices.empty()) {
+    return {train_indices.begin(), train_indices.end()};
+  }
+  std::vector<std::size_t> all(ds_.train_size());
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+void EdgeHdSystem::ensure_train_encoded(
+    std::span<const std::size_t> train_indices) {
+  const auto idx = effective_indices(train_indices);
+  if (idx == encoded_train_source_) return;
+
+  encoded_train_source_ = idx;
+  encoded_train_labels_.resize(idx.size());
+  encoded_train_.assign(topology_.num_nodes(), {});
+  for (auto& per_node : encoded_train_) per_node.resize(idx.size());
+
+  for (std::size_t s = 0; s < idx.size(); ++s) {
+    encoded_train_labels_[s] = ds_.train_y[idx[s]];
+    auto hvs = encode_all(ds_.train_x[idx[s]]);
+    for (NodeId id = 0; id < topology_.num_nodes(); ++id) {
+      encoded_train_[id][s] = std::move(hvs[id]);
+    }
+  }
+}
+
+void EdgeHdSystem::ensure_test_encoded() const {
+  if (!encoded_test_.empty()) return;
+  encoded_test_.assign(topology_.num_nodes(), {});
+  for (auto& per_node : encoded_test_) per_node.resize(ds_.test_size());
+  for (std::size_t s = 0; s < ds_.test_size(); ++s) {
+    auto hvs = encode_all(ds_.test_x[s]);
+    for (NodeId id = 0; id < topology_.num_nodes(); ++id) {
+      encoded_test_[id][s] = std::move(hvs[id]);
+    }
+  }
+}
+
+CommStats EdgeHdSystem::train(std::span<const std::size_t> train_indices) {
+  CommStats total = train_initial(train_indices);
+  total += retrain_batches(train_indices);
+  return total;
+}
+
+CommStats EdgeHdSystem::train_initial(
+    std::span<const std::size_t> train_indices) {
+  ensure_train_encoded(train_indices);
+  const std::size_t k = ds_.num_classes;
+  CommStats comm;
+
+  // Per-node class accumulators ("partial models"), built bottom-up.
+  std::vector<std::vector<AccumHV>> class_accums(topology_.num_nodes());
+  for (NodeId id : bottom_up_order()) {
+    const NodeState& st = nodes_[id];
+    auto& accums = class_accums[id];
+    accums.assign(k, AccumHV(st.dim, 0));
+    if (topology_.is_leaf(id)) {
+      const auto& encoded = encoded_train_[id];
+      for (std::size_t s = 0; s < encoded.size(); ++s) {
+        hdc::bundle_into(accums[encoded_train_labels_[s]], encoded[s]);
+      }
+    } else {
+      const auto& kids = topology_.children(id);
+      std::vector<AccumHV> child_accums(kids.size());
+      for (std::size_t c = 0; c < k; ++c) {
+        for (std::size_t ci = 0; ci < kids.size(); ++ci) {
+          child_accums[ci] = class_accums[kids[ci]][c];
+        }
+        accums[c] = st.aggregator->aggregate_accum(child_accums);
+      }
+      // Children ship their k class hypervectors (models, not data).
+      for (NodeId kid : kids) {
+        for (std::size_t c = 0; c < k; ++c) {
+          comm.bytes += hdc::wire_bytes_accum(class_accums[kid][c]);
+          ++comm.messages;
+        }
+      }
+    }
+    if (st.classifier != nullptr) {
+      for (std::size_t c = 0; c < k; ++c) {
+        st.classifier->set_class_accumulator(c, accums[c]);
+      }
+    }
+  }
+  return comm;
+}
+
+CommStats EdgeHdSystem::retrain_batches(
+    std::span<const std::size_t> train_indices) {
+  ensure_train_encoded(train_indices);
+  const std::size_t k = ds_.num_classes;
+  CommStats comm;
+
+  // Per-class batches over the encoded-sample index space; the same sample
+  // partition is used at every node so batch hypervectors line up across the
+  // hierarchy (each physical observation is sensed by every leaf).
+  std::vector<std::vector<std::vector<std::size_t>>> batches(k);
+  {
+    std::vector<std::vector<std::size_t>> by_class(k);
+    for (std::size_t s = 0; s < encoded_train_labels_.size(); ++s) {
+      by_class[encoded_train_labels_[s]].push_back(s);
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::size_t start = 0; start < by_class[c].size();
+           start += config_.batch_size) {
+        const std::size_t end =
+            std::min(start + config_.batch_size, by_class[c].size());
+        batches[c].emplace_back(by_class[c].begin() + start,
+                                by_class[c].begin() + end);
+      }
+    }
+  }
+
+  // Bottom-up batch hypervectors; internal nodes aggregate children's.
+  std::vector<std::vector<std::vector<AccumHV>>> node_batches(
+      topology_.num_nodes());  // [node][class][batch]
+  for (NodeId id : bottom_up_order()) {
+    const NodeState& st = nodes_[id];
+    auto& nb = node_batches[id];
+    nb.assign(k, {});
+    if (topology_.is_leaf(id)) {
+      const auto& encoded = encoded_train_[id];
+      for (std::size_t c = 0; c < k; ++c) {
+        for (const auto& batch : batches[c]) {
+          AccumHV acc(st.dim, 0);
+          for (std::size_t s : batch) hdc::bundle_into(acc, encoded[s]);
+          nb[c].push_back(std::move(acc));
+        }
+      }
+    } else {
+      const auto& kids = topology_.children(id);
+      std::vector<AccumHV> child_accums(kids.size());
+      for (std::size_t c = 0; c < k; ++c) {
+        for (std::size_t b = 0; b < batches[c].size(); ++b) {
+          for (std::size_t ci = 0; ci < kids.size(); ++ci) {
+            child_accums[ci] = node_batches[kids[ci]][c][b];
+          }
+          nb[c].push_back(st.aggregator->aggregate_accum(child_accums));
+        }
+      }
+      for (NodeId kid : kids) {
+        for (std::size_t c = 0; c < k; ++c) {
+          for (const auto& acc : node_batches[kid][c]) {
+            comm.bytes += hdc::wire_bytes_accum(acc);
+            ++comm.messages;
+          }
+        }
+      }
+    }
+
+    if (st.classifier == nullptr) continue;
+    if (topology_.is_leaf(id)) {
+      // End nodes retrain on their own per-sample encodings; batching only
+      // matters for what crosses the network.
+      st.classifier->retrain(encoded_train_[id], encoded_train_labels_);
+    } else {
+      std::vector<BipolarHV> hvs;
+      std::vector<std::size_t> labels;
+      for (std::size_t c = 0; c < k; ++c) {
+        for (const auto& acc : nb[c]) {
+          hvs.push_back(hdc::binarize(acc));
+          labels.push_back(c);
+        }
+      }
+      st.classifier->retrain(hvs, labels);
+    }
+  }
+  return comm;
+}
+
+double EdgeHdSystem::accuracy_at_node(NodeId id) const {
+  const auto& clf = classifier_at(id);
+  ensure_test_encoded();
+  return clf.accuracy(encoded_test_[id], ds_.test_y);
+}
+
+double EdgeHdSystem::accuracy_at_level(std::size_t level) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (NodeId id : topology_.nodes_at_level(level)) {
+    if (!has_classifier(id)) continue;
+    sum += accuracy_at_node(id);
+    ++count;
+  }
+  if (count == 0) {
+    throw std::invalid_argument("EdgeHdSystem: no classifiers at this level");
+  }
+  return sum / static_cast<double>(count);
+}
+
+double EdgeHdSystem::mean_confidence_at_node(NodeId id) const {
+  const auto& clf = classifier_at(id);
+  ensure_test_encoded();
+  double sum = 0.0;
+  for (const auto& hv : encoded_test_[id]) {
+    sum += clf.predict(hv).confidence;
+  }
+  return encoded_test_[id].empty()
+             ? 0.0
+             : sum / static_cast<double>(encoded_test_[id].size());
+}
+
+double EdgeHdSystem::mean_confidence_at_level(std::size_t level) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (NodeId id : topology_.nodes_at_level(level)) {
+    if (!has_classifier(id)) continue;
+    sum += mean_confidence_at_node(id);
+    ++count;
+  }
+  if (count == 0) {
+    throw std::invalid_argument("EdgeHdSystem: no classifiers at this level");
+  }
+  return sum / static_cast<double>(count);
+}
+
+std::uint64_t EdgeHdSystem::compressed_query_bytes(std::size_t dim) const {
+  const std::size_t m = std::max<std::size_t>(1, config_.compression);
+  if (m == 1) return hdc::wire_bytes_bipolar(dim);
+  // m bipolar queries superpose into one accumulator with |entry| <= m;
+  // amortize the bundle's bytes over its members.
+  const std::uint32_t bits =
+      hdc::bits_for_magnitude(static_cast<std::int64_t>(m));
+  const std::uint64_t bundle = hdc::wire_bytes_accum(dim, bits);
+  return (bundle + m - 1) / m;
+}
+
+std::uint64_t EdgeHdSystem::query_gather_bytes(NodeId id) const {
+  if (topology_.is_leaf(id)) return 0;
+  std::uint64_t bytes = 0;
+  for (NodeId kid : topology_.children(id)) {
+    bytes += query_gather_bytes(kid) + compressed_query_bytes(nodes_[kid].dim);
+  }
+  return bytes;
+}
+
+RoutedResult EdgeHdSystem::infer_routed(std::span<const float> x,
+                                        NodeId start) const {
+  if (!has_classifier(start)) {
+    throw std::invalid_argument("EdgeHdSystem: start node hosts no classifier");
+  }
+  const auto hvs = encode_all(x);
+  NodeId current = start;
+  RoutedResult result;
+  while (true) {
+    const auto pred = nodes_[current].classifier->predict(hvs[current]);
+    result.label = pred.label;
+    result.confidence = pred.confidence;
+    result.node = current;
+    result.level = topology_.level(current);
+    const bool confident = pred.confidence >= config_.confidence_threshold;
+    if (confident || current == topology_.root()) break;
+    // Escalate to the nearest ancestor that hosts a classifier.
+    NodeId next = topology_.parent(current);
+    while (next != topology_.root() && !has_classifier(next)) {
+      next = topology_.parent(next);
+    }
+    if (!has_classifier(next)) break;
+    current = next;
+  }
+  result.bytes = query_gather_bytes(result.node);
+  return result;
+}
+
+RoutedResult EdgeHdSystem::online_serve(std::span<const float> x,
+                                        std::size_t truth, NodeId start) {
+  const RoutedResult result = infer_routed(x, start);
+  if (result.label != truth) {
+    // The user rejects the answer; only the wrongly matched class is known.
+    const auto hvs = encode_all(x);
+    for (std::size_t w = 0; w < config_.feedback_weight; ++w) {
+      nodes_[result.node].classifier->feedback_negative(result.label,
+                                                        hvs[result.node]);
+    }
+  }
+  return result;
+}
+
+CommStats EdgeHdSystem::propagate_residuals() {
+  const std::size_t k = ds_.num_classes;
+  CommStats comm;
+  std::vector<std::vector<AccumHV>> outbox(topology_.num_nodes());
+
+  auto is_zero = [](const std::vector<AccumHV>& accums) {
+    for (const auto& a : accums) {
+      for (std::int32_t v : a) {
+        if (v != 0) return false;
+      }
+    }
+    return true;
+  };
+
+  for (NodeId id : bottom_up_order()) {
+    NodeState& st = nodes_[id];
+    std::vector<AccumHV> total(k, AccumHV(st.dim, 0));
+
+    if (!topology_.is_leaf(id)) {
+      const auto& kids = topology_.children(id);
+      std::vector<AccumHV> child_res(kids.size());
+      bool any_child = false;
+      for (NodeId kid : kids) {
+        if (!is_zero(outbox[kid])) {
+          any_child = true;
+          for (std::size_t c = 0; c < k; ++c) {
+            comm.bytes += hdc::wire_bytes_accum(outbox[kid][c]);
+            ++comm.messages;
+          }
+        }
+      }
+      if (any_child) {
+        for (std::size_t c = 0; c < k; ++c) {
+          for (std::size_t ci = 0; ci < kids.size(); ++ci) {
+            child_res[ci] = outbox[kids[ci]][c];
+          }
+          total[c] = st.aggregator->aggregate_accum(child_res);
+        }
+      }
+    }
+
+    if (st.classifier != nullptr) {
+      auto own = st.classifier->take_residuals();
+      for (std::size_t c = 0; c < k; ++c) {
+        hdc::accumulate(total[c], own[c]);
+      }
+      // Figure 5b step (2): update this node's model with everything known
+      // here — its own residuals plus the children's, re-encoded.
+      if (!is_zero(total)) {
+        st.classifier->apply_external_residuals(total);
+      }
+    }
+    outbox[id] = std::move(total);
+  }
+
+  // Model changes invalidate nothing cached (encodings are model-free), so
+  // no cache flush is needed.
+  return comm;
+}
+
+namespace {
+
+/// Classifies every damaged test vector produced by `damage(hv)` and
+/// returns the accuracy.
+template <typename DamageFn>
+double accuracy_under_damage(const hdc::HDClassifier& clf,
+                             const std::vector<BipolarHV>& encoded,
+                             const std::vector<std::size_t>& labels,
+                             DamageFn damage) {
+  std::size_t correct = 0;
+  for (std::size_t s = 0; s < encoded.size(); ++s) {
+    BipolarHV damaged = encoded[s];
+    damage(damaged);
+    const auto sims = clf.similarities(damaged);
+    const auto best = static_cast<std::size_t>(
+        std::max_element(sims.begin(), sims.end()) - sims.begin());
+    if (best == labels[s]) ++correct;
+  }
+  return encoded.empty() ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(encoded.size());
+}
+
+}  // namespace
+
+double EdgeHdSystem::accuracy_at_node_with_loss(NodeId id, double loss,
+                                                std::uint64_t seed) const {
+  if (loss < 0.0 || loss > 1.0) {
+    throw std::invalid_argument("EdgeHdSystem: loss fraction out of range");
+  }
+  const auto& clf = classifier_at(id);
+  ensure_test_encoded();
+  hdc::Rng rng(derive_seed(seed, id));
+  return accuracy_under_damage(
+      clf, encoded_test_[id], ds_.test_y, [&](BipolarHV& hv) {
+        for (auto& v : hv) {
+          if (rng.bernoulli(loss)) v = 0;  // lost dim carries no signal
+        }
+      });
+}
+
+double EdgeHdSystem::accuracy_at_node_with_burst_loss(
+    NodeId id, double loss, std::size_t burst_len, std::uint64_t seed) const {
+  if (loss < 0.0 || loss > 1.0) {
+    throw std::invalid_argument("EdgeHdSystem: loss fraction out of range");
+  }
+  if (burst_len == 0) {
+    throw std::invalid_argument("EdgeHdSystem: burst length must be positive");
+  }
+  const auto& clf = classifier_at(id);
+  ensure_test_encoded();
+  hdc::Rng rng(derive_seed(seed, id ^ 0x9e37ULL));
+  return accuracy_under_damage(
+      clf, encoded_test_[id], ds_.test_y, [&](BipolarHV& hv) {
+        const auto target = static_cast<std::size_t>(
+            loss * static_cast<double>(hv.size()));
+        std::size_t erased = 0;
+        // Drop whole "packets": contiguous runs at random offsets. Bursts
+        // may overlap, as retransmission-free links behave.
+        while (erased + burst_len / 2 < target) {
+          const std::size_t start = rng.index(hv.size());
+          for (std::size_t k = 0; k < burst_len; ++k) {
+            auto& v = hv[(start + k) % hv.size()];
+            if (v != 0) {
+              v = 0;
+              ++erased;
+            }
+          }
+        }
+      });
+}
+
+}  // namespace edgehd::core

@@ -1,0 +1,143 @@
+#include "fpga_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgehd::fpga {
+
+namespace {
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+std::uint64_t log2_ceil(std::uint64_t v) {
+  return v <= 1 ? 0 : std::bit_width(v - 1);
+}
+
+}  // namespace
+
+FpgaModel::FpgaModel(FpgaConfig config, std::size_t num_features,
+                     std::size_t dim, std::size_t num_classes,
+                     std::size_t window)
+    : config_(config),
+      num_features_(num_features),
+      dim_(dim),
+      num_classes_(num_classes),
+      window_(std::min(window, num_features)) {
+  if (num_features == 0 || dim == 0 || num_classes < 2 || window == 0) {
+    throw std::invalid_argument("FpgaModel: invalid design point");
+  }
+  if (config_.dsp_slices == 0 || config_.adder_lanes == 0 ||
+      config_.clock_hz <= 0.0) {
+    throw std::invalid_argument("FpgaModel: invalid fabric configuration");
+  }
+}
+
+std::size_t FpgaModel::occupied_dsps() const {
+  // One DSP per concurrent MAC; a design never instantiates more row-units
+  // than it has rows (D) or the fabric has slices.
+  return std::min<std::size_t>(config_.dsp_slices, dim_ * window_);
+}
+
+std::uint64_t FpgaModel::encode_cycles() const {
+  const std::uint64_t total_macs =
+      static_cast<std::uint64_t>(dim_) * window_;
+  const std::uint64_t mac_cycles = ceil_div(total_macs, occupied_dsps());
+  // Pipeline tail: adder tree over the window plus the cosine LUT stage and
+  // the sign binarizer.
+  const std::uint64_t tail = log2_ceil(window_) + 2;
+  return mac_cycles + tail;
+}
+
+std::uint64_t FpgaModel::search_cycles() const {
+  // Negation block + accumulation: k classes, D elements each, adder_lanes
+  // per cycle; tree depth tail; one comparator pass over k.
+  const std::uint64_t adds =
+      static_cast<std::uint64_t>(num_classes_) * dim_;
+  return ceil_div(adds, config_.adder_lanes) + log2_ceil(config_.adder_lanes) +
+         num_classes_;
+}
+
+std::uint64_t FpgaModel::accumulate_cycles() const {
+  return ceil_div(dim_, config_.adder_lanes);
+}
+
+std::uint64_t FpgaModel::model_update_cycles() const {
+  // Apply residuals to all k classes and re-normalize each (one extra pass).
+  const std::uint64_t adds =
+      static_cast<std::uint64_t>(num_classes_) * dim_ * 2;
+  return ceil_div(adds, config_.adder_lanes);
+}
+
+std::uint64_t FpgaModel::train_sample_cycles() const {
+  return encode_cycles() + search_cycles() + accumulate_cycles();
+}
+
+std::uint64_t FpgaModel::infer_sample_cycles() const {
+  return encode_cycles() + search_cycles();
+}
+
+net::SimTime FpgaModel::cycles_to_time(std::uint64_t cycles) const {
+  const double seconds = static_cast<double>(cycles) / config_.clock_hz;
+  return static_cast<net::SimTime>(std::llround(seconds * 1e9));
+}
+
+double FpgaModel::power_w() const {
+  return config_.static_power_w +
+         config_.dynamic_power_per_unit_hz *
+             static_cast<double>(occupied_dsps()) * config_.clock_hz;
+}
+
+double FpgaModel::energy_j(std::uint64_t cycles) const {
+  return power_w() * static_cast<double>(cycles) / config_.clock_hz;
+}
+
+FpgaResources FpgaModel::resources() const {
+  FpgaResources r;
+  r.dsp_used = occupied_dsps();
+  // BRAM: sparse weight rows (window 16-bit fixed-point values + a start
+  // index, Section V-A), the class hypervectors, and the residual
+  // hypervectors (32-bit accumulators).
+  const std::uint64_t weight_bits =
+      static_cast<std::uint64_t>(dim_) *
+      (window_ * 16 + log2_ceil(num_features_));
+  const std::uint64_t model_bits =
+      static_cast<std::uint64_t>(num_classes_) * dim_ * 32 * 2;
+  r.bram_bits_used = weight_bits + model_bits;
+  r.fits = r.dsp_used <= config_.dsp_slices &&
+           r.bram_bits_used <= config_.bram_bits;
+  return r;
+}
+
+net::Platform FpgaModel::as_platform(std::string name) const {
+  // Effective MAC rate: the encode stage dominates, running occupied_dsps
+  // MACs per cycle.
+  const double macs_per_second =
+      static_cast<double>(occupied_dsps()) * config_.clock_hz;
+  return net::Platform{std::move(name), macs_per_second, power_w()};
+}
+
+FpgaModel central_design(std::size_t num_features, std::size_t dim,
+                         std::size_t num_classes) {
+  const std::size_t window = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(0.2 * num_features)));
+  return FpgaModel(FpgaConfig{}, num_features, dim, num_classes, window);
+}
+
+FpgaModel edge_design(std::size_t num_features, std::size_t dim,
+                      std::size_t num_classes) {
+  // Small fabric slice, clocked down: calibrated to ~0.28 W per node.
+  FpgaConfig cfg;
+  cfg.clock_hz = 100e6;
+  cfg.dsp_slices = 32;
+  cfg.adder_lanes = 64;
+  cfg.static_power_w = 0.10;
+  const std::size_t window = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(0.2 * num_features)));
+  return FpgaModel(cfg, num_features, dim, num_classes, window);
+}
+
+}  // namespace edgehd::fpga

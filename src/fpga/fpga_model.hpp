@@ -1,0 +1,117 @@
+// Cycle-level model of the EdgeHD FPGA design (paper Section V, Figure 6).
+//
+// The paper implements EdgeHD in Verilog on a Kintex-7 KC705; we model that
+// design's pipeline instead of synthesizing it (see DESIGN.md,
+// Substitutions). The model follows the architecture blocks of Figure 6:
+//
+//   (A) BRAM-resident sparse weight vectors: each of the D projection rows
+//       stores a contiguous window of (1-s)*n non-zeros plus a log2(n)-bit
+//       start index.
+//   (B) DSP-parallel multiply + tree-adder accumulation for the encoding
+//       inner products, followed by a cosine lookup (LUT logic).
+//   (C,E) Residual-hypervector accumulation and one-shot model update.
+//   (D,F) Associative search: negation block (query bits conditionally flip
+//       class-element signs), tree adder, comparator.
+//
+// Outputs are cycle counts per operation, a resource estimate, and a power
+// estimate calibrated to the paper's 9.8 W (centralized, full dimension) and
+// 0.28 W (per-node, reduced dimension) figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/platform.hpp"
+
+namespace edgehd::fpga {
+
+/// Fabric parameters (defaults: Kintex-7 KC705-class device).
+struct FpgaConfig {
+  double clock_hz = 200e6;
+  std::size_t dsp_slices = 840;       ///< multipliers available to encoding
+  std::size_t adder_lanes = 256;      ///< fabric adders feeding the tree
+  std::size_t bram_bits = 16'020 * 1024;  ///< on-chip memory budget
+  double static_power_w = 0.45;       ///< device static + clocking power
+  /// Dynamic power per DSP-equivalent unit at 1 Hz; calibrated so a fully
+  /// occupied 840-DSP design at 200 MHz draws ~9.8 W total.
+  double dynamic_power_per_unit_hz = 5.6e-11;
+};
+
+/// Resource usage of one instantiated EdgeHD design point.
+struct FpgaResources {
+  std::size_t dsp_used = 0;
+  std::uint64_t bram_bits_used = 0;
+  bool fits = true;  ///< within the configured fabric budget
+};
+
+/// Cycle/energy model of one EdgeHD design point: a fixed feature count n,
+/// hypervector dimension D, class count k, and encoder sparsity window.
+class FpgaModel {
+ public:
+  /// @param window  non-zeros per projection row ((1-s)*n of the sparse
+  ///                encoder); pass n for a dense design.
+  FpgaModel(FpgaConfig config, std::size_t num_features, std::size_t dim,
+            std::size_t num_classes, std::size_t window);
+
+  const FpgaConfig& config() const noexcept { return config_; }
+  std::size_t dim() const noexcept { return dim_; }
+
+  // ---- cycle counts ------------------------------------------------------
+
+  /// Cycles to encode one feature vector: D rows of `window` MACs spread
+  /// over the DSP array, plus tree-adder and cosine-LUT pipeline depth.
+  std::uint64_t encode_cycles() const;
+
+  /// Cycles for one associative search (query vs k class hypervectors):
+  /// negation block + tree adder over `adder_lanes`, plus the comparator.
+  std::uint64_t search_cycles() const;
+
+  /// Cycles to fold one hypervector into a residual accumulator (initial
+  /// training / online learning) — D adds over the adder lanes.
+  std::uint64_t accumulate_cycles() const;
+
+  /// Cycles to apply residuals to the model (Figure 6(E)) — k*D adds plus
+  /// the per-class renormalization pass.
+  std::uint64_t model_update_cycles() const;
+
+  /// Cycles to process one training sample in the unified pipeline:
+  /// encode + search + (bounded) residual accumulation.
+  std::uint64_t train_sample_cycles() const;
+
+  /// Cycles to process one inference: encode + search.
+  std::uint64_t infer_sample_cycles() const;
+
+  // ---- conversions ---------------------------------------------------------
+
+  net::SimTime cycles_to_time(std::uint64_t cycles) const;
+  double power_w() const;
+  double energy_j(std::uint64_t cycles) const;
+
+  /// Resource estimate for this design point.
+  FpgaResources resources() const;
+
+  /// Collapses the model into an effective Platform (MACs/s + power) usable
+  /// by the network simulator's compute calls.
+  net::Platform as_platform(std::string name) const;
+
+ private:
+  std::size_t occupied_dsps() const;
+
+  FpgaConfig config_;
+  std::size_t num_features_;
+  std::size_t dim_;
+  std::size_t num_classes_;
+  std::size_t window_;
+};
+
+/// The centralized full-dimension design point of Section VI (D = 4000,
+/// sparsity 0.8) on the default fabric.
+FpgaModel central_design(std::size_t num_features, std::size_t dim,
+                         std::size_t num_classes);
+
+/// A per-node design point: a reduced-dimension instance on a small,
+/// clocked-down fabric slice, matching the paper's 0.28 W per-node figure.
+FpgaModel edge_design(std::size_t num_features, std::size_t dim,
+                      std::size_t num_classes);
+
+}  // namespace edgehd::fpga

@@ -1,0 +1,175 @@
+#include "classifier.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgehd::hdc {
+
+std::vector<double> softmax(std::span<const double> values, double beta) {
+  std::vector<double> out(values.size());
+  if (values.empty()) return out;
+  const double max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = std::exp(beta * (values[i] - max));
+    sum += out[i];
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+HDClassifier::HDClassifier(std::size_t num_classes, std::size_t dim,
+                           ClassifierConfig config)
+    : dim_(dim), config_(config) {
+  if (num_classes < 2) {
+    throw std::invalid_argument("HDClassifier: need at least two classes");
+  }
+  if (dim == 0) {
+    throw std::invalid_argument("HDClassifier: dimensionality must be positive");
+  }
+  classes_.assign(num_classes, AccumHV(dim_, 0));
+  residuals_.assign(num_classes, AccumHV(dim_, 0));
+}
+
+void HDClassifier::check_label(std::size_t label) const {
+  if (label >= classes_.size()) {
+    throw std::out_of_range("HDClassifier: label out of range");
+  }
+}
+
+void HDClassifier::add_sample(std::size_t label,
+                              std::span<const std::int8_t> hv) {
+  check_label(label);
+  bundle_into(classes_[label], hv);
+}
+
+void HDClassifier::add_accumulator(std::size_t label,
+                                   std::span<const std::int32_t> acc) {
+  check_label(label);
+  accumulate(classes_[label], acc);
+}
+
+std::size_t HDClassifier::retrain_epoch(std::span<const BipolarHV> hvs,
+                                        std::span<const std::size_t> labels) {
+  assert(hvs.size() == labels.size());
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < hvs.size(); ++i) {
+    const auto sims = similarities(hvs[i]);
+    const auto best = static_cast<std::size_t>(
+        std::max_element(sims.begin(), sims.end()) - sims.begin());
+    if (best != labels[i]) {
+      ++errors;
+      bundle_into(classes_[labels[i]], hvs[i]);
+      unbundle_from(classes_[best], hvs[i]);
+    }
+  }
+  return errors;
+}
+
+std::size_t HDClassifier::retrain(std::span<const BipolarHV> hvs,
+                                  std::span<const std::size_t> labels) {
+  std::size_t errors = 0;
+  for (std::size_t e = 0; e < config_.retrain_epochs; ++e) {
+    errors = retrain_epoch(hvs, labels);
+    if (errors == 0) break;
+  }
+  return errors;
+}
+
+std::vector<double> HDClassifier::similarities(
+    std::span<const std::int8_t> query) const {
+  assert(query.size() == dim_);
+  std::vector<double> sims(classes_.size());
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    sims[c] = cosine(query, classes_[c]);
+  }
+  return sims;
+}
+
+Prediction HDClassifier::predict(std::span<const std::int8_t> query) const {
+  Prediction p;
+  p.similarities = similarities(query);
+  const auto best = std::max_element(p.similarities.begin(), p.similarities.end());
+  p.label = static_cast<std::size_t>(best - p.similarities.begin());
+  const auto probs = softmax(p.similarities, config_.softmax_beta);
+  p.confidence = probs[p.label];
+  return p;
+}
+
+double HDClassifier::accuracy(std::span<const BipolarHV> hvs,
+                              std::span<const std::size_t> labels) const {
+  assert(hvs.size() == labels.size());
+  if (hvs.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < hvs.size(); ++i) {
+    const auto sims = similarities(hvs[i]);
+    const auto best = static_cast<std::size_t>(
+        std::max_element(sims.begin(), sims.end()) - sims.begin());
+    if (best == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(hvs.size());
+}
+
+void HDClassifier::feedback_negative(std::size_t predicted_label,
+                                     std::span<const std::int8_t> query) {
+  check_label(predicted_label);
+  bundle_into(residuals_[predicted_label], query);
+}
+
+void HDClassifier::apply_residuals() {
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    deaccumulate(classes_[c], residuals_[c]);
+    std::fill(residuals_[c].begin(), residuals_[c].end(), 0);
+  }
+}
+
+std::vector<AccumHV> HDClassifier::take_residuals() {
+  std::vector<AccumHV> out = residuals_;
+  for (auto& r : residuals_) std::fill(r.begin(), r.end(), 0);
+  return out;
+}
+
+void HDClassifier::apply_external_residuals(std::span<const AccumHV> residuals) {
+  if (residuals.size() != classes_.size()) {
+    throw std::invalid_argument(
+        "HDClassifier: residual count must equal class count");
+  }
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    deaccumulate(classes_[c], residuals[c]);
+  }
+}
+
+bool HDClassifier::has_pending_residuals() const noexcept {
+  for (const auto& r : residuals_) {
+    for (std::int32_t v : r) {
+      if (v != 0) return true;
+    }
+  }
+  return false;
+}
+
+const AccumHV& HDClassifier::class_accumulator(std::size_t label) const {
+  check_label(label);
+  return classes_[label];
+}
+
+void HDClassifier::set_class_accumulator(std::size_t label, AccumHV acc) {
+  check_label(label);
+  if (acc.size() != dim_) {
+    throw std::invalid_argument("HDClassifier: accumulator dimension mismatch");
+  }
+  classes_[label] = std::move(acc);
+}
+
+void HDClassifier::merge(const HDClassifier& other) {
+  if (other.num_classes() != num_classes() || other.dim() != dim()) {
+    throw std::invalid_argument("HDClassifier: merge shape mismatch");
+  }
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    accumulate(classes_[c], other.classes_[c]);
+  }
+}
+
+}  // namespace edgehd::hdc

@@ -1,0 +1,131 @@
+// Class-hypervector classifier (paper Sections III-B and IV-D).
+//
+// Training bundles each class's encoded hypervectors into one integer
+// accumulator per class ("class hypervector"). Retraining is the paper's
+// perceptron-style pass: misclassified samples are added to the correct
+// class and subtracted from the wrongly matched class, for a fixed number of
+// epochs (20 suffices on every tested dataset, per the paper). Inference is
+// nearest class hypervector by cosine similarity; a softmax over the
+// similarities gives the confidence level used to route queries through the
+// hierarchy. Online learning accumulates negative-feedback queries in
+// per-class residual hypervectors that are applied (and propagated) in bulk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hypervector.hpp"
+
+namespace edgehd::hdc {
+
+/// Result of one inference.
+struct Prediction {
+  std::size_t label = 0;             ///< index of the most similar class
+  double confidence = 0.0;           ///< softmax weight of the winning class
+  std::vector<double> similarities;  ///< cosine similarity per class
+};
+
+/// Tunables for HDClassifier.
+struct ClassifierConfig {
+  /// Softmax inverse temperature applied to cosine similarities when
+  /// computing confidence. Cosine gaps between classes are small in high
+  /// dimension, so a sharpening factor makes the confidence threshold
+  /// (paper default 0.75) discriminative.
+  double softmax_beta = 64.0;
+  /// Retraining epochs ("repeating 20 iterations yields sufficient
+  /// convergence for all the tested datasets").
+  std::size_t retrain_epochs = 20;
+};
+
+/// Multi-class classifier over bipolar hypervectors.
+class HDClassifier {
+ public:
+  HDClassifier(std::size_t num_classes, std::size_t dim,
+               ClassifierConfig config = {});
+
+  std::size_t num_classes() const noexcept { return classes_.size(); }
+  std::size_t dim() const noexcept { return dim_; }
+  const ClassifierConfig& config() const noexcept { return config_; }
+
+  // ---- initial training -------------------------------------------------
+
+  /// Bundles one encoded training sample into its class hypervector.
+  void add_sample(std::size_t label, std::span<const std::int8_t> hv);
+
+  /// Bundles a pre-accumulated hypervector (e.g. a batch hypervector or a
+  /// child node's class hypervector) into a class accumulator.
+  void add_accumulator(std::size_t label, std::span<const std::int32_t> acc);
+
+  // ---- retraining --------------------------------------------------------
+
+  /// One perceptron pass over (hvs, labels): for each misclassified sample,
+  /// adds it to the correct class and subtracts it from the predicted one.
+  /// Returns the number of misclassifications observed during the pass.
+  std::size_t retrain_epoch(std::span<const BipolarHV> hvs,
+                            std::span<const std::size_t> labels);
+
+  /// Runs retrain_epoch for config().retrain_epochs passes (or until an
+  /// epoch makes no mistakes). Returns errors in the final epoch.
+  std::size_t retrain(std::span<const BipolarHV> hvs,
+                      std::span<const std::size_t> labels);
+
+  // ---- inference ---------------------------------------------------------
+
+  /// Cosine similarity of `query` to every class hypervector.
+  std::vector<double> similarities(std::span<const std::int8_t> query) const;
+
+  /// Full prediction with confidence.
+  Prediction predict(std::span<const std::int8_t> query) const;
+
+  /// Fraction of (hvs, labels) classified correctly.
+  double accuracy(std::span<const BipolarHV> hvs,
+                  std::span<const std::size_t> labels) const;
+
+  // ---- online learning (negative feedback, Section IV-D) -----------------
+
+  /// Records negative feedback: the model predicted `predicted_label` for
+  /// `query` and the user rejected it. The query is bundled into the residual
+  /// hypervector of the rejected class; nothing changes until residuals are
+  /// applied.
+  void feedback_negative(std::size_t predicted_label,
+                         std::span<const std::int8_t> query);
+
+  /// Applies local residuals (subtracts them from the class hypervectors)
+  /// and clears them. Mirrors step (2) of Figure 5b.
+  void apply_residuals();
+
+  /// Moves the residual hypervectors out (leaving zeros), for propagation to
+  /// the parent node — step (3) of Figure 5b.
+  std::vector<AccumHV> take_residuals();
+
+  /// Subtracts externally supplied residuals (e.g. hierarchically encoded
+  /// residuals from children) from the class hypervectors.
+  void apply_external_residuals(std::span<const AccumHV> residuals);
+
+  /// True if any residual component is non-zero.
+  bool has_pending_residuals() const noexcept;
+
+  // ---- model access (hierarchy aggregation, serialization) ---------------
+
+  const AccumHV& class_accumulator(std::size_t label) const;
+  void set_class_accumulator(std::size_t label, AccumHV acc);
+
+  /// Adds another classifier's class hypervectors into this model
+  /// (dimension-preserving aggregation, e.g. STAR-topology merging).
+  void merge(const HDClassifier& other);
+
+ private:
+  void check_label(std::size_t label) const;
+
+  std::size_t dim_;
+  ClassifierConfig config_;
+  std::vector<AccumHV> classes_;    // one accumulator per class
+  std::vector<AccumHV> residuals_;  // online-learning residual per class
+};
+
+/// Softmax of `values` scaled by `beta`, returned as probabilities.
+std::vector<double> softmax(std::span<const double> values, double beta);
+
+}  // namespace edgehd::hdc

@@ -1,0 +1,69 @@
+#include "compress.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "random.hpp"
+
+namespace edgehd::hdc {
+
+HvCompressor::HvCompressor(std::size_t dim, std::size_t capacity,
+                           std::uint64_t seed)
+    : dim_(dim), capacity_(capacity) {
+  if (dim == 0 || capacity == 0) {
+    throw std::invalid_argument("HvCompressor: dim and capacity must be positive");
+  }
+  Rng rng(derive_seed(seed, 0));
+  positions_ = rng.sign_vector(dim_ * capacity_);
+}
+
+std::span<const std::int8_t> HvCompressor::position(std::size_t i) const {
+  if (i >= capacity_) {
+    throw std::out_of_range("HvCompressor: position index out of range");
+  }
+  return {positions_.data() + i * dim_, dim_};
+}
+
+AccumHV HvCompressor::compress(std::span<const BipolarHV> hvs) const {
+  if (hvs.size() > capacity_) {
+    throw std::invalid_argument("HvCompressor: bundle exceeds capacity");
+  }
+  AccumHV out(dim_, 0);
+  for (std::size_t i = 0; i < hvs.size(); ++i) {
+    assert(hvs[i].size() == dim_);
+    const std::int8_t* p = positions_.data() + i * dim_;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      out[d] += p[d] * hvs[i][d];
+    }
+  }
+  return out;
+}
+
+BipolarHV HvCompressor::decompress(std::span<const std::int32_t> compressed,
+                                   std::size_t i) const {
+  assert(compressed.size() == dim_);
+  if (i >= capacity_) {
+    throw std::out_of_range("HvCompressor: member index out of range");
+  }
+  const std::int8_t* p = positions_.data() + i * dim_;
+  BipolarHV out(dim_);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    // Unbinding: P_i * P_i = 1 restores the signal term, other members stay
+    // key-scrambled and act as zero-mean noise.
+    const std::int32_t v = compressed[d] * p[d];
+    out[d] = v < 0 ? std::int8_t{-1} : std::int8_t{1};
+  }
+  return out;
+}
+
+double HvCompressor::expected_bit_error(std::size_t k) {
+  if (k <= 1) return 0.0;
+  // Cross-talk noise per component is a sum of k-1 fair +-1 terms; a sign
+  // flip needs |noise| to exceed the unit signal. Gaussian approximation of
+  // the tail: P(flip) ~= 1 - Phi(1 / sqrt(k-1)).
+  const double z = 1.0 / std::sqrt(static_cast<double>(k - 1));
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+}  // namespace edgehd::hdc

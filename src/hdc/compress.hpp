@@ -1,0 +1,59 @@
+// Hypervector compression by position-keyed superposition
+// (paper Section IV-C, Eq. 3–4).
+//
+// m hypervectors are folded into a single accumulator
+//     H = P_1 * H_1 + P_2 * H_2 + ... + P_m * H_m
+// where the position hypervectors P_i are random bipolar keys. Random keys
+// are nearly orthogonal in high dimension, so unbinding with P_i recovers
+// H_i plus cross-talk noise from the other m-1 terms; the noise grows with
+// m, which is the compression-rate ↔ fidelity trade-off the paper sweeps
+// (default m = 25).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hypervector.hpp"
+
+namespace edgehd::hdc {
+
+/// Compresses batches of up to `capacity` bipolar hypervectors into one
+/// integer hypervector, and recovers individual members.
+class HvCompressor {
+ public:
+  /// @param dim      hypervector dimensionality D
+  /// @param capacity maximum number m of hypervectors per compressed bundle
+  /// @param seed     seed for the position hypervectors (sender and receiver
+  ///                 construct identical compressors from the shared seed,
+  ///                 so only the compressed accumulator crosses the network)
+  HvCompressor(std::size_t dim, std::size_t capacity, std::uint64_t seed);
+
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Position hypervector P_i.
+  std::span<const std::int8_t> position(std::size_t i) const;
+
+  /// Compresses hvs[0..k) (k <= capacity) into a single accumulator.
+  AccumHV compress(std::span<const BipolarHV> hvs) const;
+
+  /// Recovers the i-th member of a compressed accumulator:
+  /// sign(H * P_i). Exact when only one member was compressed; otherwise the
+  /// recovery carries cross-talk noise that shrinks as D/m grows.
+  BipolarHV decompress(std::span<const std::int32_t> compressed,
+                       std::size_t i) const;
+
+  /// Expected per-component recovery error probability for a bundle of k
+  /// members: P(|noise| > 1) where noise is the sum of k-1 fair ±1 terms,
+  /// approximated by the Gaussian tail 1 - Phi(1/sqrt(k-1)). Used by tests
+  /// and the compression ablation to sanity-check measured error rates.
+  static double expected_bit_error(std::size_t k);
+
+ private:
+  std::size_t dim_;
+  std::size_t capacity_;
+  std::vector<std::int8_t> positions_;  // capacity x dim
+};
+
+}  // namespace edgehd::hdc

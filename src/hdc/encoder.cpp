@@ -1,0 +1,194 @@
+#include "encoder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "random.hpp"
+
+namespace edgehd::hdc {
+
+namespace {
+
+constexpr float kTwoPi = 2.0F * std::numbers::pi_v<float>;
+
+}  // namespace
+
+RealHV Encoder::encode_real(std::span<const float> features) const {
+  const BipolarHV hv = encode(features);
+  RealHV out(hv.size());
+  std::transform(hv.begin(), hv.end(), out.begin(),
+                 [](std::int8_t v) { return static_cast<float>(v); });
+  return out;
+}
+
+// ---------------------------------------------------------------- RbfEncoder
+
+RbfEncoder::RbfEncoder(std::size_t input_dim, std::size_t dim,
+                       std::uint64_t seed, float length_scale, RbfForm form)
+    : input_dim_(input_dim), dim_(dim), form_(form) {
+  if (input_dim == 0 || dim == 0) {
+    throw std::invalid_argument("RbfEncoder: dimensions must be positive");
+  }
+  if (length_scale < 0.0F) {
+    throw std::invalid_argument("RbfEncoder: length_scale must be >= 0");
+  }
+  if (length_scale == 0.0F) {
+    // 2*sqrt(n) keeps the kernel wide enough to average out per-feature
+    // noise while still resolving feature interactions (validated across the
+    // Table-I workloads; see bench_ablation_encoding).
+    length_scale = 2.0F * std::sqrt(static_cast<float>(input_dim));
+  }
+  Rng proj_rng(derive_seed(seed, 0));
+  Rng bias_rng(derive_seed(seed, 1));
+  const float scale = 1.0F / length_scale;
+  projection_.resize(dim_ * input_dim_);
+  for (auto& w : projection_) w = proj_rng.gaussian() * scale;
+  bias_.resize(dim_);
+  for (auto& b : bias_) b = bias_rng.uniform(0.0F, kTwoPi);
+}
+
+RealHV RbfEncoder::encode_real(std::span<const float> features) const {
+  assert(features.size() == input_dim_);
+  RealHV out(dim_);
+  const float amp = std::sqrt(2.0F / static_cast<float>(dim_));
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const float* row = projection_.data() + i * input_dim_;
+    float proj = 0.0F;
+    for (std::size_t j = 0; j < input_dim_; ++j) proj += row[j] * features[j];
+    out[i] = form_ == RbfForm::kCosSin
+                 ? std::cos(proj + bias_[i]) * std::sin(proj)
+                 : amp * std::cos(proj + bias_[i]);
+  }
+  return out;
+}
+
+BipolarHV RbfEncoder::encode(std::span<const float> features) const {
+  return binarize(encode_real(features));
+}
+
+// ---------------------------------------------------------- SparseRbfEncoder
+
+SparseRbfEncoder::SparseRbfEncoder(std::size_t input_dim, std::size_t dim,
+                                   std::uint64_t seed, float sparsity,
+                                   float length_scale)
+    : input_dim_(input_dim), dim_(dim) {
+  if (input_dim == 0 || dim == 0) {
+    throw std::invalid_argument("SparseRbfEncoder: dimensions must be positive");
+  }
+  if (sparsity < 0.0F || sparsity >= 1.0F) {
+    throw std::invalid_argument("SparseRbfEncoder: sparsity must be in [0, 1)");
+  }
+  if (length_scale < 0.0F) {
+    throw std::invalid_argument("SparseRbfEncoder: length_scale must be >= 0");
+  }
+  const auto raw =
+      static_cast<std::size_t>(std::lround((1.0F - sparsity) * input_dim));
+  window_ = std::clamp<std::size_t>(raw, 1, input_dim_);
+  if (length_scale == 0.0F) {
+    length_scale = 2.0F * std::sqrt(static_cast<float>(window_));
+  }
+
+  Rng w_rng(derive_seed(seed, 0));
+  Rng b_rng(derive_seed(seed, 1));
+  Rng s_rng(derive_seed(seed, 2));
+  const float scale = 1.0F / length_scale;
+  weights_.resize(dim_ * window_);
+  for (auto& w : weights_) w = w_rng.gaussian() * scale;
+  bias_.resize(dim_);
+  for (auto& b : bias_) b = b_rng.uniform(0.0F, kTwoPi);
+  start_.resize(dim_);
+  for (auto& s : start_) s = static_cast<std::uint32_t>(s_rng.index(input_dim_));
+}
+
+RealHV SparseRbfEncoder::encode_real(std::span<const float> features) const {
+  assert(features.size() == input_dim_);
+  RealHV out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const float* row = weights_.data() + i * window_;
+    std::size_t f = start_[i];
+    float proj = 0.0F;
+    for (std::size_t j = 0; j < window_; ++j) {
+      proj += row[j] * features[f];
+      if (++f == input_dim_) f = 0;  // contiguous window, wrapping
+    }
+    out[i] = std::cos(proj + bias_[i]) * std::sin(proj);
+  }
+  return out;
+}
+
+BipolarHV SparseRbfEncoder::encode(std::span<const float> features) const {
+  return binarize(encode_real(features));
+}
+
+// --------------------------------------------------------- LinearLevelEncoder
+
+LinearLevelEncoder::LinearLevelEncoder(std::size_t input_dim, std::size_t dim,
+                                       std::uint64_t seed, std::size_t levels,
+                                       float lo, float hi)
+    : input_dim_(input_dim), dim_(dim), levels_(levels), lo_(lo), hi_(hi) {
+  if (input_dim == 0 || dim == 0 || levels < 2) {
+    throw std::invalid_argument(
+        "LinearLevelEncoder: need positive dims and >= 2 levels");
+  }
+  if (!(lo < hi)) {
+    throw std::invalid_argument("LinearLevelEncoder: require lo < hi");
+  }
+  Rng id_rng(derive_seed(seed, 0));
+  ids_.resize(input_dim_ * dim_);
+  for (auto& v : ids_) v = id_rng.sign();
+
+  // Correlated level hypervectors: start from a random HV and flip a fixed
+  // random subset of D/(levels-1) fresh positions per step, so hamming
+  // distance grows linearly with level separation.
+  levels_hv_.assign(levels_ * dim_, 0);
+  Rng lvl_rng(derive_seed(seed, 1));
+  std::vector<std::int8_t> current = lvl_rng.sign_vector(dim_);
+  std::copy(current.begin(), current.end(), levels_hv_.begin());
+  std::vector<std::size_t> order(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), lvl_rng.engine());
+  const std::size_t flips_per_step = dim_ / (levels_ - 1);
+  std::size_t cursor = 0;
+  for (std::size_t l = 1; l < levels_; ++l) {
+    for (std::size_t k = 0; k < flips_per_step && cursor < dim_; ++k, ++cursor) {
+      current[order[cursor]] = static_cast<std::int8_t>(-current[order[cursor]]);
+    }
+    std::copy(current.begin(), current.end(), levels_hv_.begin() + l * dim_);
+  }
+}
+
+BipolarHV LinearLevelEncoder::encode(std::span<const float> features) const {
+  assert(features.size() == input_dim_);
+  AccumHV acc(dim_, 0);
+  const float range = hi_ - lo_;
+  for (std::size_t f = 0; f < input_dim_; ++f) {
+    const float clamped = std::clamp(features[f], lo_, hi_);
+    const auto level = std::min<std::size_t>(
+        static_cast<std::size_t>((clamped - lo_) / range * (levels_ - 1) + 0.5F),
+        levels_ - 1);
+    const std::int8_t* id = ids_.data() + f * dim_;
+    const std::int8_t* lvl = levels_hv_.data() + level * dim_;
+    for (std::size_t i = 0; i < dim_; ++i) acc[i] += id[i] * lvl[i];
+  }
+  return binarize(acc);
+}
+
+// ---------------------------------------------------------------- factories
+
+std::unique_ptr<Encoder> make_encoder(EncoderKind kind, std::size_t input_dim,
+                                      std::size_t dim, std::uint64_t seed) {
+  switch (kind) {
+    case EncoderKind::kRbfDense:
+      return std::make_unique<RbfEncoder>(input_dim, dim, seed);
+    case EncoderKind::kRbfSparse:
+      return std::make_unique<SparseRbfEncoder>(input_dim, dim, seed);
+    case EncoderKind::kLinearLevel:
+      return std::make_unique<LinearLevelEncoder>(input_dim, dim, seed);
+  }
+  throw std::invalid_argument("make_encoder: unknown encoder kind");
+}
+
+}  // namespace edgehd::hdc

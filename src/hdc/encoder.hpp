@@ -1,0 +1,159 @@
+// Feature-space → hyperspace encoders (paper Section III-A and V-A).
+//
+// The paper's contribution on the encoding side is a *non-linear* universal
+// encoder built from random Fourier features: each output dimension is
+//
+//     h_i = cos(B_i · F + b_i) * sin(B_i · F)
+//
+// with B_i ~ N(0,1)^n and b_i ~ U(0, 2pi), binarized with sign() for
+// computation efficiency. Inner products of the (real, cos-form) encodings
+// approximate the Gaussian RBF kernel (Eq. 1–2), which is what lets a linear
+// class-hypervector model separate non-linearly separable data.
+//
+// Three encoder families live here:
+//  * RbfEncoder        — dense projection matrix, the reference encoder.
+//  * SparseRbfEncoder  — each projection row keeps only a contiguous window
+//                        of (1-s)*n non-zeros plus its start index, exactly
+//                        the storage layout of the FPGA design (Section V-A).
+//  * LinearLevelEncoder— the ID–level encoding of prior HD work [36]; kept as
+//                        the "baseline HD" comparator of Figure 7.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hypervector.hpp"
+
+namespace edgehd::hdc {
+
+/// Abstract feature-vector → hypervector encoder.
+///
+/// Implementations are immutable after construction: the random projection
+/// state is generated once from the seed and then shared by training and
+/// inference (the paper generates {B_1..B_D} "once offline").
+class Encoder {
+ public:
+  virtual ~Encoder() = default;
+
+  /// Dimensionality D of produced hypervectors.
+  virtual std::size_t dim() const noexcept = 0;
+
+  /// Expected input feature count n.
+  virtual std::size_t input_dim() const noexcept = 0;
+
+  /// Encodes a feature vector into a bipolar hypervector.
+  /// Precondition: features.size() == input_dim().
+  virtual BipolarHV encode(std::span<const float> features) const = 0;
+
+  /// Encodes into the pre-binarization real hypervector. The default forwards
+  /// to encode(); kernel-approximating encoders override it.
+  virtual RealHV encode_real(std::span<const float> features) const;
+};
+
+/// Kernel form used by RbfEncoder.
+enum class RbfForm : std::uint8_t {
+  /// h_i = cos(B_i·F + b_i) * sin(B_i·F) — the paper's production formula.
+  kCosSin,
+  /// h_i = sqrt(2/D) * cos(B_i·F + b_i) — the textbook RFF map of Eq. 2,
+  /// whose inner products converge to the RBF kernel; used by the kernel
+  /// approximation property tests and the encoding ablation.
+  kCos,
+};
+
+/// Dense random-Fourier-feature encoder approximating the RBF kernel.
+class RbfEncoder final : public Encoder {
+ public:
+  /// @param input_dim   feature count n
+  /// @param dim         hypervector dimensionality D
+  /// @param seed        master seed for B and b
+  /// @param length_scale  RBF length scale; projections are scaled by
+  ///                      1/length_scale, so larger values give smoother
+  ///                      (wider) kernels. Pass 0 (the default) to use
+  ///                      sqrt(n), which keeps the projected variance of
+  ///                      z-scored features at ~1 for any feature count.
+  /// @param form        kernel form (see RbfForm)
+  RbfEncoder(std::size_t input_dim, std::size_t dim, std::uint64_t seed,
+             float length_scale = 0.0F, RbfForm form = RbfForm::kCosSin);
+
+  std::size_t dim() const noexcept override { return dim_; }
+  std::size_t input_dim() const noexcept override { return input_dim_; }
+  BipolarHV encode(std::span<const float> features) const override;
+  RealHV encode_real(std::span<const float> features) const override;
+
+ private:
+  std::size_t input_dim_;
+  std::size_t dim_;
+  RbfForm form_;
+  std::vector<float> projection_;  // row-major D x n, pre-scaled by 1/w
+  std::vector<float> bias_;        // D values in [0, 2pi)
+};
+
+/// Sparse RFF encoder mirroring the FPGA weight-vector storage: row i of the
+/// projection holds `nonzeros` consecutive Gaussian values starting at a
+/// random feature index (wrapping around), everything else is zero. With
+/// sparsity s, nonzeros = max(1, round((1-s) * n)).
+class SparseRbfEncoder final : public Encoder {
+ public:
+  /// `length_scale` 0 (default) auto-selects sqrt(window), the scale that
+  /// keeps projected variance ~1 for z-scored features.
+  SparseRbfEncoder(std::size_t input_dim, std::size_t dim, std::uint64_t seed,
+                   float sparsity = 0.8F, float length_scale = 0.0F);
+
+  std::size_t dim() const noexcept override { return dim_; }
+  std::size_t input_dim() const noexcept override { return input_dim_; }
+  BipolarHV encode(std::span<const float> features) const override;
+  RealHV encode_real(std::span<const float> features) const override;
+
+  /// Non-zero window length per projection row.
+  std::size_t nonzeros_per_row() const noexcept { return window_; }
+
+  /// Multiplications needed per encoded dimension (== nonzeros_per_row());
+  /// the FPGA model uses this for DSP occupancy.
+  std::size_t macs_per_dim() const noexcept { return window_; }
+
+ private:
+  std::size_t input_dim_;
+  std::size_t dim_;
+  std::size_t window_;
+  std::vector<float> weights_;       // row-major D x window, pre-scaled
+  std::vector<std::uint32_t> start_; // start feature index per row
+  std::vector<float> bias_;
+};
+
+/// ID–level encoding of prior HD classifiers [36] (the Figure 7 "baseline
+/// HD"): feature values are quantized into `levels` correlated level
+/// hypervectors, bound with a random per-feature ID hypervector, and bundled.
+/// The map is linear in the level representation, which is exactly the
+/// weakness the paper's non-linear encoder addresses.
+class LinearLevelEncoder final : public Encoder {
+ public:
+  /// @param lo,hi  expected feature range for quantization; values outside
+  ///               are clamped.
+  LinearLevelEncoder(std::size_t input_dim, std::size_t dim, std::uint64_t seed,
+                     std::size_t levels = 32, float lo = -3.0F, float hi = 3.0F);
+
+  std::size_t dim() const noexcept override { return dim_; }
+  std::size_t input_dim() const noexcept override { return input_dim_; }
+  BipolarHV encode(std::span<const float> features) const override;
+
+  std::size_t levels() const noexcept { return levels_; }
+
+ private:
+  std::size_t input_dim_;
+  std::size_t dim_;
+  std::size_t levels_;
+  float lo_;
+  float hi_;
+  std::vector<std::int8_t> ids_;     // input_dim x dim bipolar ID hypervectors
+  std::vector<std::int8_t> levels_hv_;  // levels x dim correlated level HVs
+};
+
+/// Factory helpers so callers can pick encoders by name (used by benches).
+enum class EncoderKind : std::uint8_t { kRbfDense, kRbfSparse, kLinearLevel };
+
+std::unique_ptr<Encoder> make_encoder(EncoderKind kind, std::size_t input_dim,
+                                      std::size_t dim, std::uint64_t seed);
+
+}  // namespace edgehd::hdc

@@ -1,0 +1,147 @@
+#include "serialize.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "wire.hpp"
+
+namespace edgehd::hdc {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic{'E', 'H', 'D', '1'};
+constexpr std::uint8_t kTagBipolar = 0x01;
+constexpr std::uint8_t kTagAccum = 0x02;
+constexpr std::uint8_t kTagClassifier = 0x03;
+
+template <typename T>
+void write_le(std::ostream& out, T value) {
+  std::array<unsigned char, sizeof(T)> bytes;
+  std::memcpy(bytes.data(), &value, sizeof(T));
+  // The build targets little-endian platforms; memcpy preserves that.
+  out.write(reinterpret_cast<const char*>(bytes.data()), sizeof(T));
+}
+
+template <typename T>
+T read_le(std::istream& in) {
+  std::array<unsigned char, sizeof(T)> bytes;
+  in.read(reinterpret_cast<char*>(bytes.data()), sizeof(T));
+  if (!in) {
+    throw std::runtime_error("edgehd::serialize: truncated payload");
+  }
+  T value;
+  std::memcpy(&value, bytes.data(), sizeof(T));
+  return value;
+}
+
+void write_header(std::ostream& out, std::uint8_t tag) {
+  out.write(kMagic.data(), kMagic.size());
+  write_le(out, tag);
+}
+
+void expect_header(std::istream& in, std::uint8_t tag) {
+  std::array<char, 4> magic;
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("edgehd::serialize: bad magic");
+  }
+  const auto got = read_le<std::uint8_t>(in);
+  if (got != tag) {
+    throw std::runtime_error("edgehd::serialize: unexpected record tag");
+  }
+}
+
+void write_accum_payload(std::ostream& out, const AccumHV& acc) {
+  write_le(out, static_cast<std::uint64_t>(acc.size()));
+  for (const std::int32_t v : acc) write_le(out, v);
+}
+
+AccumHV read_accum_payload(std::istream& in) {
+  const auto dim = read_le<std::uint64_t>(in);
+  AccumHV acc(dim);
+  for (auto& v : acc) v = read_le<std::int32_t>(in);
+  return acc;
+}
+
+}  // namespace
+
+void save(std::ostream& out, const BipolarHV& hv) {
+  write_header(out, kTagBipolar);
+  write_le(out, static_cast<std::uint64_t>(hv.size()));
+  const auto packed = pack_bipolar(hv);
+  out.write(reinterpret_cast<const char*>(packed.data()),
+            static_cast<std::streamsize>(packed.size()));
+}
+
+BipolarHV load_bipolar(std::istream& in) {
+  expect_header(in, kTagBipolar);
+  const auto dim = read_le<std::uint64_t>(in);
+  std::vector<std::uint8_t> packed(wire_bytes_bipolar(dim));
+  in.read(reinterpret_cast<char*>(packed.data()),
+          static_cast<std::streamsize>(packed.size()));
+  if (!in) {
+    throw std::runtime_error("edgehd::serialize: truncated bipolar payload");
+  }
+  return unpack_bipolar(packed, dim);
+}
+
+void save(std::ostream& out, const AccumHV& acc) {
+  write_header(out, kTagAccum);
+  write_accum_payload(out, acc);
+}
+
+AccumHV load_accum(std::istream& in) {
+  expect_header(in, kTagAccum);
+  return read_accum_payload(in);
+}
+
+void save(std::ostream& out, const HDClassifier& clf) {
+  write_header(out, kTagClassifier);
+  write_le(out, static_cast<std::uint64_t>(clf.num_classes()));
+  write_le(out, static_cast<std::uint64_t>(clf.dim()));
+  write_le(out, clf.config().softmax_beta);
+  write_le(out, static_cast<std::uint64_t>(clf.config().retrain_epochs));
+  for (std::size_t c = 0; c < clf.num_classes(); ++c) {
+    write_accum_payload(out, clf.class_accumulator(c));
+  }
+}
+
+HDClassifier load_classifier(std::istream& in) {
+  expect_header(in, kTagClassifier);
+  const auto classes = read_le<std::uint64_t>(in);
+  const auto dim = read_le<std::uint64_t>(in);
+  ClassifierConfig cfg;
+  cfg.softmax_beta = read_le<double>(in);
+  cfg.retrain_epochs = read_le<std::uint64_t>(in);
+  HDClassifier clf(classes, dim, cfg);
+  for (std::size_t c = 0; c < classes; ++c) {
+    auto acc = read_accum_payload(in);
+    if (acc.size() != dim) {
+      throw std::runtime_error("edgehd::serialize: class accum dim mismatch");
+    }
+    clf.set_class_accumulator(c, std::move(acc));
+  }
+  return clf;
+}
+
+void save_classifier_file(const std::string& path, const HDClassifier& clf) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("edgehd::serialize: cannot open " + path);
+  }
+  save(out, clf);
+}
+
+HDClassifier load_classifier_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("edgehd::serialize: cannot open " + path);
+  }
+  return load_classifier(in);
+}
+
+}  // namespace edgehd::hdc

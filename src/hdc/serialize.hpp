@@ -1,0 +1,43 @@
+// Binary serialization of hypervectors and trained models.
+//
+// Model exchange is the core network operation of EdgeHD — children upload
+// class hypervectors, parents push updated models down — so the library
+// ships a compact, versioned binary format usable both for network framing
+// and for persisting trained models to disk. Bipolar hypervectors travel
+// packed at 1 bit/dimension; accumulators as little-endian int32.
+//
+// Format (all integers little-endian):
+//   [magic "EHD1"] [tag u8] [payload...]
+// tags: 0x01 bipolar hv  (u64 dim, packed bits)
+//       0x02 accum hv    (u64 dim, i32 * dim)
+//       0x03 classifier  (u64 classes, u64 dim, f64 beta, u64 epochs,
+//                         then classes accum payloads)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "classifier.hpp"
+#include "hypervector.hpp"
+
+namespace edgehd::hdc {
+
+/// Writes a bipolar hypervector (bit-packed).
+void save(std::ostream& out, const BipolarHV& hv);
+/// Writes an integer accumulator hypervector.
+void save(std::ostream& out, const AccumHV& acc);
+/// Writes a trained classifier (class hypervectors + config; pending
+/// residuals are NOT serialized — apply or take them first).
+void save(std::ostream& out, const HDClassifier& clf);
+
+/// Reads back what the corresponding save() wrote. Throws
+/// std::runtime_error on bad magic, wrong tag or truncated payload.
+BipolarHV load_bipolar(std::istream& in);
+AccumHV load_accum(std::istream& in);
+HDClassifier load_classifier(std::istream& in);
+
+/// Convenience: file-path wrappers around the stream API.
+void save_classifier_file(const std::string& path, const HDClassifier& clf);
+HDClassifier load_classifier_file(const std::string& path);
+
+}  // namespace edgehd::hdc

@@ -1,0 +1,74 @@
+#include "spatial_encoder.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "random.hpp"
+
+namespace edgehd::hdc {
+
+SpatialEncoder::SpatialEncoder(std::size_t width, std::size_t height,
+                               std::size_t dim, std::uint64_t seed,
+                               float length_scale)
+    : width_(width), height_(height), dim_(dim) {
+  if (width == 0 || height == 0 || dim == 0) {
+    throw std::invalid_argument("SpatialEncoder: dimensions must be positive");
+  }
+  if (length_scale <= 0.0F) {
+    throw std::invalid_argument("SpatialEncoder: length_scale must be positive");
+  }
+  inv_scale_ = 1.0F / length_scale;
+  Rng x_rng(derive_seed(seed, 0));
+  Rng y_rng(derive_seed(seed, 1));
+  theta_x_ = x_rng.gaussian_vector(dim_);
+  theta_y_ = y_rng.gaussian_vector(dim_);
+}
+
+PhasorHV SpatialEncoder::position(float x, float y) const {
+  PhasorHV out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    // B_x^x * B_y^y = e^{i (x*theta_x + y*theta_y) / w}
+    const float phase = (x * theta_x_[i] + y * theta_y_[i]) * inv_scale_;
+    out[i] = std::polar(1.0F, phase);
+  }
+  return out;
+}
+
+PhasorHV SpatialEncoder::encode(std::span<const float> pixels) const {
+  assert(pixels.size() == width_ * height_);
+  PhasorHV acc(dim_, {0.0F, 0.0F});
+  for (std::size_t y = 0; y < height_; ++y) {
+    for (std::size_t x = 0; x < width_; ++x) {
+      const float value = pixels[y * width_ + x];
+      if (value == 0.0F) continue;  // sparse images (e.g. digits) skip fast
+      for (std::size_t i = 0; i < dim_; ++i) {
+        const float phase =
+            (static_cast<float>(x) * theta_x_[i] + static_cast<float>(y) * theta_y_[i]) *
+            inv_scale_;
+        acc[i] += value * std::polar(1.0F, phase);
+      }
+    }
+  }
+  return acc;
+}
+
+BipolarHV SpatialEncoder::binarize_real(const PhasorHV& hv) {
+  BipolarHV out(hv.size());
+  for (std::size_t i = 0; i < hv.size(); ++i) {
+    out[i] = hv[i].real() < 0.0F ? std::int8_t{-1} : std::int8_t{1};
+  }
+  return out;
+}
+
+double SpatialEncoder::similarity(const PhasorHV& a, const PhasorHV& b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += static_cast<double>((a[i] * std::conj(b[i])).real());
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+}  // namespace edgehd::hdc

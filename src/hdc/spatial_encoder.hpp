@@ -1,0 +1,68 @@
+// Fractional-power ("phasor") spatial encoder for 2-D images
+// (paper Section III-A, opening construction).
+//
+// Axis base hypervectors are unit phasors B_x = e^{i*theta_x / w_x} with
+// theta ~ N(0,1)^D. Raising a base to the (real) power X rotates each phase
+// by X*theta/w, and the expected inner product between two positions
+// converges, as D grows, to the Gaussian kernel of their distance:
+//
+//   <B_x^X1, B_x^X2> / D  →  k((X1 - X2)/w_x).
+//
+// A pixel at (X, Y) is represented by the binding B_x^X * B_y^Y (element-wise
+// complex product), weighted by its value, and the image hypervector is the
+// bundle (sum) over pixels. Nearby pixels therefore stay correlated, which
+// preserves spatial structure through the encoding.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hypervector.hpp"
+
+namespace edgehd::hdc {
+
+/// Complex (phasor) hypervector.
+using PhasorHV = std::vector<std::complex<float>>;
+
+/// Fractional-power encoder over a 2-D pixel grid.
+class SpatialEncoder {
+ public:
+  /// @param width,height image size in pixels
+  /// @param dim          hypervector dimensionality D
+  /// @param seed         master seed for the axis phase vectors
+  /// @param length_scale kernel length scale w (same for both axes)
+  SpatialEncoder(std::size_t width, std::size_t height, std::size_t dim,
+                 std::uint64_t seed, float length_scale = 1.0F);
+
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t width() const noexcept { return width_; }
+  std::size_t height() const noexcept { return height_; }
+
+  /// Phasor hypervector for position (x, y); accepts fractional coordinates.
+  PhasorHV position(float x, float y) const;
+
+  /// Encodes a row-major image of width*height pixel values into the bundled
+  /// phasor hypervector V_F = sum_{X,Y} P_{X,Y} * B_x^X * B_y^Y.
+  PhasorHV encode(std::span<const float> pixels) const;
+
+  /// Binarizes a phasor hypervector by the sign of its real part, producing
+  /// the bipolar form used by the classifier.
+  static BipolarHV binarize_real(const PhasorHV& hv);
+
+  /// Normalized inner product Re(<a, conj(b)>) / D between two phasor
+  /// hypervectors; for position hypervectors this approximates the Gaussian
+  /// kernel of their distance.
+  static double similarity(const PhasorHV& a, const PhasorHV& b);
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::size_t dim_;
+  float inv_scale_;
+  std::vector<float> theta_x_;  // D phases for the x axis
+  std::vector<float> theta_y_;  // D phases for the y axis
+};
+
+}  // namespace edgehd::hdc

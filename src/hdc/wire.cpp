@@ -1,0 +1,48 @@
+#include "wire.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace edgehd::hdc {
+
+std::uint32_t bits_for_magnitude(std::int64_t max_magnitude) noexcept {
+  if (max_magnitude < 0) max_magnitude = -max_magnitude;
+  std::uint32_t bits = 1;  // sign bit
+  std::uint64_t m = static_cast<std::uint64_t>(max_magnitude);
+  while (m != 0) {
+    ++bits;
+    m >>= 1;
+  }
+  return std::max<std::uint32_t>(bits, 2);
+}
+
+std::uint64_t wire_bytes_accum(std::span<const std::int32_t> acc) noexcept {
+  std::int64_t max_mag = 0;
+  for (std::int32_t v : acc) {
+    max_mag = std::max<std::int64_t>(max_mag, std::llabs(v));
+  }
+  return wire_bytes_accum(acc.size(), bits_for_magnitude(max_mag));
+}
+
+std::vector<std::uint8_t> pack_bipolar(std::span<const std::int8_t> hv) {
+  std::vector<std::uint8_t> out(wire_bytes_bipolar(hv.size()), 0);
+  for (std::size_t i = 0; i < hv.size(); ++i) {
+    if (hv[i] > 0) {
+      out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+    }
+  }
+  return out;
+}
+
+BipolarHV unpack_bipolar(std::span<const std::uint8_t> bytes, std::size_t dim) {
+  assert(bytes.size() >= wire_bytes_bipolar(dim));
+  BipolarHV out(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    const bool bit = (bytes[i / 8] >> (i % 8)) & 1u;
+    out[i] = bit ? std::int8_t{1} : std::int8_t{-1};
+  }
+  return out;
+}
+
+}  // namespace edgehd::hdc

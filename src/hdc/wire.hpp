@@ -1,0 +1,54 @@
+// Wire representation of hypervectors.
+//
+// Communication cost is a first-class quantity in EdgeHD: the evaluation's
+// headline numbers are byte counts moved through the hierarchy. This module
+// defines the canonical on-the-wire sizes and a packed binary codec so that
+// the network simulator charges exactly what a real deployment would send.
+//
+//  * Bipolar hypervectors travel as 1 bit per dimension ("EdgeHD works with
+//    binary query vectors", Section V-B).
+//  * Integer accumulators (class / batch / residual hypervectors) travel as
+//    fixed-width two's-complement words sized to their magnitude.
+//  * Raw features travel as 32-bit floats (the centralized baseline's cost).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hypervector.hpp"
+
+namespace edgehd::hdc {
+
+/// Bytes on the wire for a D-dimensional bipolar hypervector (1 bit/dim,
+/// rounded up to whole bytes).
+constexpr std::uint64_t wire_bytes_bipolar(std::size_t dim) noexcept {
+  return (static_cast<std::uint64_t>(dim) + 7) / 8;
+}
+
+/// Bits needed to carry signed values with |v| <= max_magnitude.
+std::uint32_t bits_for_magnitude(std::int64_t max_magnitude) noexcept;
+
+/// Bytes on the wire for a D-dimensional integer accumulator whose entries
+/// fit in `bits` bits each (bit-packed, rounded up to whole bytes).
+constexpr std::uint64_t wire_bytes_accum(std::size_t dim,
+                                         std::uint32_t bits) noexcept {
+  return (static_cast<std::uint64_t>(dim) * bits + 7) / 8;
+}
+
+/// Bytes on the wire for the given accumulator, sized to its actual
+/// magnitude.
+std::uint64_t wire_bytes_accum(std::span<const std::int32_t> acc) noexcept;
+
+/// Bytes on the wire for n raw float32 features.
+constexpr std::uint64_t wire_bytes_features(std::size_t n) noexcept {
+  return static_cast<std::uint64_t>(n) * 4;
+}
+
+/// Packs a bipolar hypervector to 1 bit per dimension (+1 -> 1, -1 -> 0).
+std::vector<std::uint8_t> pack_bipolar(std::span<const std::int8_t> hv);
+
+/// Inverse of pack_bipolar; `dim` is the original dimensionality.
+BipolarHV unpack_bipolar(std::span<const std::uint8_t> bytes, std::size_t dim);
+
+}  // namespace edgehd::hdc

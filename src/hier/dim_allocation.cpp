@@ -1,0 +1,52 @@
+#include "dim_allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgehd::hier {
+
+DimAllocation allocate_dims(const net::Topology& topology,
+                            const std::vector<std::size_t>& leaf_features,
+                            std::size_t total_dim, std::size_t min_dim) {
+  const auto leaves = topology.leaves();
+  if (leaves.size() != leaf_features.size()) {
+    throw std::invalid_argument(
+        "allocate_dims: leaf_features size must match leaf count");
+  }
+  if (total_dim == 0) {
+    throw std::invalid_argument("allocate_dims: total_dim must be positive");
+  }
+
+  DimAllocation out;
+  out.subtree_features.assign(topology.num_nodes(), 0);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    if (leaf_features[i] == 0) {
+      throw std::invalid_argument("allocate_dims: leaf with zero features");
+    }
+    out.subtree_features[leaves[i]] = leaf_features[i];
+  }
+  // Propagate subtree feature counts to the root, shallowest levels last.
+  for (std::size_t level = 1; level < topology.depth(); ++level) {
+    for (net::NodeId id : topology.nodes_at_level(level)) {
+      const net::NodeId p = topology.parent(id);
+      if (p != net::kNoNode) {
+        out.subtree_features[p] += out.subtree_features[id];
+      }
+    }
+  }
+
+  const std::size_t n = out.subtree_features[topology.root()];
+  out.dims.assign(topology.num_nodes(), 0);
+  for (net::NodeId id = 0; id < topology.num_nodes(); ++id) {
+    const double share = static_cast<double>(out.subtree_features[id]) /
+                         static_cast<double>(n);
+    const auto d = static_cast<std::size_t>(
+        std::lround(share * static_cast<double>(total_dim)));
+    out.dims[id] = std::max(min_dim, d);
+  }
+  out.dims[topology.root()] = std::max(min_dim, total_dim);
+  return out;
+}
+
+}  // namespace edgehd::hier

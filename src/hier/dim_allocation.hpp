@@ -1,0 +1,35 @@
+// Hypervector dimensionality allocation over the hierarchy
+// (paper Section IV-A).
+//
+// The root uses the full dimensionality D; every other node receives
+// d_i = D * n_i / n, where n_i is the number of raw features collected in
+// that node's subtree. Lower nodes therefore hold fewer dimensions — enough
+// for the information they can observe — which is one of the two sources of
+// EdgeHD's compute savings (Section VI-D).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace edgehd::hier {
+
+/// Per-node hypervector dimensionalities for a deployment.
+struct DimAllocation {
+  std::vector<std::size_t> dims;          ///< indexed by NodeId
+  std::vector<std::size_t> subtree_features;  ///< n_i per node
+};
+
+/// Computes d_i = max(min_dim, round(D * n_i / n)) for every node.
+///
+/// @param topology       the deployment tree
+/// @param leaf_features  feature count per leaf, in leaves() order
+/// @param total_dim      D at the root
+/// @param min_dim        floor applied to every node (tiny slices still need
+///                       a workable hypervector)
+DimAllocation allocate_dims(const net::Topology& topology,
+                            const std::vector<std::size_t>& leaf_features,
+                            std::size_t total_dim, std::size_t min_dim = 32);
+
+}  // namespace edgehd::hier

@@ -1,0 +1,135 @@
+#include "hier_encoder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "hdc/random.hpp"
+
+namespace edgehd::hier {
+
+using hdc::Rng;
+using hdc::derive_seed;
+
+HierEncoder::HierEncoder(std::vector<std::size_t> child_dims,
+                         std::size_t out_dim, std::uint64_t seed,
+                         AggregationMode mode, std::size_t row_nnz)
+    : child_dims_(std::move(child_dims)),
+      in_dim_(std::accumulate(child_dims_.begin(), child_dims_.end(),
+                              std::size_t{0})),
+      out_dim_(out_dim),
+      mode_(mode),
+      row_nnz_(std::min(row_nnz, in_dim_)) {
+  if (child_dims_.empty() || in_dim_ == 0 || out_dim_ == 0) {
+    throw std::invalid_argument("HierEncoder: empty input or output space");
+  }
+  if (mode_ == AggregationMode::kConcatenation && out_dim_ != in_dim_) {
+    throw std::invalid_argument(
+        "HierEncoder: concatenation mode requires out_dim == sum(child_dims)");
+  }
+  if (mode_ == AggregationMode::kHolographic) {
+    if (row_nnz_ == 0) {
+      throw std::invalid_argument("HierEncoder: row_nnz must be positive");
+    }
+    Rng rng(derive_seed(seed, 0));
+    indices_.resize(out_dim_ * row_nnz_);
+    signs_.resize(out_dim_ * row_nnz_);
+    for (std::size_t j = 0; j < out_dim_ * row_nnz_; ++j) {
+      indices_[j] = static_cast<std::uint32_t>(rng.index(in_dim_));
+      signs_[j] = rng.sign();
+    }
+  }
+}
+
+hdc::BipolarHV HierEncoder::concat(
+    std::span<const hdc::BipolarHV> children) const {
+  if (children.size() != child_dims_.size()) {
+    throw std::invalid_argument("HierEncoder: child count mismatch");
+  }
+  hdc::BipolarHV out;
+  out.reserve(in_dim_);
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    if (children[c].size() != child_dims_[c]) {
+      throw std::invalid_argument("HierEncoder: child dimension mismatch");
+    }
+    out.insert(out.end(), children[c].begin(), children[c].end());
+  }
+  return out;
+}
+
+hdc::AccumHV HierEncoder::concat_accum(
+    std::span<const hdc::AccumHV> children) const {
+  if (children.size() != child_dims_.size()) {
+    throw std::invalid_argument("HierEncoder: child count mismatch");
+  }
+  hdc::AccumHV out;
+  out.reserve(in_dim_);
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    if (children[c].size() != child_dims_[c]) {
+      throw std::invalid_argument("HierEncoder: child dimension mismatch");
+    }
+    out.insert(out.end(), children[c].begin(), children[c].end());
+  }
+  return out;
+}
+
+hdc::BipolarHV HierEncoder::encode(
+    std::span<const std::int8_t> concatenated) const {
+  assert(concatenated.size() == in_dim_);
+  if (mode_ == AggregationMode::kConcatenation) {
+    return hdc::BipolarHV(concatenated.begin(), concatenated.end());
+  }
+  hdc::BipolarHV out(out_dim_);
+  for (std::size_t j = 0; j < out_dim_; ++j) {
+    const std::uint32_t* idx = indices_.data() + j * row_nnz_;
+    const std::int8_t* sgn = signs_.data() + j * row_nnz_;
+    std::int32_t acc = 0;
+    for (std::size_t t = 0; t < row_nnz_; ++t) {
+      acc += sgn[t] * concatenated[idx[t]];
+    }
+    out[j] = acc < 0 ? std::int8_t{-1} : std::int8_t{1};
+  }
+  return out;
+}
+
+hdc::AccumHV HierEncoder::project(
+    std::span<const std::int32_t> concatenated) const {
+  assert(concatenated.size() == in_dim_);
+  if (mode_ == AggregationMode::kConcatenation) {
+    return hdc::AccumHV(concatenated.begin(), concatenated.end());
+  }
+  hdc::AccumHV out(out_dim_, 0);
+  for (std::size_t j = 0; j < out_dim_; ++j) {
+    const std::uint32_t* idx = indices_.data() + j * row_nnz_;
+    const std::int8_t* sgn = signs_.data() + j * row_nnz_;
+    std::int64_t acc = 0;
+    for (std::size_t t = 0; t < row_nnz_; ++t) {
+      acc += static_cast<std::int64_t>(sgn[t]) * concatenated[idx[t]];
+    }
+    // Rescale by the mixing degree so magnitudes stay comparable to the
+    // inputs' (keeps accumulator wire widths and later additions bounded).
+    out[j] = static_cast<std::int32_t>(acc / static_cast<std::int64_t>(
+                 std::max<std::size_t>(1, row_nnz_ / 8)));
+  }
+  return out;
+}
+
+hdc::BipolarHV HierEncoder::aggregate(
+    std::span<const hdc::BipolarHV> children) const {
+  const auto cat = concat(children);
+  return encode(cat);
+}
+
+hdc::AccumHV HierEncoder::aggregate_accum(
+    std::span<const hdc::AccumHV> children) const {
+  const auto cat = concat_accum(children);
+  return project(cat);
+}
+
+std::uint64_t HierEncoder::macs_per_aggregation() const noexcept {
+  if (mode_ == AggregationMode::kConcatenation) return 0;
+  return static_cast<std::uint64_t>(out_dim_) * row_nnz_;
+}
+
+}  // namespace edgehd::hier

@@ -1,0 +1,93 @@
+// Hierarchical encoding: aggregating children hypervectors at gateway and
+// central nodes (paper Section IV-A, Figure 4).
+//
+// A parent first concatenates the hypervectors received from its children.
+// In *holographic* mode (the paper's proposal) the concatenation is then
+// multiplied by a sparse random projection matrix with elements from
+// {-1, 0, +1} and re-binarized: the projection mixes every input dimension
+// into every output dimension, so feature information is spread
+// holographically and the representation tolerates losing a large fraction
+// of dimensions in transit (Figure 12). In *concatenation* mode (the
+// non-holographic ablation) the concatenation is used as-is.
+//
+// The projection is linear, so it applies uniformly to bipolar sample
+// hypervectors (binarize after), to integer class/batch hypervectors, and to
+// residual hypervectors (keep integer) — which is what lets the same
+// aggregator serve initial training, retraining and online updates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+
+namespace edgehd::hier {
+
+/// Aggregation mode at internal nodes.
+enum class AggregationMode : std::uint8_t {
+  kHolographic,    ///< concat + ternary random projection + sign
+  kConcatenation,  ///< plain concat (non-holographic ablation)
+};
+
+/// One internal node's aggregator: input is the concatenation of its
+/// children's hypervectors, output is the node's own hypervector space.
+class HierEncoder {
+ public:
+  /// @param child_dims  dimensionality of each child's hypervectors, in
+  ///                    child order; the input dimension is their sum
+  /// @param out_dim     this node's dimensionality d_i. In concatenation
+  ///                    mode out_dim must equal the sum of child_dims.
+  /// @param seed        projection seed (deterministic per node)
+  /// @param row_nnz     non-zeros per projection row; each output dimension
+  ///                    mixes this many randomly chosen input dimensions
+  HierEncoder(std::vector<std::size_t> child_dims, std::size_t out_dim,
+              std::uint64_t seed, AggregationMode mode = AggregationMode::kHolographic,
+              std::size_t row_nnz = 64);
+
+  std::size_t in_dim() const noexcept { return in_dim_; }
+  std::size_t out_dim() const noexcept { return out_dim_; }
+  AggregationMode mode() const noexcept { return mode_; }
+  const std::vector<std::size_t>& child_dims() const noexcept {
+    return child_dims_;
+  }
+
+  /// Concatenates per-child bipolar hypervectors (sizes must match
+  /// child_dims) into the input vector.
+  hdc::BipolarHV concat(std::span<const hdc::BipolarHV> children) const;
+
+  /// Concatenates per-child integer accumulators.
+  hdc::AccumHV concat_accum(std::span<const hdc::AccumHV> children) const;
+
+  /// Aggregates a concatenated bipolar input into this node's bipolar
+  /// hypervector (projection + sign in holographic mode; identity in
+  /// concatenation mode).
+  hdc::BipolarHV encode(std::span<const std::int8_t> concatenated) const;
+
+  /// Aggregates a concatenated integer accumulator without binarizing
+  /// (class hypervectors, batch hypervectors, residuals).
+  hdc::AccumHV project(std::span<const std::int32_t> concatenated) const;
+
+  /// Convenience: concat + encode for bipolar children.
+  hdc::BipolarHV aggregate(std::span<const hdc::BipolarHV> children) const;
+
+  /// Convenience: concat + project for accumulator children.
+  hdc::AccumHV aggregate_accum(std::span<const hdc::AccumHV> children) const;
+
+  /// Multiply-accumulates per aggregation (cost-model input): row_nnz per
+  /// output dimension in holographic mode, 0 in concatenation mode.
+  std::uint64_t macs_per_aggregation() const noexcept;
+
+ private:
+  std::vector<std::size_t> child_dims_;
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  AggregationMode mode_;
+  std::size_t row_nnz_;
+  // Sparse ternary projection, row-major: for output dim j, row_nnz pairs of
+  // (input index, sign).
+  std::vector<std::uint32_t> indices_;
+  std::vector<std::int8_t> signs_;
+};
+
+}  // namespace edgehd::hier

@@ -1,0 +1,45 @@
+#include "medium.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace edgehd::net {
+
+const std::vector<Medium>& all_media() {
+  // Effective rates: wired links near line rate; 802.11ac and 802.11n use
+  // the application-level throughputs quoted in Section VI-E; Bluetooth 4.0
+  // is the ~1 Mbps the paper measures on the RPi 3B+. Latencies are typical
+  // one-hop figures; radio powers are representative embedded-module draws.
+  static const std::vector<Medium> kMedia = {
+      {MediumKind::kWired1G, "Wired-1Gbps", 1e9, 50 * kMicrosecond, 0.8, 0.8,
+       false},
+      {MediumKind::kWired500M, "Wired-500Mbps", 500e6, 50 * kMicrosecond, 0.8,
+       0.8, false},
+      {MediumKind::kWifi80211ac, "WiFi-802.11ac", 46.5e6, 2 * kMillisecond,
+       1.3, 1.0, true},
+      {MediumKind::kWifi80211n, "WiFi-802.11n", 23.5e6, 3 * kMillisecond, 1.2,
+       0.9, true},
+      {MediumKind::kBluetooth4, "Bluetooth-4.0", 1e6, 10 * kMillisecond, 0.1,
+       0.1, true},
+  };
+  return kMedia;
+}
+
+const Medium& medium(MediumKind kind) {
+  for (const auto& m : all_media()) {
+    if (m.kind == kind) return m;
+  }
+  throw std::invalid_argument("medium: unknown kind");
+}
+
+SimTime transfer_time(const Medium& m, std::uint64_t bytes) {
+  const double seconds = static_cast<double>(bytes) * 8.0 / m.bandwidth_bps;
+  return m.latency + static_cast<SimTime>(std::llround(seconds * 1e9));
+}
+
+double transfer_energy_j(const Medium& m, std::uint64_t bytes) {
+  const double seconds = static_cast<double>(bytes) * 8.0 / m.bandwidth_bps;
+  return seconds * (m.tx_power_w + m.rx_power_w);
+}
+
+}  // namespace edgehd::net

@@ -1,0 +1,56 @@
+// Network media models (paper Section VI-E).
+//
+// The evaluation sweeps five link technologies. Each medium is modelled by
+// its *effective* (application-level) bandwidth, a per-message latency, and
+// radio/NIC power draws used for communication-energy accounting. The WiFi
+// and Bluetooth effective rates follow the paper's own measurements on the
+// Raspberry Pi 3B+ (802.11ac ≈ 46.5 Mbps in the bench tables, 23.5 Mbps
+// measured on the Pi; Bluetooth 4.0 ≈ 1 Mbps).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgehd::net {
+
+/// Simulation time in nanoseconds.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicrosecond = 1'000;
+constexpr SimTime kMillisecond = 1'000'000;
+constexpr SimTime kSecond = 1'000'000'000;
+
+/// Link technology identifiers.
+enum class MediumKind : std::uint8_t {
+  kWired1G,
+  kWired500M,
+  kWifi80211ac,
+  kWifi80211n,
+  kBluetooth4,
+};
+
+/// Physical-layer model of one link technology.
+struct Medium {
+  MediumKind kind;
+  std::string name;
+  double bandwidth_bps;   ///< effective application throughput
+  SimTime latency;        ///< one-way per-message latency
+  double tx_power_w;      ///< transmitter active power
+  double rx_power_w;      ///< receiver active power
+  /// Wireless media form one collision domain: transfers on *different*
+  /// links contend and serialize. Wired links are independent.
+  bool shared_domain;
+};
+
+/// Canonical medium presets, in the order the paper sweeps them.
+const Medium& medium(MediumKind kind);
+const std::vector<Medium>& all_media();
+
+/// Store-and-forward transfer time of `bytes` over one hop of `m`.
+SimTime transfer_time(const Medium& m, std::uint64_t bytes);
+
+/// Energy spent by the sender + receiver for one hop of `bytes` over `m`.
+double transfer_energy_j(const Medium& m, std::uint64_t bytes);
+
+}  // namespace edgehd::net

@@ -1,0 +1,55 @@
+#include "platform.hpp"
+
+#include <cmath>
+
+namespace edgehd::net {
+
+SimTime time_for_macs(const Platform& p, std::uint64_t macs) {
+  const double seconds = static_cast<double>(macs) / p.macs_per_second;
+  return static_cast<SimTime>(std::llround(seconds * 1e9));
+}
+
+double energy_for_macs(const Platform& p, std::uint64_t macs) {
+  return p.active_power_w * static_cast<double>(macs) / p.macs_per_second;
+}
+
+const Platform& dnn_gpu() {
+  // Backprop-heavy kernels: well below peak FLOPs at these batch sizes.
+  static const Platform p{"DNN-GPU (GTX 1080 Ti)", 1.5e11, 250.0};
+  return p;
+}
+
+const Platform& hd_gpu() {
+  // HD kernels are streaming integer ops: higher effective utilization and
+  // much lower board power than backprop (memory-bound, no FP32 FMA burn).
+  static const Platform p{"HD-GPU (GTX 1080 Ti)", 2.5e11, 120.0};
+  return p;
+}
+
+const Platform& hd_fpga_central() {
+  // Kintex-7: 840 DSP slices at 200 MHz, one MAC per DSP per cycle in the
+  // fully pipelined design. Slower than the GPU, far lower power (9.8 W).
+  static const Platform p{"HD-FPGA (Kintex-7)", 1.68e11, 9.8};
+  return p;
+}
+
+const Platform& edge_fpga() {
+  // A small slice of the fabric suffices for the reduced per-node dimension;
+  // the paper reports 0.28 W average per node.
+  static const Platform p{"Edge-FPGA (per node)", 1.6e10, 0.28};
+  return p;
+}
+
+const Platform& edge_node() {
+  // A hierarchical EdgeHD node as deployed: per-node FPGA (0.28 W) plus the
+  // Raspberry Pi 3B+ host that feeds it and talks to the network (3.7 W).
+  static const Platform p{"EdgeHD node (FPGA + RPi host)", 8.0e9, 3.98};
+  return p;
+}
+
+const Platform& rpi3() {
+  static const Platform p{"Raspberry Pi 3B+", 1.0e9, 3.7};
+  return p;
+}
+
+}  // namespace edgehd::net

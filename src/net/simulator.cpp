@@ -1,0 +1,124 @@
+#include "simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace edgehd::net {
+
+Simulator::Simulator(Topology topology, Medium medium)
+    : topology_(std::move(topology)),
+      links_(topology_.num_nodes(), Link{medium, 0}),
+      node_busy_until_(topology_.num_nodes(), 0),
+      stats_(topology_.num_nodes()) {}
+
+void Simulator::set_link_medium(NodeId child, Medium medium) {
+  if (child >= links_.size() || child == topology_.root()) {
+    throw std::invalid_argument("Simulator: node has no uplink");
+  }
+  links_[child].medium = std::move(medium);
+}
+
+void Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) {
+    throw std::invalid_argument("Simulator: negative delay");
+  }
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void Simulator::compute(NodeId node, SimTime duration, double power_w,
+                        std::function<void()> on_done) {
+  if (node >= node_busy_until_.size()) {
+    throw std::out_of_range("Simulator: node id out of range");
+  }
+  if (duration < 0) {
+    throw std::invalid_argument("Simulator: negative compute duration");
+  }
+  const SimTime start = std::max(now_, node_busy_until_[node]);
+  const SimTime end = start + duration;
+  node_busy_until_[node] = end;
+  stats_[node].compute_busy += duration;
+  stats_[node].compute_energy_j +=
+      power_w * static_cast<double>(duration) / 1e9;
+  queue_.push(Event{end, next_seq_++, std::move(on_done)});
+}
+
+Simulator::Link& Simulator::uplink_of(NodeId from, NodeId to) {
+  // The link is stored at its child endpoint; sends may go either direction.
+  if (topology_.parent(from) == to) return links_[from];
+  if (topology_.parent(to) == from) return links_[to];
+  throw std::invalid_argument("Simulator: send endpoints are not adjacent");
+}
+
+void Simulator::send(NodeId from, NodeId to, std::uint64_t bytes,
+                     std::function<void()> on_delivered) {
+  Link& link = uplink_of(from, to);
+  // Wireless links share one collision domain: a transfer must also wait for
+  // the whole medium to go quiet, and occupies it while in the air.
+  const SimTime floor = link.medium.shared_domain
+                            ? std::max(link.busy_until, shared_busy_until_)
+                            : link.busy_until;
+  const SimTime start = std::max(now_, floor);
+  const SimTime duration = transfer_time(link.medium, bytes);
+  const SimTime end = start + duration;
+  link.busy_until = end;
+  if (link.medium.shared_domain) shared_busy_until_ = end;
+
+  stats_[from].tx_time += duration;
+  stats_[to].rx_time += duration;
+  stats_[from].bytes_tx += bytes;
+  stats_[to].bytes_rx += bytes;
+  const double seconds = static_cast<double>(duration) / 1e9;
+  stats_[from].comm_energy_j += link.medium.tx_power_w * seconds;
+  stats_[to].comm_energy_j += link.medium.rx_power_w * seconds;
+
+  queue_.push(Event{end, next_seq_++, std::move(on_delivered)});
+}
+
+void Simulator::send_to_root(NodeId from, std::uint64_t bytes,
+                             std::function<void()> on_delivered) {
+  if (from == topology_.root()) {
+    queue_.push(Event{now_, next_seq_++, std::move(on_delivered)});
+    return;
+  }
+  const NodeId next = topology_.parent(from);
+  // Forward the remaining hops once this hop is delivered.
+  send(from, next, bytes,
+       [this, next, bytes, cb = std::move(on_delivered)]() mutable {
+         send_to_root(next, bytes, std::move(cb));
+       });
+}
+
+SimTime Simulator::run() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    makespan_ = std::max(makespan_, now_);
+    if (ev.fn) ev.fn();
+  }
+  return makespan_;
+}
+
+const NodeStats& Simulator::stats(NodeId node) const {
+  if (node >= stats_.size()) {
+    throw std::out_of_range("Simulator: node id out of range");
+  }
+  return stats_[node];
+}
+
+double Simulator::total_energy_j() const {
+  double total = 0.0;
+  for (const auto& s : stats_) {
+    total += s.compute_energy_j + s.comm_energy_j;
+  }
+  return total;
+}
+
+std::uint64_t Simulator::total_bytes_transferred() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stats_) total += s.bytes_tx;
+  return total;
+}
+
+}  // namespace edgehd::net

@@ -1,0 +1,109 @@
+// Discrete-event network simulator — the NS-3 substitute (see DESIGN.md).
+//
+// Models an EdgeHD deployment as a tree of nodes exchanging store-and-forward
+// messages over half-duplex links. Three resources are tracked per node:
+// compute occupancy (a node runs one task at a time), link occupancy (one
+// transfer at a time per parent-child link), and energy (compute power ×
+// busy time plus radio power × air time). The simulator is deterministic:
+// ties in event time are broken by insertion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "medium.hpp"
+#include "topology.hpp"
+
+namespace edgehd::net {
+
+/// Per-node accounting accumulated over a run.
+struct NodeStats {
+  SimTime compute_busy = 0;   ///< total time the node's processor was busy
+  SimTime tx_time = 0;        ///< total air time as sender
+  SimTime rx_time = 0;        ///< total air time as receiver
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t bytes_rx = 0;
+  double compute_energy_j = 0.0;
+  double comm_energy_j = 0.0;
+};
+
+/// Event-driven simulator over a Topology with a single link medium (the
+/// paper evaluates one medium per experiment; use set_link_medium for mixed
+/// deployments).
+class Simulator {
+ public:
+  Simulator(Topology topology, Medium medium);
+
+  const Topology& topology() const noexcept { return topology_; }
+  SimTime now() const noexcept { return now_; }
+
+  /// Overrides the medium of the link between `child` and its parent.
+  void set_link_medium(NodeId child, Medium medium);
+
+  /// Schedules `fn` to run `delay` from now.
+  void schedule(SimTime delay, std::function<void()> fn);
+
+  /// Occupies `node`'s processor for `duration` at `power_w`, starting when
+  /// the node becomes free; `on_done` (optional) fires at completion.
+  void compute(NodeId node, SimTime duration, double power_w,
+               std::function<void()> on_done = {});
+
+  /// Sends `bytes` one hop between `from` and `to` (which must be
+  /// parent/child in the topology). The link serializes transfers;
+  /// `on_delivered` (optional) fires when the last byte arrives.
+  void send(NodeId from, NodeId to, std::uint64_t bytes,
+            std::function<void()> on_delivered = {});
+
+  /// Multi-hop convenience: forwards `bytes` hop by hop from `from` up to
+  /// the root (store-and-forward through every gateway), then fires
+  /// `on_delivered`.
+  void send_to_root(NodeId from, std::uint64_t bytes,
+                    std::function<void()> on_delivered = {});
+
+  /// Runs until the event queue drains. Returns the completion time of the
+  /// last event (the makespan).
+  SimTime run();
+
+  const NodeStats& stats(NodeId node) const;
+
+  /// Sum of compute + communication energy over all nodes.
+  double total_energy_j() const;
+
+  /// Sum of bytes placed on the air/wire (each hop counted once).
+  std::uint64_t total_bytes_transferred() const;
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// The link a node shares with its parent.
+  struct Link {
+    Medium medium;
+    SimTime busy_until = 0;
+  };
+
+  Link& uplink_of(NodeId from, NodeId to);
+
+  Topology topology_;
+  std::vector<Link> links_;  // indexed by the child endpoint
+  SimTime shared_busy_until_ = 0;  ///< collision-domain occupancy (wireless)
+  std::vector<SimTime> node_busy_until_;
+  std::vector<NodeStats> stats_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  SimTime now_ = 0;
+  SimTime makespan_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace edgehd::net

@@ -1,0 +1,123 @@
+// Unit + property tests for position-keyed hypervector compression
+// (src/hdc/compress.*, paper Section IV-C).
+#include <gtest/gtest.h>
+
+#include "hdc/compress.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/random.hpp"
+
+namespace {
+
+using namespace edgehd::hdc;
+
+TEST(Compress, RejectsInvalidShapes) {
+  EXPECT_THROW(HvCompressor(0, 4, 1), std::invalid_argument);
+  EXPECT_THROW(HvCompressor(16, 0, 1), std::invalid_argument);
+  HvCompressor comp(16, 2, 1);
+  Rng rng(1);
+  std::vector<BipolarHV> too_many(3, rng.sign_vector(16));
+  EXPECT_THROW(comp.compress(too_many), std::invalid_argument);
+  EXPECT_THROW(comp.position(2), std::out_of_range);
+  const AccumHV packed(16, 0);
+  EXPECT_THROW(comp.decompress(packed, 5), std::out_of_range);
+}
+
+TEST(Compress, SingleMemberRoundTripsExactly) {
+  HvCompressor comp(512, 8, 3);
+  Rng rng(2);
+  const std::vector<BipolarHV> batch{rng.sign_vector(512)};
+  const auto packed = comp.compress(batch);
+  EXPECT_EQ(comp.decompress(packed, 0), batch[0]);
+}
+
+TEST(Compress, PositionKeysAreNearOrthogonal) {
+  HvCompressor comp(4096, 8, 4);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      const double normalized =
+          static_cast<double>(dot(comp.position(i), comp.position(j))) / 4096.0;
+      // Random bipolar keys: |cos| concentrates around 1/sqrt(D) ~ 0.016;
+      // 0.08 is a ~5-sigma bound.
+      EXPECT_LT(std::abs(normalized), 0.08);
+    }
+  }
+}
+
+TEST(Compress, DeterministicAcrossInstancesWithSameSeed) {
+  // Sender and receiver build identical compressors from the shared seed.
+  HvCompressor tx(256, 4, 99);
+  HvCompressor rx(256, 4, 99);
+  Rng rng(5);
+  std::vector<BipolarHV> batch(4);
+  for (auto& hv : batch) hv = rng.sign_vector(256);
+  const auto packed = tx.compress(batch);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(rx.decompress(packed, i), tx.decompress(packed, i));
+  }
+}
+
+class CompressNoise : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompressNoise, RecoveryErrorTracksPrediction) {
+  const std::size_t m = GetParam();
+  const std::size_t dim = 8192;
+  HvCompressor comp(dim, m, 6);
+  Rng rng(7);
+  std::vector<BipolarHV> batch(m);
+  for (auto& hv : batch) hv = rng.sign_vector(dim);
+  const auto packed = comp.compress(batch);
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto rec = comp.decompress(packed, i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      if (rec[d] != batch[i][d]) ++flips;
+    }
+  }
+  const double measured =
+      static_cast<double>(flips) / static_cast<double>(m * dim);
+  const double predicted = HvCompressor::expected_bit_error(m);
+  // The Gaussian tail is a coarse approximation at tiny bundle sizes, where
+  // the discrete noise's parity and the sign(0)=+1 tie rule dominate.
+  EXPECT_NEAR(measured, predicted, m <= 3 ? 0.10 : 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(BundleSizes, CompressNoise,
+                         ::testing::Values(1, 2, 5, 10, 25, 50));
+
+TEST(Compress, ErrorGrowsWithBundleSize) {
+  EXPECT_EQ(HvCompressor::expected_bit_error(1), 0.0);
+  double prev = 0.0;
+  for (const std::size_t m : {2u, 5u, 25u, 100u}) {
+    const double e = HvCompressor::expected_bit_error(m);
+    EXPECT_GT(e, prev);
+    EXPECT_LT(e, 0.5);
+    prev = e;
+  }
+}
+
+TEST(Compress, RecoveredVectorsStillClassifyCorrectly) {
+  // The use case of Section IV-C: compressed queries must remain usable for
+  // the associative search after decompression.
+  const std::size_t dim = 4096;
+  Rng rng(8);
+  const auto proto0 = rng.sign_vector(dim);
+  const auto proto1 = rng.sign_vector(dim);
+  HvCompressor comp(dim, 10, 9);
+  std::vector<BipolarHV> queries(10);
+  std::vector<int> truth(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    truth[i] = static_cast<int>(i % 2);
+    queries[i] = truth[i] == 0 ? proto0 : proto1;
+  }
+  const auto packed = comp.compress(queries);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto rec = comp.decompress(packed, i);
+    const auto d0 = dot(std::span<const std::int8_t>(rec),
+                        std::span<const std::int8_t>(proto0));
+    const auto d1 = dot(std::span<const std::int8_t>(rec),
+                        std::span<const std::int8_t>(proto1));
+    EXPECT_EQ(d0 > d1 ? 0 : 1, truth[i]);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Unit tests for the dataset substrate (src/data/dataset.*).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+#include "data/dataset.hpp"
+
+namespace {
+
+using namespace edgehd::data;
+
+TEST(DatasetSpecs, TableOneShapesMatchThePaper) {
+  ASSERT_EQ(all_specs().size(), 9u);
+  const auto& mnist = spec(DatasetId::kMnist);
+  EXPECT_EQ(mnist.num_features, 784u);
+  EXPECT_EQ(mnist.num_classes, 10u);
+  EXPECT_EQ(mnist.paper_train, 60000u);
+  const auto& pecan = spec(DatasetId::kPecan);
+  EXPECT_EQ(pecan.num_features, 312u);
+  EXPECT_EQ(pecan.end_nodes, 312u);
+  EXPECT_EQ(pecan.num_classes, 3u);
+  const auto& pamap = spec(DatasetId::kPamap2);
+  EXPECT_EQ(pamap.num_features, 75u);
+  EXPECT_EQ(pamap.end_nodes, 3u);
+  EXPECT_EQ(pamap.paper_train, 611142u);
+  const auto& pdp = spec(DatasetId::kPdp);
+  EXPECT_EQ(pdp.end_nodes, 5u);
+}
+
+TEST(DatasetSpecs, HierarchicalIdsAreTheFourTableTwoWorkloads) {
+  const auto ids = hierarchical_ids();
+  ASSERT_EQ(ids.size(), 4u);
+  for (const auto id : ids) {
+    EXPECT_GT(spec(id).end_nodes, 0u);
+  }
+}
+
+TEST(MakeDataset, DeterministicInSeed) {
+  GenOptions opt;
+  opt.max_train = 100;
+  opt.max_test = 50;
+  const auto a = make_dataset(DatasetId::kApri, 7, opt);
+  const auto b = make_dataset(DatasetId::kApri, 7, opt);
+  EXPECT_EQ(a.train_x, b.train_x);
+  EXPECT_EQ(a.train_y, b.train_y);
+  const auto c = make_dataset(DatasetId::kApri, 8, opt);
+  EXPECT_NE(a.train_x, c.train_x);
+}
+
+TEST(MakeDataset, RespectsSizeCapsAndShapes) {
+  GenOptions opt;
+  opt.max_train = 123;
+  opt.max_test = 45;
+  const auto ds = make_dataset(DatasetId::kPdp, 1, opt);
+  EXPECT_EQ(ds.train_size(), 123u);
+  EXPECT_EQ(ds.test_size(), 45u);
+  EXPECT_EQ(ds.num_features, 60u);
+  for (const auto& x : ds.train_x) EXPECT_EQ(x.size(), 60u);
+  for (const auto y : ds.train_y) EXPECT_LT(y, ds.num_classes);
+}
+
+TEST(MakeDataset, PartitionsSumToFeatureCount) {
+  GenOptions opt;
+  opt.max_train = 60;
+  opt.max_test = 20;
+  for (const auto& s : all_specs()) {
+    const auto ds = make_dataset(s.id, 2, opt);
+    const auto sum = std::accumulate(ds.partitions.begin(),
+                                     ds.partitions.end(), std::size_t{0});
+    EXPECT_EQ(sum, ds.num_features) << s.name;
+    if (s.end_nodes > 0) EXPECT_EQ(ds.partitions.size(), s.end_nodes);
+  }
+}
+
+TEST(MakeDataset, EveryClassIsPopulated) {
+  GenOptions opt;
+  opt.max_train = 260;
+  opt.max_test = 52;
+  const auto ds = make_dataset(DatasetId::kIsolet, 3, opt);
+  std::vector<std::size_t> counts(ds.num_classes, 0);
+  for (const auto y : ds.train_y) ++counts[y];
+  for (const auto c : counts) EXPECT_GT(c, 0u);
+}
+
+TEST(MakeDataset, PartitionOffsetsArePrefixSums) {
+  GenOptions opt;
+  opt.max_train = 40;
+  opt.max_test = 10;
+  const auto ds = make_dataset(DatasetId::kPamap2, 4, opt);
+  EXPECT_EQ(ds.partition_offset(0), 0u);
+  EXPECT_EQ(ds.partition_offset(1), ds.partitions[0]);
+  EXPECT_EQ(ds.partition_offset(2), ds.partitions[0] + ds.partitions[1]);
+  EXPECT_THROW(ds.partition_offset(99), std::out_of_range);
+}
+
+TEST(MakeSynthetic, ValidatesArguments) {
+  EXPECT_THROW(make_synthetic("x", 0, 2, {}, 10, 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(make_synthetic("x", 4, 1, {4}, 10, 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(make_synthetic("x", 4, 2, {3}, 10, 10, 1),
+               std::invalid_argument);
+}
+
+TEST(MakeSynthetic, TrainAndTestAreDisjointDraws) {
+  const auto ds = make_synthetic("x", 8, 2, {8}, 50, 50, 9);
+  EXPECT_NE(ds.train_x.front(), ds.test_x.front());
+}
+
+TEST(ZscoreNormalize, TrainStatisticsBecomeStandard) {
+  auto ds = make_synthetic("x", 6, 2, {6}, 400, 100, 11);
+  zscore_normalize(ds);
+  for (std::size_t f = 0; f < ds.num_features; ++f) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (const auto& x : ds.train_x) mean += x[f];
+    mean /= static_cast<double>(ds.train_size());
+    for (const auto& x : ds.train_x) {
+      var += (x[f] - mean) * (x[f] - mean);
+    }
+    var /= static_cast<double>(ds.train_size());
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LoadCsv, RoundTripsAHandWrittenFile) {
+  const std::string path = ::testing::TempDir() + "/edgehd_test.csv";
+  {
+    std::ofstream out(path);
+    out << "1.0,2.0,0\n3.0,4.0,1\n5.0,6.0,0\n7.0,8.0,1\n9.0,10.0,0\n";
+  }
+  const auto ds = load_csv(path, 0.6);
+  EXPECT_EQ(ds.num_features, 2u);
+  EXPECT_EQ(ds.num_classes, 2u);
+  EXPECT_EQ(ds.train_size(), 3u);
+  EXPECT_EQ(ds.test_size(), 2u);
+  EXPECT_FLOAT_EQ(ds.train_x[0][0], 1.0F);
+  EXPECT_EQ(ds.train_y[1], 1u);
+  std::remove(path.c_str());
+}
+
+TEST(LoadCsv, RejectsMissingAndMalformedFiles) {
+  EXPECT_THROW(load_csv("/nonexistent/file.csv"), std::runtime_error);
+  const std::string path = ::testing::TempDir() + "/edgehd_ragged.csv";
+  {
+    std::ofstream out(path);
+    out << "1.0,2.0,0\n1.0,1\n";
+  }
+  EXPECT_THROW(load_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(XorChannel, MarginalMeansCarryFarLessSignalThanCentroids) {
+  // With xor_fraction=1 the class signal lives (almost) purely in feature
+  // interactions; with xor_fraction=0 it is plain centroid separation. The
+  // per-feature class-conditional mean gap must shrink dramatically between
+  // the two regimes. (It is not exactly zero: the observation model's bias
+  // converts the XOR pairs' variance difference into a small mean shift.)
+  auto mean_gap = [](float xf) {
+    const auto ds =
+        make_synthetic("xor", 10, 2, {10}, 4000, 10, 13, 3.0F, 0.1F, xf);
+    double total = 0.0;
+    for (std::size_t f = 0; f < 10; ++f) {
+      double mean0 = 0.0, mean1 = 0.0;
+      std::size_t n0 = 0, n1 = 0;
+      for (std::size_t i = 0; i < ds.train_size(); ++i) {
+        if (ds.train_y[i] == 0) {
+          mean0 += ds.train_x[i][f];
+          ++n0;
+        } else {
+          mean1 += ds.train_x[i][f];
+          ++n1;
+        }
+      }
+      total += std::abs(mean0 / static_cast<double>(n0) -
+                        mean1 / static_cast<double>(n1));
+    }
+    return total / 10.0;
+  };
+  EXPECT_LT(mean_gap(1.0F), 0.4 * mean_gap(0.0F));
+}
+
+}  // namespace

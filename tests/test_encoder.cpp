@@ -1,0 +1,164 @@
+// Unit + property tests for the feature encoders (src/hdc/encoder.*).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hdc/encoder.hpp"
+#include "hdc/random.hpp"
+
+namespace {
+
+using namespace edgehd::hdc;
+
+TEST(RbfEncoder, ShapesAndDeterminism) {
+  RbfEncoder enc(10, 512, 42);
+  EXPECT_EQ(enc.dim(), 512u);
+  EXPECT_EQ(enc.input_dim(), 10u);
+  Rng rng(1);
+  const auto x = rng.gaussian_vector(10);
+  EXPECT_EQ(enc.encode(x), enc.encode(x));
+  RbfEncoder enc2(10, 512, 42);
+  EXPECT_EQ(enc.encode(x), enc2.encode(x));  // same seed, same map
+}
+
+TEST(RbfEncoder, DifferentSeedsGiveDifferentMaps) {
+  RbfEncoder a(10, 512, 1);
+  RbfEncoder b(10, 512, 2);
+  Rng rng(3);
+  const auto x = rng.gaussian_vector(10);
+  EXPECT_NE(a.encode(x), b.encode(x));
+}
+
+TEST(RbfEncoder, RejectsInvalidArguments) {
+  EXPECT_THROW(RbfEncoder(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(RbfEncoder(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(RbfEncoder(10, 10, 1, -1.0F), std::invalid_argument);
+}
+
+TEST(RbfEncoder, NearbyInputsEncodeMoreSimilarly) {
+  RbfEncoder enc(20, 4096, 5);
+  Rng rng(6);
+  const auto x = rng.gaussian_vector(20);
+  auto near = x;
+  near[0] += 0.1F;
+  auto far = x;
+  for (auto& v : far) v += 2.0F;
+  const auto hx = enc.encode(x);
+  EXPECT_LT(hamming(hx, enc.encode(near)), hamming(hx, enc.encode(far)));
+}
+
+/// Eq. 1-2 property: inner products of the cos-form real encodings converge
+/// to the Gaussian RBF kernel as D grows.
+class KernelApprox : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KernelApprox, CosFormApproximatesRbfKernel) {
+  const std::size_t d = GetParam();
+  const std::size_t n = 8;
+  const float w = 2.0F;  // length scale
+  RbfEncoder enc(n, d, 9, w, RbfForm::kCos);
+  Rng rng(10);
+  double worst = 0.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto x = rng.gaussian_vector(n);
+    auto y = x;
+    for (auto& v : y) v += 0.4F * rng.gaussian();
+    double dist2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dist2 += static_cast<double>(x[i] - y[i]) * (x[i] - y[i]);
+    }
+    const double kernel = std::exp(-dist2 / (2.0 * w * w));
+    const auto fx = enc.encode_real(x);
+    const auto fy = enc.encode_real(y);
+    worst = std::max(worst, std::abs(dot(std::span<const float>(fx),
+                                         std::span<const float>(fy)) -
+                                     kernel));
+  }
+  // Monte-Carlo error of the RFF estimate scales ~ 1/sqrt(D).
+  EXPECT_LT(worst, 6.0 / std::sqrt(static_cast<double>(d)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KernelApprox,
+                         ::testing::Values(1024, 4096, 16384));
+
+TEST(SparseRbfEncoder, WindowMatchesSparsity) {
+  SparseRbfEncoder enc(100, 256, 1, 0.8F);
+  EXPECT_EQ(enc.nonzeros_per_row(), 20u);
+  EXPECT_EQ(enc.macs_per_dim(), 20u);
+  SparseRbfEncoder dense_ish(100, 256, 1, 0.0F);
+  EXPECT_EQ(dense_ish.nonzeros_per_row(), 100u);
+  SparseRbfEncoder extreme(10, 256, 1, 0.99F);
+  EXPECT_EQ(extreme.nonzeros_per_row(), 1u);  // floor at one non-zero
+}
+
+TEST(SparseRbfEncoder, RejectsInvalidSparsity) {
+  EXPECT_THROW(SparseRbfEncoder(10, 10, 1, 1.0F), std::invalid_argument);
+  EXPECT_THROW(SparseRbfEncoder(10, 10, 1, -0.1F), std::invalid_argument);
+}
+
+TEST(SparseRbfEncoder, DeterministicAndDimCorrect) {
+  SparseRbfEncoder enc(30, 333, 7);
+  Rng rng(8);
+  const auto x = rng.gaussian_vector(30);
+  const auto h = enc.encode(x);
+  EXPECT_EQ(h.size(), 333u);
+  EXPECT_EQ(h, enc.encode(x));
+}
+
+TEST(SparseRbfEncoder, PreservesNeighborhoodStructure) {
+  SparseRbfEncoder enc(20, 4096, 5);
+  Rng rng(6);
+  const auto x = rng.gaussian_vector(20);
+  auto near = x;
+  near[3] += 0.1F;
+  auto far = x;
+  for (auto& v : far) v -= 1.5F;
+  const auto hx = enc.encode(x);
+  EXPECT_LT(hamming(hx, enc.encode(near)), hamming(hx, enc.encode(far)));
+}
+
+TEST(LinearLevelEncoder, QuantizationIsMonotoneInHamming) {
+  LinearLevelEncoder enc(1, 2048, 3, 16, -1.0F, 1.0F);
+  const std::vector<float> lo{-1.0F};
+  const std::vector<float> mid{0.0F};
+  const std::vector<float> hi{1.0F};
+  const auto hlo = enc.encode(lo);
+  EXPECT_LT(hamming(hlo, enc.encode(mid)), hamming(hlo, enc.encode(hi)));
+}
+
+TEST(LinearLevelEncoder, ClampsOutOfRangeValues) {
+  LinearLevelEncoder enc(2, 512, 3, 8, -1.0F, 1.0F);
+  const std::vector<float> inside{-1.0F, 1.0F};
+  const std::vector<float> outside{-50.0F, 50.0F};
+  EXPECT_EQ(enc.encode(inside), enc.encode(outside));
+}
+
+TEST(LinearLevelEncoder, RejectsInvalidArguments) {
+  EXPECT_THROW(LinearLevelEncoder(1, 10, 1, 1), std::invalid_argument);
+  EXPECT_THROW(LinearLevelEncoder(1, 10, 1, 8, 2.0F, 1.0F),
+               std::invalid_argument);
+}
+
+TEST(EncoderFactory, ProducesRequestedKinds) {
+  for (const auto kind :
+       {EncoderKind::kRbfDense, EncoderKind::kRbfSparse,
+        EncoderKind::kLinearLevel}) {
+    const auto enc = make_encoder(kind, 12, 128, 1);
+    ASSERT_NE(enc, nullptr);
+    EXPECT_EQ(enc->dim(), 128u);
+    EXPECT_EQ(enc->input_dim(), 12u);
+  }
+}
+
+TEST(Encoder, DefaultEncodeRealMatchesBipolar) {
+  LinearLevelEncoder enc(4, 64, 1);
+  Rng rng(2);
+  const auto x = rng.gaussian_vector(4);
+  const auto h = enc.encode(x);
+  const auto r = enc.encode_real(x);
+  ASSERT_EQ(h.size(), r.size());
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_EQ(static_cast<float>(h[i]), r[i]);
+  }
+}
+
+}  // namespace

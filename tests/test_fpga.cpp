@@ -1,0 +1,94 @@
+// Unit tests for the FPGA pipeline model (src/fpga/fpga_model.*).
+#include <gtest/gtest.h>
+
+#include "fpga/fpga_model.hpp"
+
+namespace {
+
+using namespace edgehd::fpga;
+
+TEST(FpgaModel, RejectsInvalidDesignPoints) {
+  EXPECT_THROW(FpgaModel(FpgaConfig{}, 0, 100, 2, 5), std::invalid_argument);
+  EXPECT_THROW(FpgaModel(FpgaConfig{}, 10, 0, 2, 5), std::invalid_argument);
+  EXPECT_THROW(FpgaModel(FpgaConfig{}, 10, 100, 1, 5), std::invalid_argument);
+  FpgaConfig bad;
+  bad.dsp_slices = 0;
+  EXPECT_THROW(FpgaModel(bad, 10, 100, 2, 5), std::invalid_argument);
+}
+
+TEST(FpgaModel, EncodeCyclesGrowWithDimAndWindow) {
+  const FpgaModel narrow(FpgaConfig{}, 100, 4000, 4, 10);
+  const FpgaModel wide(FpgaConfig{}, 100, 4000, 4, 40);
+  EXPECT_LT(narrow.encode_cycles(), wide.encode_cycles());
+  const FpgaModel small(FpgaConfig{}, 100, 1000, 4, 10);
+  EXPECT_LT(small.encode_cycles(), narrow.encode_cycles());
+}
+
+TEST(FpgaModel, SearchCyclesGrowWithClasses) {
+  const FpgaModel few(FpgaConfig{}, 100, 4000, 2, 10);
+  const FpgaModel many(FpgaConfig{}, 100, 4000, 26, 10);
+  EXPECT_LT(few.search_cycles(), many.search_cycles());
+}
+
+TEST(FpgaModel, TrainCyclesDecomposeAsDocumented) {
+  const FpgaModel m(FpgaConfig{}, 100, 4000, 4, 10);
+  EXPECT_EQ(m.train_sample_cycles(),
+            m.encode_cycles() + m.search_cycles() + m.accumulate_cycles());
+  EXPECT_EQ(m.infer_sample_cycles(), m.encode_cycles() + m.search_cycles());
+}
+
+TEST(FpgaModel, CentralDesignPowerMatchesThePaper) {
+  const auto m = central_design(617, 4000, 26);
+  EXPECT_NEAR(m.power_w(), 9.8, 1.0);  // Kintex-7 centralized figure
+}
+
+TEST(FpgaModel, EdgeDesignPowerMatchesThePaper) {
+  const auto m = edge_design(25, 1333, 5);
+  EXPECT_NEAR(m.power_w(), 0.28, 0.08);  // per-node figure
+}
+
+TEST(FpgaModel, ResourcesFitTheFabricForPaperDesignPoints) {
+  const auto central = central_design(784, 4000, 10);
+  EXPECT_TRUE(central.resources().fits);
+  EXPECT_LE(central.resources().dsp_used, FpgaConfig{}.dsp_slices);
+  const auto edge = edge_design(6, 77, 3);
+  EXPECT_TRUE(edge.resources().fits);
+}
+
+TEST(FpgaModel, CyclesToTimeUsesTheClock) {
+  FpgaConfig cfg;
+  cfg.clock_hz = 100e6;
+  const FpgaModel m(cfg, 10, 100, 2, 2);
+  EXPECT_EQ(m.cycles_to_time(100), 1000);  // 100 cycles at 100 MHz = 1 us
+}
+
+TEST(FpgaModel, EnergyEqualsPowerTimesTime) {
+  const auto m = central_design(100, 2000, 4);
+  const std::uint64_t cycles = 1'000'000;
+  EXPECT_NEAR(m.energy_j(cycles),
+              m.power_w() * static_cast<double>(cycles) / m.config().clock_hz,
+              1e-12);
+}
+
+TEST(FpgaModel, AsPlatformIsConsistentWithTheCycleModel) {
+  const auto m = central_design(617, 4000, 26);
+  const auto p = m.as_platform("test");
+  EXPECT_NEAR(p.active_power_w, m.power_w(), 1e-9);
+  EXPECT_GT(p.macs_per_second, 0.0);
+}
+
+TEST(FpgaModel, WindowIsClampedToFeatureCount) {
+  const FpgaModel m(FpgaConfig{}, 5, 100, 2, 50);
+  // window > n is clamped; encode touches at most n features per row.
+  EXPECT_LE(m.encode_cycles(),
+            FpgaModel(FpgaConfig{}, 5, 100, 2, 5).encode_cycles() + 8);
+}
+
+TEST(FpgaModel, BramGrowsWithModelSize) {
+  const auto small = FpgaModel(FpgaConfig{}, 100, 1000, 2, 10);
+  const auto large = FpgaModel(FpgaConfig{}, 100, 8000, 26, 10);
+  EXPECT_LT(small.resources().bram_bits_used,
+            large.resources().bram_bits_used);
+}
+
+}  // namespace

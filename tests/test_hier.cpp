@@ -1,0 +1,170 @@
+// Unit tests for the hierarchy substrate: dimension allocation and the
+// hierarchical (concat + ternary projection) encoder (src/hier/*).
+#include <gtest/gtest.h>
+
+#include "hdc/random.hpp"
+#include "hier/dim_allocation.hpp"
+#include "hier/hier_encoder.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace edgehd;
+using namespace edgehd::hier;
+
+// ------------------------------------------------------------ allocation
+
+TEST(DimAllocation, ProportionalToSubtreeFeatures) {
+  // paper_tree(4): leaves with features 10, 10, 20, 40 (n = 80).
+  const auto topo = net::Topology::paper_tree(4);
+  const auto alloc = allocate_dims(topo, {10, 10, 20, 40}, 8000, 1);
+  const auto leaves = topo.leaves();
+  EXPECT_EQ(alloc.dims[leaves[0]], 1000u);  // 8000 * 10/80
+  EXPECT_EQ(alloc.dims[leaves[2]], 2000u);
+  EXPECT_EQ(alloc.dims[leaves[3]], 4000u);
+  EXPECT_EQ(alloc.dims[topo.root()], 8000u);
+  // Gateway over leaves 0 and 1 holds 20 of 80 features.
+  const auto gw = topo.parent(leaves[0]);
+  EXPECT_EQ(alloc.subtree_features[gw], 20u);
+  EXPECT_EQ(alloc.dims[gw], 2000u);
+}
+
+TEST(DimAllocation, FloorsTinySlices) {
+  const auto topo = net::Topology::star(4);
+  const auto alloc = allocate_dims(topo, {1, 1, 1, 97}, 1000, 32);
+  const auto leaves = topo.leaves();
+  EXPECT_EQ(alloc.dims[leaves[0]], 32u);  // 10 would be below the floor
+  EXPECT_EQ(alloc.dims[topo.root()], 1000u);
+}
+
+TEST(DimAllocation, ValidatesInputs) {
+  const auto topo = net::Topology::star(2);
+  EXPECT_THROW(allocate_dims(topo, {1}, 100), std::invalid_argument);
+  EXPECT_THROW(allocate_dims(topo, {1, 0}, 100), std::invalid_argument);
+  EXPECT_THROW(allocate_dims(topo, {1, 1}, 0), std::invalid_argument);
+}
+
+TEST(DimAllocation, DeepTreesPropagateFeatureCounts) {
+  const auto topo = net::Topology::uniform_depth(8, 4);
+  const auto alloc =
+      allocate_dims(topo, std::vector<std::size_t>(8, 5), 4000, 8);
+  EXPECT_EQ(alloc.subtree_features[topo.root()], 40u);
+  for (std::size_t level = 2; level < topo.depth(); ++level) {
+    for (const auto id : topo.nodes_at_level(level)) {
+      EXPECT_GT(alloc.subtree_features[id], 0u);
+      EXPECT_LE(alloc.dims[id], 4000u);
+    }
+  }
+}
+
+// ------------------------------------------------------------ hier encoder
+
+TEST(HierEncoder, ValidatesConstruction) {
+  EXPECT_THROW(HierEncoder({}, 10, 1), std::invalid_argument);
+  EXPECT_THROW(HierEncoder({4, 4}, 0, 1), std::invalid_argument);
+  // Concatenation mode requires out_dim == sum(child_dims).
+  EXPECT_THROW(HierEncoder({4, 4}, 10, 1, AggregationMode::kConcatenation),
+               std::invalid_argument);
+  EXPECT_NO_THROW(HierEncoder({4, 6}, 10, 1, AggregationMode::kConcatenation));
+}
+
+TEST(HierEncoder, ConcatChecksChildShapes) {
+  HierEncoder enc({4, 4}, 8, 1, AggregationMode::kConcatenation);
+  hdc::Rng rng(1);
+  std::vector<hdc::BipolarHV> ok{rng.sign_vector(4), rng.sign_vector(4)};
+  EXPECT_EQ(enc.concat(ok).size(), 8u);
+  std::vector<hdc::BipolarHV> wrong_count{rng.sign_vector(4)};
+  EXPECT_THROW(enc.concat(wrong_count), std::invalid_argument);
+  std::vector<hdc::BipolarHV> wrong_dim{rng.sign_vector(4), rng.sign_vector(5)};
+  EXPECT_THROW(enc.concat(wrong_dim), std::invalid_argument);
+}
+
+TEST(HierEncoder, ConcatenationModeIsIdentity) {
+  HierEncoder enc({3, 2}, 5, 1, AggregationMode::kConcatenation);
+  const std::vector<hdc::BipolarHV> kids{{1, -1, 1}, {-1, 1}};
+  EXPECT_EQ(enc.aggregate(kids), (hdc::BipolarHV{1, -1, 1, -1, 1}));
+  EXPECT_EQ(enc.macs_per_aggregation(), 0u);
+}
+
+TEST(HierEncoder, HolographicOutputHasRequestedDimAndIsBipolar) {
+  HierEncoder enc({100, 100}, 150, 2);
+  hdc::Rng rng(3);
+  const std::vector<hdc::BipolarHV> kids{rng.sign_vector(100),
+                                         rng.sign_vector(100)};
+  const auto out = enc.aggregate(kids);
+  EXPECT_EQ(out.size(), 150u);
+  for (const auto v : out) EXPECT_TRUE(v == 1 || v == -1);
+  EXPECT_EQ(enc.macs_per_aggregation(), 150u * 64);
+}
+
+TEST(HierEncoder, DeterministicPerSeed) {
+  hdc::Rng rng(4);
+  const std::vector<hdc::BipolarHV> kids{rng.sign_vector(64),
+                                         rng.sign_vector(64)};
+  HierEncoder a({64, 64}, 96, 7);
+  HierEncoder b({64, 64}, 96, 7);
+  HierEncoder c({64, 64}, 96, 8);
+  EXPECT_EQ(a.aggregate(kids), b.aggregate(kids));
+  EXPECT_NE(a.aggregate(kids), c.aggregate(kids));
+}
+
+TEST(HierEncoder, ProjectionIsApproximatelyLinear) {
+  // project() rescales with integer division, so additivity holds within
+  // one truncation unit per component — the property that makes class-
+  // hypervector aggregation consistent with sample-level aggregation.
+  HierEncoder enc({32, 32}, 48, 9);
+  hdc::Rng rng(10);
+  hdc::AccumHV a(64), b(64), sum(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    a[i] = static_cast<std::int32_t>(rng.index(41)) - 20;
+    b[i] = static_cast<std::int32_t>(rng.index(41)) - 20;
+    sum[i] = a[i] + b[i];
+  }
+  const auto pa = enc.project(a);
+  const auto pb = enc.project(b);
+  const auto ps = enc.project(sum);
+  for (std::size_t i = 0; i < 48; ++i) {
+    EXPECT_NEAR(ps[i], pa[i] + pb[i], 2) << "component " << i;
+  }
+}
+
+TEST(HierEncoder, ProjectionPreservesSimilarityStructure) {
+  // Nearby inputs stay nearby after holographic aggregation.
+  HierEncoder enc({256, 256}, 384, 11);
+  hdc::Rng rng(12);
+  const auto a = rng.sign_vector(512);
+  auto near = a;
+  for (std::size_t i = 0; i < 30; ++i) {
+    near[i] = static_cast<std::int8_t>(-near[i]);
+  }
+  const auto far = rng.sign_vector(512);
+  const auto pa = enc.encode(a);
+  EXPECT_LT(hdc::hamming(pa, enc.encode(near)),
+            hdc::hamming(pa, enc.encode(far)));
+}
+
+TEST(HierEncoder, HolographicSpreadsInformationAcrossDims) {
+  // Zeroing a random 40% of holographic dimensions perturbs similarity far
+  // less than losing the same fraction of one child's concat block.
+  HierEncoder holo({128, 128}, 256, 13);
+  hdc::Rng rng(14);
+  const std::vector<hdc::BipolarHV> kids{rng.sign_vector(128),
+                                         rng.sign_vector(128)};
+  const auto code = holo.aggregate(kids);
+  auto damaged = code;
+  for (auto& v : damaged) {
+    if (rng.bernoulli(0.4)) v = 0;
+  }
+  // Remaining dimensions still agree with the original nearly everywhere.
+  std::size_t agree = 0;
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (damaged[i] == 0) continue;
+    ++live;
+    if (damaged[i] == code[i]) ++agree;
+  }
+  EXPECT_EQ(agree, live);  // surviving dims are intact...
+  EXPECT_GT(live, 100u);   // ...and a solid majority survives
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Unit tests for the hypervector algebra (src/hdc/hypervector.*).
+#include <gtest/gtest.h>
+
+#include "hdc/hypervector.hpp"
+#include "hdc/random.hpp"
+
+namespace {
+
+using namespace edgehd::hdc;
+
+class HypervectorDims : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HypervectorDims, BindIsInvolution) {
+  Rng rng(1);
+  const auto a = rng.sign_vector(GetParam());
+  const auto b = rng.sign_vector(GetParam());
+  const auto bound = edgehd::hdc::bind(a, b);
+  EXPECT_EQ(edgehd::hdc::bind(bound, b), a);
+}
+
+TEST_P(HypervectorDims, BindWithSelfIsIdentityVector) {
+  Rng rng(2);
+  const auto a = rng.sign_vector(GetParam());
+  const auto self = edgehd::hdc::bind(a, a);
+  for (const auto v : self) EXPECT_EQ(v, 1);
+}
+
+TEST_P(HypervectorDims, BundleThenUnbundleRestoresAccumulator) {
+  Rng rng(3);
+  const auto a = rng.sign_vector(GetParam());
+  AccumHV acc(GetParam(), 0);
+  bundle_into(acc, a);
+  unbundle_from(acc, a);
+  for (const auto v : acc) EXPECT_EQ(v, 0);
+}
+
+TEST_P(HypervectorDims, DotWithSelfEqualsDimension) {
+  Rng rng(4);
+  const auto a = rng.sign_vector(GetParam());
+  EXPECT_EQ(dot(std::span<const std::int8_t>(a), std::span<const std::int8_t>(a)),
+            static_cast<std::int64_t>(GetParam()));
+}
+
+TEST_P(HypervectorDims, DotEqualsDimMinusTwiceHammingCount) {
+  Rng rng(5);
+  const auto a = rng.sign_vector(GetParam());
+  const auto b = rng.sign_vector(GetParam());
+  const double h = hamming(a, b);
+  const auto d = dot(std::span<const std::int8_t>(a), std::span<const std::int8_t>(b));
+  EXPECT_EQ(d, static_cast<std::int64_t>(GetParam()) -
+                   2 * static_cast<std::int64_t>(h * static_cast<double>(GetParam()) + 0.5));
+}
+
+TEST_P(HypervectorDims, RandomHypervectorsAreNearOrthogonal) {
+  Rng rng(6);
+  const auto a = rng.sign_vector(GetParam());
+  const auto b = rng.sign_vector(GetParam());
+  const double normalized =
+      static_cast<double>(dot(std::span<const std::int8_t>(a),
+                              std::span<const std::int8_t>(b))) /
+      static_cast<double>(GetParam());
+  EXPECT_LT(std::abs(normalized), 0.2);
+}
+
+TEST_P(HypervectorDims, PermuteIsReversible) {
+  Rng rng(7);
+  const auto a = rng.sign_vector(GetParam());
+  const auto rotated = permute(a, 13);
+  EXPECT_EQ(permute(rotated, GetParam() - 13 % GetParam()), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HypervectorDims,
+                         ::testing::Values(64, 257, 1000, 4096));
+
+TEST(Hypervector, PermuteByZeroAndByDimIsIdentity) {
+  Rng rng(8);
+  const auto a = rng.sign_vector(100);
+  EXPECT_EQ(permute(a, 0), a);
+  EXPECT_EQ(permute(a, 100), a);
+}
+
+TEST(Hypervector, BinarizeMapsTiesToPlusOne) {
+  const std::vector<float> real{-1.5F, 0.0F, 2.0F, -0.0F};
+  const auto b = binarize(std::span<const float>(real));
+  EXPECT_EQ(b, (BipolarHV{-1, 1, 1, 1}));
+
+  const AccumHV acc{-3, 0, 7};
+  const auto b2 = binarize(std::span<const std::int32_t>(acc));
+  EXPECT_EQ(b2, (BipolarHV{-1, 1, 1}));
+}
+
+TEST(Hypervector, CosineOfIdenticalRealVectorsIsOne) {
+  const std::vector<float> v{1.0F, 2.0F, -3.0F};
+  EXPECT_NEAR(cosine(std::span<const float>(v), std::span<const float>(v)),
+              1.0, 1e-6);
+}
+
+TEST(Hypervector, CosineOfZeroVectorIsZero) {
+  const std::vector<float> z(8, 0.0F);
+  const std::vector<float> v(8, 1.0F);
+  EXPECT_EQ(cosine(std::span<const float>(z), std::span<const float>(v)), 0.0);
+
+  const AccumHV za(8, 0);
+  const BipolarHV q(8, 1);
+  EXPECT_EQ(cosine(std::span<const std::int8_t>(q),
+                   std::span<const std::int32_t>(za)),
+            0.0);
+}
+
+TEST(Hypervector, CosineBipolarAccumMatchesRealCosine) {
+  Rng rng(9);
+  const auto q = rng.sign_vector(512);
+  AccumHV acc(512, 0);
+  for (int i = 0; i < 5; ++i) bundle_into(acc, rng.sign_vector(512));
+  const auto nrm = normalized(acc);
+  std::vector<float> qf(q.begin(), q.end());
+  EXPECT_NEAR(cosine(std::span<const std::int8_t>(q),
+                     std::span<const std::int32_t>(acc)),
+              cosine(std::span<const float>(qf), std::span<const float>(nrm)),
+              1e-5);
+}
+
+TEST(Hypervector, NormalizedHasUnitNorm) {
+  Rng rng(10);
+  AccumHV acc(256, 0);
+  for (int i = 0; i < 9; ++i) bundle_into(acc, rng.sign_vector(256));
+  const auto n = normalized(acc);
+  EXPECT_NEAR(norm(std::span<const float>(n)), 1.0, 1e-5);
+}
+
+TEST(Hypervector, NormalizedZeroAccumulatorStaysZero) {
+  const AccumHV acc(16, 0);
+  const auto n = normalized(acc);
+  for (const float v : n) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Hypervector, AccumulateAndDeaccumulateAreInverse) {
+  AccumHV a{1, -2, 3};
+  const AccumHV b{4, 5, -6};
+  accumulate(a, b);
+  EXPECT_EQ(a, (AccumHV{5, 3, -3}));
+  deaccumulate(a, b);
+  EXPECT_EQ(a, (AccumHV{1, -2, 3}));
+}
+
+TEST(Hypervector, HammingBounds) {
+  const BipolarHV a{1, 1, -1, -1};
+  const BipolarHV b{-1, -1, 1, 1};
+  EXPECT_EQ(hamming(a, a), 0.0);
+  EXPECT_EQ(hamming(a, b), 1.0);
+}
+
+TEST(Hypervector, BundledVectorIsMoreSimilarToMembersThanToStrangers) {
+  Rng rng(11);
+  const std::size_t d = 2048;
+  std::vector<BipolarHV> members;
+  AccumHV acc(d, 0);
+  for (int i = 0; i < 7; ++i) {
+    members.push_back(rng.sign_vector(d));
+    bundle_into(acc, members.back());
+  }
+  const auto stranger = rng.sign_vector(d);
+  for (const auto& m : members) {
+    EXPECT_GT(cosine(std::span<const std::int8_t>(m),
+                     std::span<const std::int32_t>(acc)),
+              cosine(std::span<const std::int8_t>(stranger),
+                     std::span<const std::int32_t>(acc)));
+  }
+}
+
+}  // namespace

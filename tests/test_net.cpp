@@ -1,0 +1,238 @@
+// Unit tests for the network substrate: media, topologies, the
+// discrete-event simulator and the platform models (src/net/*).
+#include <gtest/gtest.h>
+
+#include "net/medium.hpp"
+#include "net/platform.hpp"
+#include "net/simulator.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace edgehd::net;
+
+// ---------------------------------------------------------------- media
+
+TEST(Medium, PresetsCoverTheFivePaperMedia) {
+  EXPECT_EQ(all_media().size(), 5u);
+  EXPECT_GT(medium(MediumKind::kWired1G).bandwidth_bps,
+            medium(MediumKind::kWifi80211ac).bandwidth_bps);
+  EXPECT_GT(medium(MediumKind::kWifi80211ac).bandwidth_bps,
+            medium(MediumKind::kBluetooth4).bandwidth_bps);
+  EXPECT_FALSE(medium(MediumKind::kWired1G).shared_domain);
+  EXPECT_TRUE(medium(MediumKind::kWifi80211n).shared_domain);
+}
+
+TEST(Medium, TransferTimeIsLatencyPlusSerialization) {
+  const Medium& m = medium(MediumKind::kWired1G);
+  // 1 Gbps: 125 bytes take 1 microsecond on the wire.
+  EXPECT_EQ(transfer_time(m, 125), m.latency + 1 * kMicrosecond);
+  EXPECT_EQ(transfer_time(m, 0), m.latency);
+}
+
+TEST(Medium, TransferEnergyScalesWithBytes) {
+  const Medium& m = medium(MediumKind::kWifi80211ac);
+  EXPECT_NEAR(transfer_energy_j(m, 2000), 2 * transfer_energy_j(m, 1000),
+              1e-12);
+}
+
+// ---------------------------------------------------------------- topology
+
+TEST(Topology, StarShape) {
+  const auto t = Topology::star(5);
+  EXPECT_EQ(t.num_nodes(), 6u);
+  EXPECT_EQ(t.leaves().size(), 5u);
+  EXPECT_EQ(t.depth(), 2u);
+  for (const NodeId leaf : t.leaves()) {
+    EXPECT_EQ(t.parent(leaf), t.root());
+    EXPECT_EQ(t.level(leaf), 1u);
+    EXPECT_EQ(t.hops_to_root(leaf), 1u);
+  }
+}
+
+TEST(Topology, PaperTreePairsLeavesUnderGateways) {
+  // 5 end nodes: two gateways of two, one leftover directly on the root
+  // (the APRI deployment of Section VI-A).
+  const auto t = Topology::paper_tree(5);
+  EXPECT_EQ(t.leaves().size(), 5u);
+  EXPECT_EQ(t.depth(), 3u);
+  EXPECT_EQ(t.nodes_at_level(2).size(), 2u);  // gateways
+  std::size_t direct = 0;
+  for (const NodeId leaf : t.leaves()) {
+    if (t.parent(leaf) == t.root()) ++direct;
+  }
+  EXPECT_EQ(direct, 1u);
+}
+
+TEST(Topology, PaperTreeEvenCountHasNoLeftover) {
+  const auto t = Topology::paper_tree(4);
+  for (const NodeId leaf : t.leaves()) {
+    EXPECT_NE(t.parent(leaf), t.root());
+  }
+}
+
+TEST(Topology, PecanTreeMatchesTheFigureEightHierarchy) {
+  const auto t = Topology::pecan_tree();
+  // 312 appliances, 52 houses, 8 streets, 1 central node.
+  EXPECT_EQ(t.num_nodes(), 312u + 52 + 8 + 1);
+  EXPECT_EQ(t.leaves().size(), 312u);
+  EXPECT_EQ(t.depth(), 4u);
+  EXPECT_EQ(t.nodes_at_level(2).size(), 52u);
+  EXPECT_EQ(t.nodes_at_level(3).size(), 8u);
+}
+
+TEST(Topology, UniformDepthHitsRequestedDepth) {
+  for (std::size_t depth = 2; depth <= 7; ++depth) {
+    const auto t = Topology::uniform_depth(52, depth);
+    EXPECT_EQ(t.depth(), depth) << "depth " << depth;
+    EXPECT_EQ(t.leaves().size(), 52u);
+  }
+}
+
+TEST(Topology, RejectsMalformedParentVectors) {
+  EXPECT_THROW(Topology({}), std::invalid_argument);
+  EXPECT_THROW(Topology({kNoNode, kNoNode}), std::invalid_argument);  // 2 roots
+  EXPECT_THROW(Topology({1, 0}), std::invalid_argument);              // cycle
+  EXPECT_THROW(Topology({5, kNoNode}), std::invalid_argument);  // bad parent
+  EXPECT_THROW(Topology({0}), std::invalid_argument);           // self loop
+}
+
+TEST(Topology, LevelIsOnePlusDeepestChild) {
+  // Chain: 0 -> 1 -> 2 (root), plus leaf 3 directly under root.
+  const auto t = Topology({1, 2, kNoNode, 2});
+  EXPECT_EQ(t.level(0), 1u);
+  EXPECT_EQ(t.level(1), 2u);
+  EXPECT_EQ(t.level(2), 3u);
+  EXPECT_EQ(t.level(3), 1u);
+  EXPECT_EQ(t.depth(), 3u);
+}
+
+// ---------------------------------------------------------------- simulator
+
+TEST(Simulator, EventsRunInTimeOrderWithStableTies) {
+  Simulator sim(Topology::star(2), medium(MediumKind::kWired1G));
+  std::vector<int> order;
+  sim.schedule(10, [&] { order.push_back(2); });
+  sim.schedule(5, [&] { order.push_back(1); });
+  sim.schedule(10, [&] { order.push_back(3); });  // tie: insertion order
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ComputeSerializesPerNode) {
+  Simulator sim(Topology::star(1), medium(MediumKind::kWired1G));
+  SimTime first_done = 0;
+  SimTime second_done = 0;
+  sim.compute(0, 100, 1.0, [&] { first_done = sim.now(); });
+  sim.compute(0, 50, 1.0, [&] { second_done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(first_done, 100);
+  EXPECT_EQ(second_done, 150);  // queued behind the first task
+}
+
+TEST(Simulator, ComputeOnDistinctNodesOverlaps) {
+  Simulator sim(Topology::star(2), medium(MediumKind::kWired1G));
+  sim.compute(0, 100, 1.0);
+  sim.compute(1, 100, 1.0);
+  EXPECT_EQ(sim.run(), 100);
+}
+
+TEST(Simulator, LinkSerializesTransfers) {
+  const Medium m{MediumKind::kWired1G, "test", 8e9, 0, 1.0, 1.0, false};
+  Simulator sim(Topology::star(1), m);
+  // Two 1000-byte messages on the same link: 1 us each, back to back.
+  SimTime last = 0;
+  sim.send(0, 1, 1000);
+  sim.send(0, 1, 1000, [&] { last = sim.now(); });
+  sim.run();
+  EXPECT_EQ(last, 2 * kMicrosecond);
+}
+
+TEST(Simulator, SharedDomainSerializesAcrossLinks) {
+  const Medium shared{MediumKind::kWifi80211n, "w", 8e9, 0, 1.0, 1.0, true};
+  Simulator sim(Topology::star(2), shared);
+  SimTime done = 0;
+  sim.send(0, 2, 1000);
+  sim.send(1, 2, 1000, [&] { done = sim.now(); });  // different link
+  sim.run();
+  EXPECT_EQ(done, 2 * kMicrosecond);  // contends with the first transfer
+
+  const Medium wired{MediumKind::kWired1G, "w", 8e9, 0, 1.0, 1.0, false};
+  Simulator sim2(Topology::star(2), wired);
+  SimTime done2 = 0;
+  sim2.send(0, 2, 1000);
+  sim2.send(1, 2, 1000, [&] { done2 = sim2.now(); });
+  sim2.run();
+  EXPECT_EQ(done2, 1 * kMicrosecond);  // independent wired links overlap
+}
+
+TEST(Simulator, SendRequiresAdjacency) {
+  Simulator sim(Topology::paper_tree(4), medium(MediumKind::kWired1G));
+  const auto leaves = sim.topology().leaves();
+  EXPECT_THROW(sim.send(leaves[0], leaves[1], 10), std::invalid_argument);
+}
+
+TEST(Simulator, SendToRootCountsEveryHop) {
+  Simulator sim(Topology::paper_tree(4), medium(MediumKind::kWired1G));
+  const auto leaf = sim.topology().leaves().front();
+  bool delivered = false;
+  sim.send_to_root(leaf, 1000, [&] { delivered = true; });
+  sim.run();
+  EXPECT_TRUE(delivered);
+  // Leaf -> gateway -> root: 2 hops, bytes charged once per hop.
+  EXPECT_EQ(sim.total_bytes_transferred(), 2000u);
+  EXPECT_EQ(sim.stats(leaf).bytes_tx, 1000u);
+  EXPECT_EQ(sim.stats(sim.topology().root()).bytes_rx, 1000u);
+}
+
+TEST(Simulator, EnergyAccountingMatchesPowerTimesTime) {
+  Simulator sim(Topology::star(1), medium(MediumKind::kWired1G));
+  sim.compute(0, kSecond, 2.5);
+  sim.run();
+  EXPECT_NEAR(sim.stats(0).compute_energy_j, 2.5, 1e-9);
+  EXPECT_NEAR(sim.total_energy_j(), 2.5, 1e-9);
+}
+
+TEST(Simulator, RejectsInvalidCalls) {
+  Simulator sim(Topology::star(1), medium(MediumKind::kWired1G));
+  EXPECT_THROW(sim.schedule(-1, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.compute(99, 1, 1.0), std::out_of_range);
+  EXPECT_THROW(sim.compute(0, -5, 1.0), std::invalid_argument);
+  EXPECT_THROW(sim.stats(99), std::out_of_range);
+  EXPECT_THROW(sim.set_link_medium(sim.topology().root(),
+                                   medium(MediumKind::kBluetooth4)),
+               std::invalid_argument);
+}
+
+TEST(Simulator, PerLinkMediumOverrideApplies) {
+  Simulator sim(Topology::star(2), medium(MediumKind::kWired1G));
+  sim.set_link_medium(0, medium(MediumKind::kBluetooth4));
+  SimTime slow = 0;
+  SimTime fast = 0;
+  sim.send(0, 2, 100000, [&] { slow = sim.now(); });
+  sim.send(1, 2, 100000, [&] { fast = sim.now(); });
+  sim.run();
+  EXPECT_GT(slow, fast);
+}
+
+// ---------------------------------------------------------------- platforms
+
+TEST(Platform, TimeAndEnergyScaleWithWork) {
+  const Platform& p = hd_gpu();
+  EXPECT_EQ(time_for_macs(p, 0), 0);
+  EXPECT_NEAR(static_cast<double>(time_for_macs(p, 2'000'000)),
+              2.0 * static_cast<double>(time_for_macs(p, 1'000'000)), 2.0);
+  EXPECT_NEAR(energy_for_macs(p, 1'000'000),
+              p.active_power_w * 1e6 / p.macs_per_second, 1e-12);
+}
+
+TEST(Platform, PresetOrderingMatchesThePaper) {
+  // The GPU is the fastest platform; the per-node FPGA draws the least power.
+  EXPECT_GT(hd_gpu().macs_per_second, hd_fpga_central().macs_per_second);
+  EXPECT_GT(hd_fpga_central().macs_per_second, edge_node().macs_per_second);
+  EXPECT_LT(edge_fpga().active_power_w, 1.0);       // ~0.28 W per node
+  EXPECT_NEAR(hd_fpga_central().active_power_w, 9.8, 1e-9);
+  EXPECT_GT(dnn_gpu().active_power_w, 200.0);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Parameterized property sweeps over the paper's main tunables: hypervector
+// dimensionality, transmission loss, hierarchy depth, and batch size.
+#include <gtest/gtest.h>
+
+#include "baseline/hd_model.hpp"
+#include "core/edgehd.hpp"
+#include "data/dataset.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace edgehd;
+
+data::Dataset shared_dataset() {
+  auto ds = data::make_synthetic("prop", 32, 3, {8, 8, 8, 8}, 900, 250, 81,
+                                 3.6F, 0.55F, 0.5F);
+  data::zscore_normalize(ds);
+  return ds;
+}
+
+// ------------------------------------------------------- dimensionality
+
+class DimSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DimSweep, CentralizedModelLearnsAtEveryDimension) {
+  const auto ds = shared_dataset();
+  baseline::HdModelConfig cfg;
+  cfg.dim = GetParam();
+  baseline::HdModel model(cfg);
+  model.fit(ds);
+  // Even small D learns; larger D must not be worse than chance by far.
+  EXPECT_GT(model.test_accuracy(ds), GetParam() >= 1000 ? 0.7 : 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DimSweep,
+                         ::testing::Values(250, 500, 1000, 2000, 4000));
+
+TEST(DimProperty, MoreDimensionsDoNotHurtMuch) {
+  const auto ds = shared_dataset();
+  auto acc_at = [&](std::size_t d) {
+    baseline::HdModelConfig cfg;
+    cfg.dim = d;
+    baseline::HdModel model(cfg);
+    model.fit(ds);
+    return model.test_accuracy(ds);
+  };
+  EXPECT_GT(acc_at(4000), acc_at(250) - 0.05);
+}
+
+// ------------------------------------------------------- transmission loss
+
+class LossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossSweep, HolographicAccuracyDegradesGracefully) {
+  static const auto ds = shared_dataset();
+  core::SystemConfig cfg;
+  cfg.total_dim = 1600;
+  cfg.batch_size = 4;
+  static core::EdgeHdSystem sys = [] {
+    core::SystemConfig c;
+    c.total_dim = 1600;
+    c.batch_size = 4;
+    core::EdgeHdSystem s(ds, net::Topology::paper_tree(4), c);
+    s.train();
+    return s;
+  }();
+  const auto root = sys.topology().root();
+  const double clean = sys.accuracy_at_node_with_loss(root, 0.0, 5);
+  const double lossy = sys.accuracy_at_node_with_loss(root, GetParam(), 5);
+  // Graceful degradation: even heavy loss keeps most of the accuracy
+  // (paper: <= 8.3% drop at 80% loss for the holographic encoding).
+  EXPECT_GT(lossy, clean - (GetParam() < 0.5 ? 0.08 : 0.25));
+}
+
+INSTANTIATE_TEST_SUITE_P(Loss, LossSweep,
+                         ::testing::Values(0.1, 0.2, 0.4, 0.6, 0.8));
+
+// ------------------------------------------------------- hierarchy depth
+
+class DepthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DepthSweep, EngineHandlesArbitraryDepths) {
+  auto ds = data::make_synthetic("depth", 32, 2, std::vector<std::size_t>(8, 4),
+                                 600, 150, 83, 3.8F, 0.5F, 0.4F);
+  data::zscore_normalize(ds);
+  core::SystemConfig cfg;
+  cfg.total_dim = 1600;
+  cfg.batch_size = 4;
+  cfg.min_node_dim = 64;
+  core::EdgeHdSystem sys(
+      ds, net::Topology::uniform_depth(8, GetParam()), cfg);
+  sys.train();
+  EXPECT_EQ(sys.topology().depth(), GetParam());
+  EXPECT_GT(sys.accuracy_at_node(sys.topology().root()), 0.55);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthSweep, ::testing::Values(2, 3, 4, 5));
+
+// ------------------------------------------------------- batch size
+
+class BatchSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchSweep, RetrainingWorksAtEveryBatchSize) {
+  const auto ds = shared_dataset();
+  core::SystemConfig cfg;
+  cfg.total_dim = 1200;
+  cfg.batch_size = GetParam();
+  core::EdgeHdSystem sys(ds, net::Topology::paper_tree(4), cfg);
+  const auto comm = sys.train();
+  EXPECT_GT(comm.bytes, 0u);
+  EXPECT_GT(sys.accuracy_at_node(sys.topology().root()), 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSweep,
+                         ::testing::Values(1, 2, 8, 32, 128));
+
+// ------------------------------------------------------- compression rate
+
+class CompressionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompressionSweep, HigherCompressionMeansFewerQueryBytes) {
+  const auto ds = shared_dataset();
+  core::SystemConfig base;
+  base.total_dim = 1200;
+  base.compression = 1;
+  core::EdgeHdSystem uncompressed(ds, net::Topology::paper_tree(4), base);
+  base.compression = GetParam();
+  core::EdgeHdSystem compressed(ds, net::Topology::paper_tree(4), base);
+  const auto root = compressed.topology().root();
+  EXPECT_LT(compressed.query_gather_bytes(root),
+            uncompressed.query_gather_bytes(root));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, CompressionSweep,
+                         ::testing::Values(5, 10, 25, 50));
+
+}  // namespace

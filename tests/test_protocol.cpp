@@ -1,0 +1,156 @@
+// Protocol-consistency properties of the hierarchical training scheme
+// (paper Section IV-B): aggregating *models* must approximate aggregating
+// *samples*, which is the linearity argument that justifies shipping class
+// and batch hypervectors instead of raw data.
+#include <gtest/gtest.h>
+
+#include "core/edgehd.hpp"
+#include "data/dataset.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/random.hpp"
+#include "hier/hier_encoder.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace edgehd;
+
+double accum_cosine(const hdc::AccumHV& a, const hdc::AccumHV& b) {
+  double num = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += static_cast<double>(a[i]) * b[i];
+  }
+  const double d = hdc::norm(std::span<const std::int32_t>(a)) *
+                   hdc::norm(std::span<const std::int32_t>(b));
+  return d == 0.0 ? 0.0 : num / d;
+}
+
+TEST(Protocol, ClassModelAggregationApproximatesSampleAggregation) {
+  // Parent class hypervector built from children's class sums must align
+  // with the class hypervector built by bundling the parent-level encodings
+  // of the same samples. (Exact up to the children's sign binarization and
+  // the projection's integer rescaling.)
+  auto ds = data::make_synthetic("proto", 24, 2, {12, 12}, 500, 50, 91, 3.6F,
+                                 0.5F, 0.4F);
+  data::zscore_normalize(ds);
+  core::SystemConfig cfg;
+  cfg.total_dim = 1200;
+  core::EdgeHdSystem sys(ds, net::Topology::star(2), cfg);
+  const auto root = sys.topology().root();
+
+  // Path A: the deployed protocol (children ship class sums).
+  sys.train_initial();
+  const auto& protocol_model = sys.classifier_at(root);
+
+  // Path B: bundle the root-level encodings of every sample directly.
+  std::vector<hdc::AccumHV> direct(2, hdc::AccumHV(sys.node_dim(root), 0));
+  for (std::size_t i = 0; i < ds.train_size(); ++i) {
+    const auto hvs = sys.encode_all(ds.train_x[i]);
+    hdc::bundle_into(direct[ds.train_y[i]], hvs[root]);
+  }
+
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_GT(accum_cosine(protocol_model.class_accumulator(c), direct[c]),
+              0.8)
+        << "class " << c;
+  }
+}
+
+TEST(Protocol, BatchHypervectorsCommuteWithAggregation) {
+  // project(concat(children batch sums)) vs sum of projected per-sample
+  // encodings: the same linearity property at batch granularity.
+  hier::HierEncoder agg({64, 64}, 96, 7);
+  hdc::Rng rng(92);
+  const std::size_t batch = 10;
+  std::vector<hdc::BipolarHV> left(batch), right(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    left[i] = rng.sign_vector(64);
+    right[i] = rng.sign_vector(64);
+  }
+  // Path A: children bundle first, parent aggregates the sums.
+  hdc::AccumHV lsum(64, 0), rsum(64, 0);
+  for (std::size_t i = 0; i < batch; ++i) {
+    hdc::bundle_into(lsum, left[i]);
+    hdc::bundle_into(rsum, right[i]);
+  }
+  const auto path_a = agg.aggregate_accum(std::vector<hdc::AccumHV>{lsum, rsum});
+  // Path B: parent aggregates each sample pair, then bundles.
+  hdc::AccumHV path_b(96, 0);
+  for (std::size_t i = 0; i < batch; ++i) {
+    hdc::AccumHV li(left[i].begin(), left[i].end());
+    hdc::AccumHV ri(right[i].begin(), right[i].end());
+    const auto projected =
+        agg.aggregate_accum(std::vector<hdc::AccumHV>{li, ri});
+    hdc::accumulate(path_b, projected);
+  }
+  // Integer rescaling truncates once per projection, so components differ by
+  // at most the batch size; directionally the two paths must agree tightly.
+  EXPECT_GT(accum_cosine(path_a, path_b), 0.85);
+}
+
+TEST(Protocol, ResidualPropagationMatchesDirectSubtraction) {
+  // Applying residuals locally then propagating projected copies upward
+  // must change the parent model the same way as projecting the feedback
+  // queries directly into the parent space and subtracting there.
+  auto ds = data::make_synthetic("resid", 16, 2, {8, 8}, 300, 50, 93, 3.6F,
+                                 0.5F, 0.4F);
+  data::zscore_normalize(ds);
+  core::SystemConfig cfg;
+  cfg.total_dim = 800;
+  core::EdgeHdSystem sys(ds, net::Topology::star(2), cfg);
+  sys.train();
+  const auto root = sys.topology().root();
+  const auto before = sys.classifier_at(root).class_accumulator(0);
+
+  // Feed negative feedback at the root itself (its own residual path).
+  const auto hvs = sys.encode_all(ds.test_x[0]);
+  auto& mutable_sys = sys;  // online_serve is the public mutation path
+  // Use a root-served query: force with threshold > 1 via direct feedback.
+  // (We go through online_serve with a start at the root's level by picking
+  // the root as serving node via an always-escalate config.)
+  (void)mutable_sys;
+  // Direct check at the classifier level:
+  core::EdgeHdSystem twin(ds, net::Topology::star(2), cfg);
+  twin.train();
+  // Same trained state by determinism:
+  ASSERT_EQ(before, twin.classifier_at(root).class_accumulator(0));
+
+  // Give feedback through the engine and propagate.
+  const auto r = sys.infer_routed(ds.test_x[0], sys.topology().leaves()[0]);
+  (void)r;
+  // Subtraction path: expected = before - query (for the predicted class).
+  const auto pred = twin.classifier_at(root).predict(hvs[root]);
+  hdc::AccumHV expected = twin.classifier_at(root).class_accumulator(pred.label);
+  hdc::unbundle_from(expected, hvs[root]);
+
+  // Engine path: negative feedback recorded at the root, then propagated.
+  // (classify_min_level=1 means the root hosts a classifier.)
+  const_cast<hdc::HDClassifier&>(sys.classifier_at(root))
+      .feedback_negative(pred.label, hvs[root]);
+  sys.propagate_residuals();
+  EXPECT_EQ(sys.classifier_at(root).class_accumulator(pred.label), expected);
+}
+
+TEST(Protocol, TrainingTwiceIsIdempotentOnModels) {
+  // Re-running the full protocol from a fresh system with the same seed
+  // yields identical models — the reproducibility guarantee gateways rely
+  // on when re-synchronizing after a failure.
+  auto ds = data::make_synthetic("idem", 16, 2, {8, 8}, 200, 40, 95, 3.6F,
+                                 0.5F, 0.4F);
+  data::zscore_normalize(ds);
+  core::SystemConfig cfg;
+  cfg.total_dim = 640;
+  core::EdgeHdSystem a(ds, net::Topology::star(2), cfg);
+  core::EdgeHdSystem b(ds, net::Topology::star(2), cfg);
+  const auto ca = a.train();
+  const auto cb = b.train();
+  EXPECT_EQ(ca.bytes, cb.bytes);
+  EXPECT_EQ(ca.messages, cb.messages);
+  const auto root = a.topology().root();
+  for (std::size_t c = 0; c < ds.num_classes; ++c) {
+    EXPECT_EQ(a.classifier_at(root).class_accumulator(c),
+              b.classifier_at(root).class_accumulator(c));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Unit tests for the seeded RNG utilities (src/hdc/random.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hdc/random.hpp"
+
+namespace {
+
+using namespace edgehd::hdc;
+
+TEST(Random, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.engine()(), b.engine()());
+  }
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.engine()() == b.engine()()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Random, DeriveSeedIsDeterministicAndSpreads) {
+  EXPECT_EQ(derive_seed(7, 0), derive_seed(7, 0));
+  EXPECT_NE(derive_seed(7, 0), derive_seed(7, 1));
+  EXPECT_NE(derive_seed(7, 0), derive_seed(8, 0));
+}
+
+TEST(Random, GaussianMoments) {
+  Rng rng(3);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Random, SignIsBalancedAndBipolar) {
+  Rng rng(4);
+  int pos = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const auto s = rng.sign();
+    ASSERT_TRUE(s == 1 || s == -1);
+    if (s == 1) ++pos;
+  }
+  EXPECT_NEAR(static_cast<double>(pos) / n, 0.5, 0.03);
+}
+
+TEST(Random, UniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0F, 3.0F);
+    EXPECT_GE(v, -2.0F);
+    EXPECT_LT(v, 3.0F);
+  }
+}
+
+TEST(Random, IndexStaysInRange) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(17), 17u);
+  }
+}
+
+TEST(Random, BernoulliMatchesProbability) {
+  Rng rng(7);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Random, VectorHelpersHaveRequestedSize) {
+  Rng rng(8);
+  EXPECT_EQ(rng.gaussian_vector(37).size(), 37u);
+  EXPECT_EQ(rng.sign_vector(53).size(), 53u);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Unit tests for the binary model/hypervector codec (src/hdc/serialize.*).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "hdc/random.hpp"
+#include "hdc/serialize.hpp"
+
+namespace {
+
+using namespace edgehd::hdc;
+
+TEST(Serialize, BipolarRoundTrip) {
+  Rng rng(1);
+  for (const std::size_t dim : {1u, 7u, 64u, 1000u, 4001u}) {
+    const auto hv = rng.sign_vector(dim);
+    std::stringstream buf;
+    save(buf, hv);
+    EXPECT_EQ(load_bipolar(buf), hv) << "dim " << dim;
+  }
+}
+
+TEST(Serialize, AccumRoundTrip) {
+  Rng rng(2);
+  AccumHV acc(513);
+  for (auto& v : acc) {
+    v = static_cast<std::int32_t>(rng.index(200001)) - 100000;
+  }
+  std::stringstream buf;
+  save(buf, acc);
+  EXPECT_EQ(load_accum(buf), acc);
+}
+
+TEST(Serialize, ClassifierRoundTripPreservesPredictions) {
+  Rng rng(3);
+  ClassifierConfig cfg;
+  cfg.softmax_beta = 48.0;
+  cfg.retrain_epochs = 7;
+  HDClassifier clf(3, 256, cfg);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (int i = 0; i < 12; ++i) clf.add_sample(c, rng.sign_vector(256));
+  }
+  std::stringstream buf;
+  save(buf, clf);
+  const auto restored = load_classifier(buf);
+  EXPECT_EQ(restored.num_classes(), 3u);
+  EXPECT_EQ(restored.dim(), 256u);
+  EXPECT_EQ(restored.config().softmax_beta, 48.0);
+  EXPECT_EQ(restored.config().retrain_epochs, 7u);
+  for (int i = 0; i < 20; ++i) {
+    const auto q = rng.sign_vector(256);
+    const auto a = clf.predict(q);
+    const auto b = restored.predict(q);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_NEAR(a.confidence, b.confidence, 1e-12);
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng(4);
+  HDClassifier clf(2, 64);
+  clf.add_sample(0, rng.sign_vector(64));
+  clf.add_sample(1, rng.sign_vector(64));
+  const std::string path = ::testing::TempDir() + "/edgehd_model.bin";
+  save_classifier_file(path, clf);
+  const auto restored = load_classifier_file(path);
+  EXPECT_EQ(restored.class_accumulator(0), clf.class_accumulator(0));
+  EXPECT_EQ(restored.class_accumulator(1), clf.class_accumulator(1));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadMagicWrongTagAndTruncation) {
+  std::stringstream bad("nope");
+  EXPECT_THROW(load_bipolar(bad), std::runtime_error);
+
+  Rng rng(5);
+  std::stringstream wrong_tag;
+  save(wrong_tag, rng.sign_vector(16));  // bipolar record
+  EXPECT_THROW(load_accum(wrong_tag), std::runtime_error);
+
+  std::stringstream buf;
+  save(buf, rng.sign_vector(1024));
+  std::string data = buf.str();
+  data.resize(data.size() / 2);  // chop the payload
+  std::stringstream truncated(data);
+  EXPECT_THROW(load_bipolar(truncated), std::runtime_error);
+
+  EXPECT_THROW(load_classifier_file("/nonexistent/model.bin"),
+               std::runtime_error);
+}
+
+TEST(Serialize, RecordsAreCompact) {
+  Rng rng(6);
+  const auto hv = rng.sign_vector(4000);
+  std::stringstream buf;
+  save(buf, hv);
+  // 4 magic + 1 tag + 8 dim + 500 packed payload bytes.
+  EXPECT_EQ(buf.str().size(), 4u + 1 + 8 + 500);
+}
+
+}  // namespace

@@ -1,0 +1,31 @@
+// Build smoke test: every public header compiles and the basic end-to-end
+// flow (encode → train → predict) runs.
+#include <gtest/gtest.h>
+
+#include "baseline/adaboost.hpp"
+#include "baseline/hd_model.hpp"
+#include "baseline/mlp.hpp"
+#include "baseline/svm.hpp"
+#include "core/cost_model.hpp"
+#include "core/edgehd.hpp"
+#include "data/dataset.hpp"
+#include "fpga/fpga_model.hpp"
+#include "hdc/classifier.hpp"
+#include "hdc/compress.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/spatial_encoder.hpp"
+#include "hdc/wire.hpp"
+#include "hier/dim_allocation.hpp"
+#include "hier/hier_encoder.hpp"
+#include "net/platform.hpp"
+#include "net/simulator.hpp"
+
+TEST(Smoke, EncodeTrainPredict) {
+  const auto ds = edgehd::data::make_synthetic("smoke", 16, 3, {16}, 300, 90,
+                                               /*seed=*/42);
+  edgehd::baseline::HdModelConfig cfg;
+  cfg.dim = 512;
+  edgehd::baseline::HdModel model(cfg);
+  model.fit(ds);
+  EXPECT_GT(model.test_accuracy(ds), 0.5);
+}

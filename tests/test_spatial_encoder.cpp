@@ -1,0 +1,101 @@
+// Unit + property tests for the fractional-power spatial encoder
+// (src/hdc/spatial_encoder.*, paper Section III-A opening).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hdc/spatial_encoder.hpp"
+
+namespace {
+
+using namespace edgehd::hdc;
+
+TEST(SpatialEncoder, RejectsInvalidArguments) {
+  EXPECT_THROW(SpatialEncoder(0, 4, 64, 1), std::invalid_argument);
+  EXPECT_THROW(SpatialEncoder(4, 4, 0, 1), std::invalid_argument);
+  EXPECT_THROW(SpatialEncoder(4, 4, 64, 1, 0.0F), std::invalid_argument);
+}
+
+TEST(SpatialEncoder, SelfSimilarityIsOne) {
+  SpatialEncoder enc(8, 8, 2048, 5, 2.0F);
+  const auto p = enc.position(3.0F, 4.0F);
+  EXPECT_NEAR(SpatialEncoder::similarity(p, p), 1.0, 1e-5);
+}
+
+class SpatialKernel : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpatialKernel, PositionSimilarityApproximatesGaussianKernel) {
+  const std::size_t dim = GetParam();
+  const float w = 2.0F;
+  SpatialEncoder enc(16, 16, dim, 7, w);
+  const auto base = enc.position(5.0F, 5.0F);
+  // delta(B^X1, B^X2) -> k((X1-X2)/w) as D -> infinity (paper Section III-A).
+  for (const float dx : {0.5F, 1.0F, 2.0F, 4.0F}) {
+    const auto other = enc.position(5.0F + dx, 5.0F);
+    const double expected =
+        std::exp(-0.5 * static_cast<double>(dx) * dx / (w * w));
+    EXPECT_NEAR(SpatialEncoder::similarity(base, other), expected,
+                5.0 / std::sqrt(static_cast<double>(dim)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SpatialKernel,
+                         ::testing::Values(1024, 4096, 16384));
+
+TEST(SpatialEncoder, SimilarityDecaysWithDistance) {
+  SpatialEncoder enc(16, 16, 4096, 9, 2.0F);
+  const auto base = enc.position(0.0F, 0.0F);
+  double prev = 1.0;
+  for (const float r : {1.0F, 2.0F, 4.0F}) {
+    const double s = SpatialEncoder::similarity(base, enc.position(r, 0.0F));
+    EXPECT_LT(s, prev + 0.05);
+    prev = s;
+  }
+}
+
+TEST(SpatialEncoder, BindingIsSeparableAcrossAxes) {
+  // B_x^X * B_y^Y at (x, y) equals elementwise product of the axis parts:
+  // position(x, y) == position(x, 0) * position(0, y).
+  SpatialEncoder enc(8, 8, 512, 11, 1.5F);
+  const auto joint = enc.position(2.0F, 3.0F);
+  const auto px = enc.position(2.0F, 0.0F);
+  const auto py = enc.position(0.0F, 3.0F);
+  for (std::size_t i = 0; i < joint.size(); ++i) {
+    const auto prod = px[i] * py[i];
+    EXPECT_NEAR(joint[i].real(), prod.real(), 1e-4);
+    EXPECT_NEAR(joint[i].imag(), prod.imag(), 1e-4);
+  }
+}
+
+TEST(SpatialEncoder, EncodeBundlesPixelContributions) {
+  SpatialEncoder enc(4, 4, 2048, 13, 1.0F);
+  std::vector<float> img(16, 0.0F);
+  img[5] = 1.0F;  // single bright pixel at (1, 1)
+  const auto hv = enc.encode(img);
+  // The encoding of a single pixel is that pixel's position hypervector.
+  const auto pos = enc.position(1.0F, 1.0F);
+  EXPECT_NEAR(SpatialEncoder::similarity(hv, pos), 1.0, 1e-4);
+}
+
+TEST(SpatialEncoder, SimilarImagesEncodeSimilarly) {
+  SpatialEncoder enc(8, 8, 4096, 15, 2.0F);
+  std::vector<float> a(64, 0.0F);
+  std::vector<float> b(64, 0.0F);
+  std::vector<float> c(64, 0.0F);
+  a[9] = a[10] = 1.0F;   // blob at (1,1)-(2,1)
+  b[10] = b[11] = 1.0F;  // shifted one pixel
+  c[54] = c[55] = 1.0F;  // far corner
+  const auto ha = enc.encode(a);
+  EXPECT_GT(SpatialEncoder::similarity(ha, enc.encode(b)),
+            SpatialEncoder::similarity(ha, enc.encode(c)));
+}
+
+TEST(SpatialEncoder, BinarizeRealProducesBipolar) {
+  SpatialEncoder enc(4, 4, 256, 17, 1.0F);
+  std::vector<float> img(16, 0.5F);
+  const auto bin = SpatialEncoder::binarize_real(enc.encode(img));
+  EXPECT_EQ(bin.size(), 256u);
+  for (const auto v : bin) EXPECT_TRUE(v == 1 || v == -1);
+}
+
+}  // namespace

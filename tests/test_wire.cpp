@@ -1,0 +1,62 @@
+// Unit tests for the wire codec and size accounting (src/hdc/wire.*).
+#include <gtest/gtest.h>
+
+#include "hdc/random.hpp"
+#include "hdc/wire.hpp"
+
+namespace {
+
+using namespace edgehd::hdc;
+
+TEST(Wire, BipolarBytesRoundUp) {
+  EXPECT_EQ(wire_bytes_bipolar(0), 0u);
+  EXPECT_EQ(wire_bytes_bipolar(1), 1u);
+  EXPECT_EQ(wire_bytes_bipolar(8), 1u);
+  EXPECT_EQ(wire_bytes_bipolar(9), 2u);
+  EXPECT_EQ(wire_bytes_bipolar(4000), 500u);
+}
+
+TEST(Wire, BitsForMagnitude) {
+  EXPECT_EQ(bits_for_magnitude(0), 2u);
+  EXPECT_EQ(bits_for_magnitude(1), 2u);
+  EXPECT_EQ(bits_for_magnitude(3), 3u);
+  EXPECT_EQ(bits_for_magnitude(75), 8u);
+  EXPECT_EQ(bits_for_magnitude(-75), 8u);
+}
+
+TEST(Wire, AccumBytesUseActualMagnitude) {
+  const AccumHV small{1, -1, 0, 1};
+  const AccumHV big{1000, -1000, 0, 1};
+  EXPECT_LT(wire_bytes_accum(small), wire_bytes_accum(big));
+  EXPECT_EQ(wire_bytes_accum(4, 8), 4u);
+  EXPECT_EQ(wire_bytes_accum(3, 8), 3u);
+  EXPECT_EQ(wire_bytes_accum(3, 6), 3u);  // 18 bits -> 3 bytes
+}
+
+TEST(Wire, FeatureBytes) {
+  EXPECT_EQ(wire_bytes_features(75), 300u);
+}
+
+class PackRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PackRoundTrip, PackUnpackIsIdentity) {
+  Rng rng(GetParam());
+  const auto hv = rng.sign_vector(GetParam());
+  const auto bytes = pack_bipolar(hv);
+  EXPECT_EQ(bytes.size(), wire_bytes_bipolar(hv.size()));
+  EXPECT_EQ(unpack_bipolar(bytes, hv.size()), hv);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, PackRoundTrip,
+                         ::testing::Values(1, 7, 8, 9, 63, 64, 65, 1000, 4000));
+
+TEST(Wire, PackedDensityMatchesSignBalance) {
+  Rng rng(3);
+  const auto hv = rng.sign_vector(8000);
+  const auto bytes = pack_bipolar(hv);
+  std::size_t ones = 0;
+  for (const auto b : bytes) ones += static_cast<std::size_t>(__builtin_popcount(b));
+  EXPECT_NEAR(static_cast<double>(ones) / 8000.0, 0.5, 0.05);
+}
+
+}  // namespace
