@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_batch_compress.dir/bench_ablation_batch_compress.cpp.o"
+  "CMakeFiles/bench_ablation_batch_compress.dir/bench_ablation_batch_compress.cpp.o.d"
+  "bench_ablation_batch_compress"
+  "bench_ablation_batch_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_batch_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_encoding.dir/bench_ablation_encoding.cpp.o"
+  "CMakeFiles/bench_ablation_encoding.dir/bench_ablation_encoding.cpp.o.d"
+  "bench_ablation_encoding"
+  "bench_ablation_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

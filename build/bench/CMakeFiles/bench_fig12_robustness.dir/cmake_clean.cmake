@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_robustness.dir/bench_fig12_robustness.cpp.o"
+  "CMakeFiles/bench_fig12_robustness.dir/bench_fig12_robustness.cpp.o.d"
+  "bench_fig12_robustness"
+  "bench_fig12_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_depth.cpp" "bench/CMakeFiles/bench_fig13_depth.dir/bench_fig13_depth.cpp.o" "gcc" "bench/CMakeFiles/bench_fig13_depth.dir/bench_fig13_depth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/edgehd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/edgehd_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/edgehd_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/edgehd_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/edgehd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/edgehd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdc/CMakeFiles/edgehd_hdc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

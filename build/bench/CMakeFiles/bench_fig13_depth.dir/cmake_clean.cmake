@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_depth.dir/bench_fig13_depth.cpp.o"
+  "CMakeFiles/bench_fig13_depth.dir/bench_fig13_depth.cpp.o.d"
+  "bench_fig13_depth"
+  "bench_fig13_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

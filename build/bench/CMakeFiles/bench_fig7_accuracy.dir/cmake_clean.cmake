@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_accuracy.dir/bench_fig7_accuracy.cpp.o"
+  "CMakeFiles/bench_fig7_accuracy.dir/bench_fig7_accuracy.cpp.o.d"
+  "bench_fig7_accuracy"
+  "bench_fig7_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

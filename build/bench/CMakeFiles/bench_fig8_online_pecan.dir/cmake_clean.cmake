@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_online_pecan.dir/bench_fig8_online_pecan.cpp.o"
+  "CMakeFiles/bench_fig8_online_pecan.dir/bench_fig8_online_pecan.cpp.o.d"
+  "bench_fig8_online_pecan"
+  "bench_fig8_online_pecan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_online_pecan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_online_pecan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_online_steps.dir/bench_fig9_online_steps.cpp.o"
+  "CMakeFiles/bench_fig9_online_steps.dir/bench_fig9_online_steps.cpp.o.d"
+  "bench_fig9_online_steps"
+  "bench_fig9_online_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_online_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

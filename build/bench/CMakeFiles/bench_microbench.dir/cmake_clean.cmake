@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microbench.dir/bench_microbench.cpp.o"
+  "CMakeFiles/bench_microbench.dir/bench_microbench.cpp.o.d"
+  "bench_microbench"
+  "bench_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_microbench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_hierarchy.dir/bench_table2_hierarchy.cpp.o"
+  "CMakeFiles/bench_table2_hierarchy.dir/bench_table2_hierarchy.cpp.o.d"
+  "bench_table2_hierarchy"
+  "bench_table2_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_recognition.dir/activity_recognition.cpp.o"
+  "CMakeFiles/activity_recognition.dir/activity_recognition.cpp.o.d"
+  "activity_recognition"
+  "activity_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

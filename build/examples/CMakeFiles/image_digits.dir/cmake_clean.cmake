@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_digits.dir/image_digits.cpp.o"
+  "CMakeFiles/image_digits.dir/image_digits.cpp.o.d"
+  "image_digits"
+  "image_digits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_digits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for image_digits.
+# This may be replaced when dependencies are built.

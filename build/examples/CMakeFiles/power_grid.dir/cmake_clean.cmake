@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_grid.dir/power_grid.cpp.o"
+  "CMakeFiles/power_grid.dir/power_grid.cpp.o.d"
+  "power_grid"
+  "power_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

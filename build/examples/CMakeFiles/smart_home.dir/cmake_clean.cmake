@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_home.dir/smart_home.cpp.o"
+  "CMakeFiles/smart_home.dir/smart_home.cpp.o.d"
+  "smart_home"
+  "smart_home.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_home.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

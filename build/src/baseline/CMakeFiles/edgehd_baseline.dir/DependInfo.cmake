@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/adaboost.cpp" "src/baseline/CMakeFiles/edgehd_baseline.dir/adaboost.cpp.o" "gcc" "src/baseline/CMakeFiles/edgehd_baseline.dir/adaboost.cpp.o.d"
+  "/root/repo/src/baseline/hd_model.cpp" "src/baseline/CMakeFiles/edgehd_baseline.dir/hd_model.cpp.o" "gcc" "src/baseline/CMakeFiles/edgehd_baseline.dir/hd_model.cpp.o.d"
+  "/root/repo/src/baseline/mlp.cpp" "src/baseline/CMakeFiles/edgehd_baseline.dir/mlp.cpp.o" "gcc" "src/baseline/CMakeFiles/edgehd_baseline.dir/mlp.cpp.o.d"
+  "/root/repo/src/baseline/model.cpp" "src/baseline/CMakeFiles/edgehd_baseline.dir/model.cpp.o" "gcc" "src/baseline/CMakeFiles/edgehd_baseline.dir/model.cpp.o.d"
+  "/root/repo/src/baseline/model_select.cpp" "src/baseline/CMakeFiles/edgehd_baseline.dir/model_select.cpp.o" "gcc" "src/baseline/CMakeFiles/edgehd_baseline.dir/model_select.cpp.o.d"
+  "/root/repo/src/baseline/svm.cpp" "src/baseline/CMakeFiles/edgehd_baseline.dir/svm.cpp.o" "gcc" "src/baseline/CMakeFiles/edgehd_baseline.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdc/CMakeFiles/edgehd_hdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/edgehd_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

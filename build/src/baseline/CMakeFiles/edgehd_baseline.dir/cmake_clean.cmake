@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgehd_baseline.dir/adaboost.cpp.o"
+  "CMakeFiles/edgehd_baseline.dir/adaboost.cpp.o.d"
+  "CMakeFiles/edgehd_baseline.dir/hd_model.cpp.o"
+  "CMakeFiles/edgehd_baseline.dir/hd_model.cpp.o.d"
+  "CMakeFiles/edgehd_baseline.dir/mlp.cpp.o"
+  "CMakeFiles/edgehd_baseline.dir/mlp.cpp.o.d"
+  "CMakeFiles/edgehd_baseline.dir/model.cpp.o"
+  "CMakeFiles/edgehd_baseline.dir/model.cpp.o.d"
+  "CMakeFiles/edgehd_baseline.dir/model_select.cpp.o"
+  "CMakeFiles/edgehd_baseline.dir/model_select.cpp.o.d"
+  "CMakeFiles/edgehd_baseline.dir/svm.cpp.o"
+  "CMakeFiles/edgehd_baseline.dir/svm.cpp.o.d"
+  "libedgehd_baseline.a"
+  "libedgehd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgehd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

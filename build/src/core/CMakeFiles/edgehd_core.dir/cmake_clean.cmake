@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgehd_core.dir/cost_model.cpp.o"
+  "CMakeFiles/edgehd_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/edgehd_core.dir/edgehd.cpp.o"
+  "CMakeFiles/edgehd_core.dir/edgehd.cpp.o.d"
+  "libedgehd_core.a"
+  "libedgehd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgehd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgehd_data.dir/dataset.cpp.o"
+  "CMakeFiles/edgehd_data.dir/dataset.cpp.o.d"
+  "libedgehd_data.a"
+  "libedgehd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgehd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgehd_fpga.dir/fpga_model.cpp.o"
+  "CMakeFiles/edgehd_fpga.dir/fpga_model.cpp.o.d"
+  "libedgehd_fpga.a"
+  "libedgehd_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgehd_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

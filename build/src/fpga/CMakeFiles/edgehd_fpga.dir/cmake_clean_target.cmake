@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedgehd_fpga.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for edgehd_fpga.
+# This may be replaced when dependencies are built.

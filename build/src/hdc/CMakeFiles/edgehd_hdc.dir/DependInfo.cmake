@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdc/classifier.cpp" "src/hdc/CMakeFiles/edgehd_hdc.dir/classifier.cpp.o" "gcc" "src/hdc/CMakeFiles/edgehd_hdc.dir/classifier.cpp.o.d"
+  "/root/repo/src/hdc/compress.cpp" "src/hdc/CMakeFiles/edgehd_hdc.dir/compress.cpp.o" "gcc" "src/hdc/CMakeFiles/edgehd_hdc.dir/compress.cpp.o.d"
+  "/root/repo/src/hdc/encoder.cpp" "src/hdc/CMakeFiles/edgehd_hdc.dir/encoder.cpp.o" "gcc" "src/hdc/CMakeFiles/edgehd_hdc.dir/encoder.cpp.o.d"
+  "/root/repo/src/hdc/hypervector.cpp" "src/hdc/CMakeFiles/edgehd_hdc.dir/hypervector.cpp.o" "gcc" "src/hdc/CMakeFiles/edgehd_hdc.dir/hypervector.cpp.o.d"
+  "/root/repo/src/hdc/serialize.cpp" "src/hdc/CMakeFiles/edgehd_hdc.dir/serialize.cpp.o" "gcc" "src/hdc/CMakeFiles/edgehd_hdc.dir/serialize.cpp.o.d"
+  "/root/repo/src/hdc/spatial_encoder.cpp" "src/hdc/CMakeFiles/edgehd_hdc.dir/spatial_encoder.cpp.o" "gcc" "src/hdc/CMakeFiles/edgehd_hdc.dir/spatial_encoder.cpp.o.d"
+  "/root/repo/src/hdc/wire.cpp" "src/hdc/CMakeFiles/edgehd_hdc.dir/wire.cpp.o" "gcc" "src/hdc/CMakeFiles/edgehd_hdc.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgehd_hdc.dir/classifier.cpp.o"
+  "CMakeFiles/edgehd_hdc.dir/classifier.cpp.o.d"
+  "CMakeFiles/edgehd_hdc.dir/compress.cpp.o"
+  "CMakeFiles/edgehd_hdc.dir/compress.cpp.o.d"
+  "CMakeFiles/edgehd_hdc.dir/encoder.cpp.o"
+  "CMakeFiles/edgehd_hdc.dir/encoder.cpp.o.d"
+  "CMakeFiles/edgehd_hdc.dir/hypervector.cpp.o"
+  "CMakeFiles/edgehd_hdc.dir/hypervector.cpp.o.d"
+  "CMakeFiles/edgehd_hdc.dir/serialize.cpp.o"
+  "CMakeFiles/edgehd_hdc.dir/serialize.cpp.o.d"
+  "CMakeFiles/edgehd_hdc.dir/spatial_encoder.cpp.o"
+  "CMakeFiles/edgehd_hdc.dir/spatial_encoder.cpp.o.d"
+  "CMakeFiles/edgehd_hdc.dir/wire.cpp.o"
+  "CMakeFiles/edgehd_hdc.dir/wire.cpp.o.d"
+  "libedgehd_hdc.a"
+  "libedgehd_hdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgehd_hdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hier/dim_allocation.cpp" "src/hier/CMakeFiles/edgehd_hier.dir/dim_allocation.cpp.o" "gcc" "src/hier/CMakeFiles/edgehd_hier.dir/dim_allocation.cpp.o.d"
+  "/root/repo/src/hier/hier_encoder.cpp" "src/hier/CMakeFiles/edgehd_hier.dir/hier_encoder.cpp.o" "gcc" "src/hier/CMakeFiles/edgehd_hier.dir/hier_encoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdc/CMakeFiles/edgehd_hdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/edgehd_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgehd_hier.dir/dim_allocation.cpp.o"
+  "CMakeFiles/edgehd_hier.dir/dim_allocation.cpp.o.d"
+  "CMakeFiles/edgehd_hier.dir/hier_encoder.cpp.o"
+  "CMakeFiles/edgehd_hier.dir/hier_encoder.cpp.o.d"
+  "libedgehd_hier.a"
+  "libedgehd_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgehd_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgehd_net.dir/medium.cpp.o"
+  "CMakeFiles/edgehd_net.dir/medium.cpp.o.d"
+  "CMakeFiles/edgehd_net.dir/platform.cpp.o"
+  "CMakeFiles/edgehd_net.dir/platform.cpp.o.d"
+  "CMakeFiles/edgehd_net.dir/simulator.cpp.o"
+  "CMakeFiles/edgehd_net.dir/simulator.cpp.o.d"
+  "CMakeFiles/edgehd_net.dir/topology.cpp.o"
+  "CMakeFiles/edgehd_net.dir/topology.cpp.o.d"
+  "libedgehd_net.a"
+  "libedgehd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgehd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classifier.dir/test_classifier.cpp.o"
+  "CMakeFiles/test_classifier.dir/test_classifier.cpp.o.d"
+  "test_classifier"
+  "test_classifier.pdb"
+  "test_classifier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

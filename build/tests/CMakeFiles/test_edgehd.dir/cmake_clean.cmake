@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edgehd.dir/test_edgehd.cpp.o"
+  "CMakeFiles/test_edgehd.dir/test_edgehd.cpp.o.d"
+  "test_edgehd"
+  "test_edgehd.pdb"
+  "test_edgehd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edgehd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

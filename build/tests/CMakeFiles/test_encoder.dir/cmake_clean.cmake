@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_encoder.dir/test_encoder.cpp.o"
+  "CMakeFiles/test_encoder.dir/test_encoder.cpp.o.d"
+  "test_encoder"
+  "test_encoder.pdb"
+  "test_encoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hier.dir/test_hier.cpp.o"
+  "CMakeFiles/test_hier.dir/test_hier.cpp.o.d"
+  "test_hier"
+  "test_hier.pdb"
+  "test_hier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

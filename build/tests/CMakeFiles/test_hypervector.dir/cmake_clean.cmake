@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypervector.dir/test_hypervector.cpp.o"
+  "CMakeFiles/test_hypervector.dir/test_hypervector.cpp.o.d"
+  "test_hypervector"
+  "test_hypervector.pdb"
+  "test_hypervector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypervector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

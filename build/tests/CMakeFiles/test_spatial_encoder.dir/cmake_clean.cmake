@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spatial_encoder.dir/test_spatial_encoder.cpp.o"
+  "CMakeFiles/test_spatial_encoder.dir/test_spatial_encoder.cpp.o.d"
+  "test_spatial_encoder"
+  "test_spatial_encoder.pdb"
+  "test_spatial_encoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spatial_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

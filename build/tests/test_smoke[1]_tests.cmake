@@ -1,0 +1,3 @@
+add_test([=[Smoke.EncodeTrainPredict]=]  /root/repo/build/tests/test_smoke [==[--gtest_filter=Smoke.EncodeTrainPredict]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Smoke.EncodeTrainPredict]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_smoke_TESTS Smoke.EncodeTrainPredict)
