@@ -37,7 +37,7 @@ int main() {
     bench::print_rule(66);
 
     std::printf("encoder family at D=4000:\n");
-    for (const auto [kind, name] :
+    for (const auto& [kind, name] :
          {std::pair{hdc::EncoderKind::kLinearLevel, "linear-level"},
           std::pair{hdc::EncoderKind::kRbfDense, "dense-RBF"},
           std::pair{hdc::EncoderKind::kRbfSparse, "sparse-RBF-80%"}}) {

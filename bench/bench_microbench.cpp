@@ -1,5 +1,6 @@
 // Micro-benchmarks (google-benchmark) of the HD primitives the FPGA design
-// pipelines (Section V), plus the FPGA model's own per-operation estimates.
+// pipelines (Section V), the FPGA model's own per-operation estimates, and
+// the runtime layer's batch throughput (samples/sec) across worker counts.
 #include <benchmark/benchmark.h>
 
 #include "fpga/fpga_model.hpp"
@@ -8,6 +9,7 @@
 #include "hdc/encoder.hpp"
 #include "hdc/random.hpp"
 #include "hier/hier_encoder.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace {
 
@@ -90,6 +92,92 @@ void BM_Compress(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Compress)->Arg(5)->Arg(25)->Arg(100);
+
+// ---- runtime layer: batch throughput vs worker count ----------------------
+//
+// The synthetic workload of the issue's acceptance bar: encode a batch of
+// feature vectors and run batch inference over the encodings. Reported
+// items/sec is samples/sec; sweep the worker-count argument to read the
+// scaling curve (UseRealTime because the work runs on pool threads).
+
+constexpr std::size_t kBatchSamples = 256;
+constexpr std::size_t kBatchFeatures = 75;
+constexpr std::size_t kBatchDim = 4000;
+
+std::vector<std::vector<float>> synthetic_batch() {
+  hdc::Rng rng(12);
+  std::vector<std::vector<float>> xs(kBatchSamples);
+  for (auto& x : xs) x = rng.gaussian_vector(kBatchFeatures);
+  return xs;
+}
+
+void BM_EncodeBatch(benchmark::State& state) {
+  runtime::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  hdc::SparseRbfEncoder enc(kBatchFeatures, kBatchDim, 1);
+  const auto xs = synthetic_batch();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode_batch(xs, pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatchSamples));
+}
+BENCHMARK(BM_EncodeBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_PredictBatch(benchmark::State& state) {
+  runtime::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  const std::size_t k = 26;
+  hdc::HDClassifier clf(k, kBatchDim);
+  hdc::Rng rng(13);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (int i = 0; i < 32; ++i) clf.add_sample(c, rng.sign_vector(kBatchDim));
+  }
+  std::vector<hdc::BipolarHV> queries(kBatchSamples);
+  for (auto& q : queries) q = rng.sign_vector(kBatchDim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.predict_batch(queries, pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatchSamples));
+}
+BENCHMARK(BM_PredictBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_EncodePredictPipeline(benchmark::State& state) {
+  runtime::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  hdc::SparseRbfEncoder enc(kBatchFeatures, kBatchDim, 1);
+  const std::size_t k = 26;
+  hdc::HDClassifier clf(k, kBatchDim);
+  hdc::Rng rng(14);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (int i = 0; i < 32; ++i) clf.add_sample(c, rng.sign_vector(kBatchDim));
+  }
+  const auto xs = synthetic_batch();
+  for (auto _ : state) {
+    const auto hvs = enc.encode_batch(xs, pool);
+    benchmark::DoNotOptimize(clf.predict_batch(hvs, pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatchSamples));
+}
+BENCHMARK(BM_EncodePredictPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_TrainBatch(benchmark::State& state) {
+  runtime::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  hdc::Rng rng(15);
+  std::vector<hdc::BipolarHV> hvs(kBatchSamples);
+  std::vector<std::size_t> labels(kBatchSamples);
+  for (std::size_t i = 0; i < kBatchSamples; ++i) {
+    hvs[i] = rng.sign_vector(kBatchDim);
+    labels[i] = i % 5;
+  }
+  for (auto _ : state) {
+    hdc::HDClassifier clf(5, kBatchDim);
+    clf.train_batch(hvs, labels, pool);
+    benchmark::DoNotOptimize(clf.class_accumulator(0).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatchSamples));
+}
+BENCHMARK(BM_TrainBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_FpgaModelEstimates(benchmark::State& state) {
   for (auto _ : state) {

@@ -8,6 +8,8 @@
 
 #include "hdc/random.hpp"
 #include "hdc/wire.hpp"
+#include "runtime/batch_executor.hpp"
+#include "runtime/parallel.hpp"
 
 namespace edgehd::core {
 
@@ -28,7 +30,10 @@ std::size_t scaled_batch_size(std::size_t paper_batch, std::size_t paper_train,
 
 EdgeHdSystem::EdgeHdSystem(const data::Dataset& ds, net::Topology topology,
                            SystemConfig config)
-    : ds_(ds), topology_(std::move(topology)), config_(config) {
+    : ds_(ds),
+      topology_(std::move(topology)),
+      config_(config),
+      pool_(std::make_unique<runtime::ThreadPool>(config.num_threads)) {
   leaves_ = topology_.leaves();
   if (leaves_.size() != ds_.partitions.size()) {
     throw std::invalid_argument(
@@ -159,25 +164,28 @@ void EdgeHdSystem::ensure_train_encoded(
   encoded_train_.assign(topology_.num_nodes(), {});
   for (auto& per_node : encoded_train_) per_node.resize(idx.size());
 
-  for (std::size_t s = 0; s < idx.size(); ++s) {
+  // Per-sample encode_all is independent work writing disjoint slots; the
+  // fan-out changes nothing observable (each sample's encoding is the same
+  // deterministic function of the model-free projection state).
+  runtime::parallel_for(*pool_, idx.size(), [&](std::size_t s) {
     encoded_train_labels_[s] = ds_.train_y[idx[s]];
     auto hvs = encode_all(ds_.train_x[idx[s]]);
     for (NodeId id = 0; id < topology_.num_nodes(); ++id) {
       encoded_train_[id][s] = std::move(hvs[id]);
     }
-  }
+  });
 }
 
 void EdgeHdSystem::ensure_test_encoded() const {
   if (!encoded_test_.empty()) return;
   encoded_test_.assign(topology_.num_nodes(), {});
   for (auto& per_node : encoded_test_) per_node.resize(ds_.test_size());
-  for (std::size_t s = 0; s < ds_.test_size(); ++s) {
+  runtime::parallel_for(*pool_, ds_.test_size(), [&](std::size_t s) {
     auto hvs = encode_all(ds_.test_x[s]);
     for (NodeId id = 0; id < topology_.num_nodes(); ++id) {
       encoded_test_[id][s] = std::move(hvs[id]);
     }
-  }
+  });
 }
 
 CommStats EdgeHdSystem::train(std::span<const std::size_t> train_indices) {
@@ -315,7 +323,7 @@ CommStats EdgeHdSystem::retrain_batches(
 double EdgeHdSystem::accuracy_at_node(NodeId id) const {
   const auto& clf = classifier_at(id);
   ensure_test_encoded();
-  return clf.accuracy(encoded_test_[id], ds_.test_y);
+  return clf.accuracy(encoded_test_[id], ds_.test_y, *pool_);
 }
 
 double EdgeHdSystem::accuracy_at_level(std::size_t level) const {
@@ -404,6 +412,16 @@ RoutedResult EdgeHdSystem::infer_routed(std::span<const float> x,
   }
   result.bytes = query_gather_bytes(result.node);
   return result;
+}
+
+std::vector<RoutedResult> EdgeHdSystem::infer_routed_batch(
+    std::span<const std::vector<float>> xs, NodeId start) const {
+  if (!has_classifier(start)) {
+    throw std::invalid_argument("EdgeHdSystem: start node hosts no classifier");
+  }
+  const runtime::BatchExecutor exec(*pool_);
+  return exec.map(xs.size(),
+                  [&](std::size_t i) { return infer_routed(xs[i], start); });
 }
 
 RoutedResult EdgeHdSystem::online_serve(std::span<const float> x,

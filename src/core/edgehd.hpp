@@ -37,6 +37,7 @@
 #include "hier/dim_allocation.hpp"
 #include "hier/hier_encoder.hpp"
 #include "net/topology.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace edgehd::core {
 
@@ -65,6 +66,11 @@ struct SystemConfig {
   /// oscillation that aggressive subtract-only updates cause when feedback
   /// concentrates on one node.
   std::size_t feedback_weight = 2;
+  /// Worker threads for batch encoding / inference. 0 resolves through
+  /// runtime::ThreadPool::default_worker_count() (the EDGEHD_THREADS env
+  /// override, else hardware concurrency). Every parallel path is
+  /// bit-identical across worker counts, so this is purely a speed knob.
+  std::size_t num_threads = 0;
 };
 
 /// Bytes/messages a protocol phase placed on the network.
@@ -105,6 +111,8 @@ class EdgeHdSystem {
 
   const net::Topology& topology() const noexcept { return topology_; }
   const SystemConfig& config() const noexcept { return config_; }
+  /// Resolved worker count of the system's thread pool.
+  std::size_t worker_count() const noexcept { return pool_->size(); }
   std::size_t node_dim(net::NodeId id) const;
   bool has_classifier(net::NodeId id) const;
   const hdc::HDClassifier& classifier_at(net::NodeId id) const;
@@ -148,6 +156,15 @@ class EdgeHdSystem {
   /// Classifies `x` starting at `start` and escalating to ancestors while
   /// the confidence is below the threshold (Section IV-C).
   RoutedResult infer_routed(std::span<const float> x, net::NodeId start) const;
+
+  /// Batched routed inference: fans the queries over the system's thread
+  /// pool. Each query runs the identical single-query protocol (same
+  /// escalation walk, same per-node byte accounting), so the results —
+  /// including every `bytes` field — are bit-identical to calling
+  /// infer_routed in a loop, for any worker count. Output order is input
+  /// order.
+  std::vector<RoutedResult> infer_routed_batch(
+      std::span<const std::vector<float>> xs, net::NodeId start) const;
 
   /// Amortized bytes to gather one query hypervector at node `id` from its
   /// subtree's leaves, with m-to-1 compression on every hop.
@@ -208,6 +225,10 @@ class EdgeHdSystem {
   const data::Dataset& ds_;
   net::Topology topology_;
   SystemConfig config_;
+  /// Pool for batch encode/inference fan-out; mutable because const
+  /// evaluation paths (encoding memoization, batch inference) fan work over
+  /// it without changing observable state.
+  mutable std::unique_ptr<runtime::ThreadPool> pool_;
   hier::DimAllocation alloc_;
   std::vector<NodeState> nodes_;
   std::vector<net::NodeId> leaves_;

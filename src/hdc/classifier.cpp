@@ -5,7 +5,21 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/batch_executor.hpp"
+#include "runtime/parallel.hpp"
+
 namespace edgehd::hdc {
+
+namespace {
+
+/// Index of the most similar class (ties break to the lowest index, exactly
+/// as std::max_element does in the serial paths).
+std::size_t argmax(std::span<const double> sims) {
+  return static_cast<std::size_t>(
+      std::max_element(sims.begin(), sims.end()) - sims.begin());
+}
+
+}  // namespace
 
 std::vector<double> softmax(std::span<const double> values, double beta) {
   std::vector<double> out(values.size());
@@ -51,6 +65,37 @@ void HDClassifier::add_accumulator(std::size_t label,
   accumulate(classes_[label], acc);
 }
 
+void HDClassifier::train_batch(std::span<const BipolarHV> hvs,
+                               std::span<const std::size_t> labels,
+                               runtime::ThreadPool& pool) {
+  assert(hvs.size() == labels.size());
+  for (std::size_t l : labels) check_label(l);
+
+  const std::size_t k = classes_.size();
+  const std::size_t grain = runtime::default_grain(hvs.size());
+  const std::size_t chunks = runtime::chunk_count(hvs.size(), grain);
+
+  // One set of per-class partial accumulators per chunk, merged below in
+  // ascending chunk order. Integer addition is associative, so this equals
+  // the serial add_sample loop bit-for-bit no matter the worker count.
+  std::vector<std::vector<AccumHV>> partials(chunks);
+  runtime::parallel_for_chunks(
+      pool, hvs.size(),
+      [&](std::size_t begin, std::size_t end) {
+        auto& local = partials[begin / grain];
+        local.assign(k, AccumHV(dim_, 0));
+        for (std::size_t i = begin; i < end; ++i) {
+          bundle_into(local[labels[i]], hvs[i]);
+        }
+      },
+      grain);
+  for (const auto& local : partials) {
+    for (std::size_t c = 0; c < k; ++c) {
+      accumulate(classes_[c], local[c]);
+    }
+  }
+}
+
 std::size_t HDClassifier::retrain_epoch(std::span<const BipolarHV> hvs,
                                         std::span<const std::size_t> labels) {
   assert(hvs.size() == labels.size());
@@ -73,6 +118,38 @@ std::size_t HDClassifier::retrain(std::span<const BipolarHV> hvs,
   std::size_t errors = 0;
   for (std::size_t e = 0; e < config_.retrain_epochs; ++e) {
     errors = retrain_epoch(hvs, labels);
+    if (errors == 0) break;
+  }
+  return errors;
+}
+
+std::size_t HDClassifier::retrain_epoch(std::span<const BipolarHV> hvs,
+                                        std::span<const std::size_t> labels,
+                                        runtime::ThreadPool& pool) {
+  assert(hvs.size() == labels.size());
+  // Scan against the epoch-start model snapshot in parallel…
+  std::vector<std::size_t> predicted(hvs.size());
+  runtime::parallel_for(pool, hvs.size(), [&](std::size_t i) {
+    predicted[i] = argmax(similarities(hvs[i]));
+  });
+  // …then apply perceptron updates serially, in ascending sample order.
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < hvs.size(); ++i) {
+    if (predicted[i] != labels[i]) {
+      ++errors;
+      bundle_into(classes_[labels[i]], hvs[i]);
+      unbundle_from(classes_[predicted[i]], hvs[i]);
+    }
+  }
+  return errors;
+}
+
+std::size_t HDClassifier::retrain(std::span<const BipolarHV> hvs,
+                                  std::span<const std::size_t> labels,
+                                  runtime::ThreadPool& pool) {
+  std::size_t errors = 0;
+  for (std::size_t e = 0; e < config_.retrain_epochs; ++e) {
+    errors = retrain_epoch(hvs, labels, pool);
     if (errors == 0) break;
   }
   return errors;
@@ -109,6 +186,25 @@ double HDClassifier::accuracy(std::span<const BipolarHV> hvs,
         std::max_element(sims.begin(), sims.end()) - sims.begin());
     if (best == labels[i]) ++correct;
   }
+  return static_cast<double>(correct) / static_cast<double>(hvs.size());
+}
+
+std::vector<Prediction> HDClassifier::predict_batch(
+    std::span<const BipolarHV> queries, runtime::ThreadPool& pool) const {
+  const runtime::BatchExecutor exec(pool);
+  return exec.map(queries.size(),
+                  [&](std::size_t i) { return predict(queries[i]); });
+}
+
+double HDClassifier::accuracy(std::span<const BipolarHV> hvs,
+                              std::span<const std::size_t> labels,
+                              runtime::ThreadPool& pool) const {
+  assert(hvs.size() == labels.size());
+  if (hvs.empty()) return 0.0;
+  const runtime::BatchExecutor exec(pool);
+  const std::size_t correct = exec.count_if(hvs.size(), [&](std::size_t i) {
+    return argmax(similarities(hvs[i])) == labels[i];
+  });
   return static_cast<double>(correct) / static_cast<double>(hvs.size());
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "hypervector.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace edgehd::hdc {
 
@@ -58,6 +59,15 @@ class HDClassifier {
   /// child node's class hypervector) into a class accumulator.
   void add_accumulator(std::size_t label, std::span<const std::int32_t> acc);
 
+  /// Bundles every (hv, label) pair into its class hypervector, fanning
+  /// sample chunks over `pool`. Each chunk accumulates into private per-class
+  /// partials which are merged into the model in ascending chunk order, so
+  /// the result is bit-identical to the serial add_sample loop for any
+  /// worker count (integer bundling is exact).
+  void train_batch(std::span<const BipolarHV> hvs,
+                   std::span<const std::size_t> labels,
+                   runtime::ThreadPool& pool);
+
   // ---- retraining --------------------------------------------------------
 
   /// One perceptron pass over (hvs, labels): for each misclassified sample,
@@ -71,6 +81,24 @@ class HDClassifier {
   std::size_t retrain(std::span<const BipolarHV> hvs,
                       std::span<const std::size_t> labels);
 
+  /// Parallel perceptron epoch: the misclassification scan runs over `pool`
+  /// against a snapshot of the epoch-start model, then the updates for every
+  /// misclassified sample are applied serially in ascending sample order.
+  /// This is the classic batch (synchronous) perceptron variant: unlike the
+  /// serial retrain_epoch(), updates within an epoch do not affect later
+  /// predictions in the same epoch — which is exactly what makes the result
+  /// bit-identical for any worker count. Returns misclassifications seen.
+  std::size_t retrain_epoch(std::span<const BipolarHV> hvs,
+                            std::span<const std::size_t> labels,
+                            runtime::ThreadPool& pool);
+
+  /// Runs the parallel retrain_epoch for config().retrain_epochs passes
+  /// (or until an epoch makes no mistakes); epochs stay serial with respect
+  /// to each other. Returns errors in the final epoch.
+  std::size_t retrain(std::span<const BipolarHV> hvs,
+                      std::span<const std::size_t> labels,
+                      runtime::ThreadPool& pool);
+
   // ---- inference ---------------------------------------------------------
 
   /// Cosine similarity of `query` to every class hypervector.
@@ -79,9 +107,22 @@ class HDClassifier {
   /// Full prediction with confidence.
   Prediction predict(std::span<const std::int8_t> query) const;
 
+  /// Predicts every query, fanning samples over `pool`. Per-sample work is
+  /// the unchanged predict(), so results are bit-identical to the serial
+  /// loop for any worker count; output order is input order.
+  std::vector<Prediction> predict_batch(std::span<const BipolarHV> queries,
+                                        runtime::ThreadPool& pool) const;
+
   /// Fraction of (hvs, labels) classified correctly.
   double accuracy(std::span<const BipolarHV> hvs,
                   std::span<const std::size_t> labels) const;
+
+  /// Parallel accuracy: the per-sample checks fan over `pool`; the correct
+  /// count reduces in fixed chunk order (integers, so exact). Identical to
+  /// the serial accuracy() for any worker count.
+  double accuracy(std::span<const BipolarHV> hvs,
+                  std::span<const std::size_t> labels,
+                  runtime::ThreadPool& pool) const;
 
   // ---- online learning (negative feedback, Section IV-D) -----------------
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "random.hpp"
+#include "runtime/batch_executor.hpp"
 
 namespace edgehd::hdc {
 
@@ -22,6 +23,19 @@ RealHV Encoder::encode_real(std::span<const float> features) const {
   std::transform(hv.begin(), hv.end(), out.begin(),
                  [](std::int8_t v) { return static_cast<float>(v); });
   return out;
+}
+
+std::vector<BipolarHV> Encoder::encode_batch(
+    std::span<const std::vector<float>> features,
+    runtime::ThreadPool& pool) const {
+  const runtime::BatchExecutor exec(pool);
+  return exec.map(features.size(),
+                  [&](std::size_t i) { return encode(features[i]); });
+}
+
+std::vector<BipolarHV> Encoder::encode_batch(
+    std::span<const std::vector<float>> features) const {
+  return encode_batch(features, runtime::ThreadPool::global());
 }
 
 // ---------------------------------------------------------------- RbfEncoder

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "hypervector.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace edgehd::hdc {
 
@@ -50,6 +51,18 @@ class Encoder {
   /// Encodes into the pre-binarization real hypervector. The default forwards
   /// to encode(); kernel-approximating encoders override it.
   virtual RealHV encode_real(std::span<const float> features) const;
+
+  /// Encodes a batch of feature vectors, fanning samples over `pool`.
+  /// Every sample runs the identical per-sample encode(), so the result is
+  /// bit-identical to the serial loop for any worker count. Results are in
+  /// input order.
+  std::vector<BipolarHV> encode_batch(
+      std::span<const std::vector<float>> features,
+      runtime::ThreadPool& pool) const;
+
+  /// Serial fallback on the process-global pool.
+  std::vector<BipolarHV> encode_batch(
+      std::span<const std::vector<float>> features) const;
 };
 
 /// Kernel form used by RbfEncoder.

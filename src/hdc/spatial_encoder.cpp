@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "random.hpp"
+#include "runtime/batch_executor.hpp"
 
 namespace edgehd::hdc {
 
@@ -51,6 +52,14 @@ PhasorHV SpatialEncoder::encode(std::span<const float> pixels) const {
     }
   }
   return acc;
+}
+
+std::vector<PhasorHV> SpatialEncoder::encode_batch(
+    std::span<const std::vector<float>> images,
+    runtime::ThreadPool& pool) const {
+  const runtime::BatchExecutor exec(pool);
+  return exec.map(images.size(),
+                  [&](std::size_t i) { return encode(images[i]); });
 }
 
 BipolarHV SpatialEncoder::binarize_real(const PhasorHV& hv) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "hypervector.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace edgehd::hdc {
 
@@ -46,6 +47,13 @@ class SpatialEncoder {
   /// Encodes a row-major image of width*height pixel values into the bundled
   /// phasor hypervector V_F = sum_{X,Y} P_{X,Y} * B_x^X * B_y^Y.
   PhasorHV encode(std::span<const float> pixels) const;
+
+  /// Encodes a batch of images, fanning samples over `pool`. Bit-identical
+  /// to the serial loop for any worker count (per-sample work is unchanged);
+  /// results are in input order.
+  std::vector<PhasorHV> encode_batch(
+      std::span<const std::vector<float>> images,
+      runtime::ThreadPool& pool) const;
 
   /// Binarizes a phasor hypervector by the sign of its real part, producing
   /// the bipolar form used by the classifier.

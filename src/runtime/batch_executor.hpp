@@ -1,0 +1,68 @@
+// BatchExecutor: fans a span/range of samples across a ThreadPool.
+//
+// A thin, copy-cheap facade over parallel.hpp for the "apply f to every
+// sample, collect results in order" pattern that dominates the HD pipeline
+// (batch encoding, batch inference, misclassification scans). Results land
+// in their input slots, so the output order is the input order regardless of
+// which worker computed what — the batch analogue of the determinism
+// contract in parallel.hpp.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "parallel.hpp"
+#include "thread_pool.hpp"
+
+namespace edgehd::runtime {
+
+class BatchExecutor {
+ public:
+  /// @param pool   pool to fan work over; must outlive the executor.
+  /// @param grain  samples per chunk; 0 = default_grain(n) per call.
+  explicit BatchExecutor(ThreadPool& pool, std::size_t grain = 0)
+      : pool_(&pool), grain_(grain) {}
+
+  ThreadPool& pool() const noexcept { return *pool_; }
+  std::size_t workers() const noexcept { return pool_->size(); }
+
+  /// Runs `fn(i)` for every i in [0, n). Blocks until done.
+  template <typename Fn>
+  void for_each(std::size_t n, Fn&& fn) const {
+    parallel_for(*pool_, n, std::forward<Fn>(fn), grain_);
+  }
+
+  /// Computes `fn(i)` for every i and returns the results in index order.
+  /// The result type must be default-constructible (slots are pre-sized).
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn) const
+      -> std::vector<decltype(fn(std::size_t{0}))> {
+    std::vector<decltype(fn(std::size_t{0}))> out(n);
+    parallel_for(
+        *pool_, n, [&](std::size_t i) { out[i] = fn(i); }, grain_);
+    return out;
+  }
+
+  /// Counts indices in [0, n) for which `pred(i)` holds. Deterministic by
+  /// construction (integer reduction in fixed chunk order).
+  template <typename Pred>
+  std::size_t count_if(std::size_t n, Pred&& pred) const {
+    return parallel_reduce(
+        *pool_, n, std::size_t{0},
+        [&](std::size_t begin, std::size_t end) {
+          std::size_t c = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            if (pred(i)) ++c;
+          }
+          return c;
+        },
+        [](std::size_t a, std::size_t b) { return a + b; }, grain_);
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::size_t grain_;
+};
+
+}  // namespace edgehd::runtime

@@ -1,0 +1,15 @@
+#include "parallel.hpp"
+
+namespace edgehd::runtime {
+
+std::size_t default_grain(std::size_t n) {
+  // Target ~64 chunks: plenty of stealing slack for uneven chunk costs, few
+  // enough that per-chunk bookkeeping is noise. Floor the grain at 1 and the
+  // chunk count implicitly at 1. Worker count deliberately plays no part —
+  // see the determinism contract in the header.
+  constexpr std::size_t kTargetChunks = 64;
+  const std::size_t grain = (n + kTargetChunks - 1) / kTargetChunks;
+  return grain == 0 ? 1 : grain;
+}
+
+}  // namespace edgehd::runtime

@@ -1,0 +1,146 @@
+// Deterministic data-parallel loops over a ThreadPool.
+//
+// The invariant this layer guarantees: the chunk decomposition of an index
+// range depends only on (n, grain) — NEVER on the worker count — and
+// `parallel_reduce` combines chunk partials serially in ascending chunk
+// order. Any computation expressed through these primitives therefore
+// produces bit-identical results for 1, 2, or 64 workers (including
+// floating-point reductions, whose association order is fixed by the
+// chunking), which is what lets EDGEHD_THREADS be a pure performance knob.
+//
+// The calling thread participates in the loop: chunks are claimed from a
+// shared atomic cursor by the caller and by pool workers alike, so a
+// parallel_for over a 1-worker pool degenerates to (at worst) the caller
+// running every chunk itself — no deadlock, no idle caller.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "thread_pool.hpp"
+
+namespace edgehd::runtime {
+
+/// Chunk grain selection when the caller passes grain = 0: aims for enough
+/// chunks to load-balance (64-ish) without degenerating into per-element
+/// tasks. Depends only on n, by construction.
+std::size_t default_grain(std::size_t n);
+
+/// Number of chunks a range of `n` elements splits into at `grain`.
+inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  return grain == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+namespace detail {
+
+/// Runs `chunk_fn(chunk_index)` for every chunk index in [0, num_chunks),
+/// distributing chunks over the pool's workers plus the calling thread.
+/// Blocks until every chunk has finished.
+template <typename ChunkFn>
+void run_chunked(ThreadPool& pool, std::size_t num_chunks, ChunkFn& chunk_fn) {
+  if (num_chunks == 0) return;
+  if (num_chunks == 1) {
+    chunk_fn(0);
+    return;
+  }
+
+  struct Context {
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t done = 0;
+  };
+  auto ctx = std::make_shared<Context>();
+
+  // chunk_fn outlives the call because we block below until every chunk is
+  // done; the shared Context outlives straggler tasks via the shared_ptr.
+  auto drain = [ctx, &chunk_fn, num_chunks] {
+    std::size_t ran = 0;
+    for (std::size_t c = ctx->next.fetch_add(1, std::memory_order_relaxed);
+         c < num_chunks;
+         c = ctx->next.fetch_add(1, std::memory_order_relaxed)) {
+      chunk_fn(c);
+      ++ran;
+    }
+    if (ran != 0) {
+      std::lock_guard<std::mutex> lk(ctx->mutex);
+      ctx->done += ran;
+      if (ctx->done == num_chunks) ctx->done_cv.notify_all();
+    }
+  };
+
+  const std::size_t helpers =
+      num_chunks - 1 < pool.size() ? num_chunks - 1 : pool.size();
+  for (std::size_t i = 0; i < helpers; ++i) pool.submit(drain);
+  drain();  // caller participates
+
+  std::unique_lock<std::mutex> lk(ctx->mutex);
+  ctx->done_cv.wait(lk, [&] { return ctx->done == num_chunks; });
+}
+
+}  // namespace detail
+
+/// Applies `fn(i)` for every i in [0, n), fanned over the pool. `fn` must be
+/// safe to call concurrently for distinct i (writes to disjoint slots are the
+/// intended pattern). Blocks until complete.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn,
+                  std::size_t grain = 0) {
+  if (n == 0) return;
+  if (grain == 0) grain = default_grain(n);
+  const std::size_t chunks = chunk_count(n, grain);
+  auto chunk_fn = [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = begin + grain < n ? begin + grain : n;
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  };
+  detail::run_chunked(pool, chunks, chunk_fn);
+}
+
+/// Applies `fn(begin, end)` for every chunk [begin, end) of [0, n), fanned
+/// over the pool. Chunk boundaries depend only on (n, grain).
+template <typename Fn>
+void parallel_for_chunks(ThreadPool& pool, std::size_t n, Fn&& fn,
+                         std::size_t grain = 0) {
+  if (n == 0) return;
+  if (grain == 0) grain = default_grain(n);
+  const std::size_t chunks = chunk_count(n, grain);
+  auto chunk_fn = [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = begin + grain < n ? begin + grain : n;
+    fn(begin, end);
+  };
+  detail::run_chunked(pool, chunks, chunk_fn);
+}
+
+/// Deterministic chunked reduction: `map(begin, end)` produces a partial T
+/// per chunk (computed in parallel), and the partials are folded serially in
+/// ascending chunk order with `combine(acc, partial)`. The result is
+/// bit-identical for any worker count because both the chunk boundaries and
+/// the combination order are worker-independent.
+template <typename T, typename MapFn, typename CombineFn>
+T parallel_reduce(ThreadPool& pool, std::size_t n, T identity, MapFn&& map,
+                  CombineFn&& combine, std::size_t grain = 0) {
+  if (n == 0) return identity;
+  if (grain == 0) grain = default_grain(n);
+  const std::size_t chunks = chunk_count(n, grain);
+  std::vector<T> partials(chunks, identity);
+  auto chunk_fn = [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = begin + grain < n ? begin + grain : n;
+    partials[c] = map(begin, end);
+  };
+  detail::run_chunked(pool, chunks, chunk_fn);
+  T acc = std::move(identity);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partials[c]));
+  }
+  return acc;
+}
+
+}  // namespace edgehd::runtime

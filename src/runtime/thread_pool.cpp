@@ -1,0 +1,110 @@
+#include "thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace edgehd::runtime {
+
+std::size_t ThreadPool::default_worker_count() {
+  if (const char* env = std::getenv("EDGEHD_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return std::min<std::size_t>(static_cast<std::size_t>(parsed),
+                                   kMaxWorkers);
+    }
+  }
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw, 1, kMaxWorkers);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_worker_count());
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+  const std::size_t n =
+      num_workers == 0 ? default_worker_count()
+                       : std::min(num_workers, kMaxWorkers);
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(Task task) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lk(wake_mutex_);
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, Task& out) {
+  // Own queue first (front: submission order), then steal from siblings
+  // (back: the oldest work they have not reached).
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lk(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  for (std::size_t off = 1; off < queues_.size(); ++off) {
+    WorkerQueue& q = *queues_[(self + off) % queues_.size()];
+    std::lock_guard<std::mutex> lk(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lk(wake_mutex_);
+      wake_cv_.wait(lk, [this] { return stop_ || pending_ > 0; });
+      if (pending_ == 0) {
+        // stop_ set and nothing left to run.
+        return;
+      }
+      --pending_;
+    }
+    // A claimed task is guaranteed to exist in some queue; the pop below can
+    // only race other claimants, never find the pool empty.
+    while (!try_pop(self, task)) {
+      std::this_thread::yield();
+    }
+    task();
+  }
+}
+
+}  // namespace edgehd::runtime

@@ -1,0 +1,82 @@
+// Fixed-size worker pool with per-worker task queues and work stealing.
+//
+// The pool is the substrate of the edgehd runtime layer: `parallel_for` /
+// `parallel_reduce` (parallel.hpp) split index ranges into chunks whose
+// boundaries depend only on the range — never on the worker count — and
+// `BatchExecutor` (batch_executor.hpp) fans sample batches over it. Tasks are
+// pushed round-robin onto per-worker deques; an idle worker drains its own
+// queue front-first and steals from the back of its siblings' queues when
+// empty, so a burst of uneven chunk costs load-balances without a single hot
+// global lock.
+//
+// Worker-count resolution (ThreadPool::default_worker_count):
+//   1. the EDGEHD_THREADS environment variable, when set to a positive int;
+//   2. std::thread::hardware_concurrency(), floored at 1.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace edgehd::runtime {
+
+/// Fixed-size thread pool. Construction spawns the workers; destruction
+/// drains nothing — outstanding tasks finish, queued tasks are still run
+/// before the workers exit.
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// @param num_workers  worker thread count; 0 picks
+  ///                     default_worker_count().
+  explicit ThreadPool(std::size_t num_workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw; exceptions escaping a task
+  /// terminate the process (there is nowhere to deliver them).
+  void submit(Task task);
+
+  /// EDGEHD_THREADS env override if positive, else hardware concurrency,
+  /// floored at 1 and capped at kMaxWorkers.
+  static std::size_t default_worker_count();
+
+  /// Process-wide shared pool, lazily built with default_worker_count().
+  static ThreadPool& global();
+
+  /// Sanity cap on worker counts (absurd EDGEHD_THREADS values clamp here).
+  static constexpr std::size_t kMaxWorkers = 256;
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, Task& out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Sleep/wake machinery: pending_ counts queued-but-unclaimed tasks and is
+  // only mutated under wake_mutex_ so a submit between a worker's empty
+  // check and its wait cannot be missed.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::size_t next_queue_ = 0;  // round-robin submit cursor (under wake_mutex_)
+};
+
+}  // namespace edgehd::runtime

@@ -110,7 +110,6 @@ TEST(EdgeHd, RoutedInferenceEscalatesOnLowConfidence) {
   const auto start = sys.topology().leaves().front();
 
   // Threshold 0: always served locally, zero gather bytes at a leaf.
-  const_cast<core::SystemConfig&>(sys.config());  // (config is value-copied)
   auto lo_cfg = cfg;
   lo_cfg.confidence_threshold = 0.0;
   core::EdgeHdSystem local(ds, net::Topology::paper_tree(4), lo_cfg);
