@@ -1,0 +1,172 @@
+// Availability under injected faults: sweeps node-failure rate × packet-loss
+// rate and reports, per grid cell, the served fraction, accuracy over served
+// queries, degraded fraction, query/retry byte accounting from the analytic
+// core, and latency/bytes (including retransmissions) from replaying the
+// query traffic through the event simulator under the same FaultPlan.
+// Emits one JSON document on stdout so the sweep is scriptable.
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hdc/wire.hpp"
+#include "net/fault.hpp"
+#include "net/medium.hpp"
+#include "net/simulator.hpp"
+
+namespace {
+
+using namespace edgehd;
+using net::FaultPlan;
+using net::NodeId;
+using net::SimTime;
+using net::Simulator;
+
+/// Amortized wire bytes of one m-to-1 compressed query hypervector (mirrors
+/// the core's accounting; see EdgeHdSystem::compressed_query_bytes).
+std::uint64_t query_bytes(const core::EdgeHdSystem& sys, std::size_t dim) {
+  const std::size_t m = std::max<std::size_t>(1, sys.config().compression);
+  if (m == 1) return hdc::wire_bytes_bipolar(dim);
+  const auto bits = hdc::bits_for_magnitude(static_cast<std::int64_t>(m));
+  return (hdc::wire_bytes_accum(dim, bits) + m - 1) / m;
+}
+
+/// Forwards one query hop by hop from `from` up to `dest` with reliable
+/// transfers, then reports (reached, completion time).
+void ship_query(Simulator& sim, const core::EdgeHdSystem& sys, NodeId from,
+                NodeId dest, std::function<void(bool, SimTime)> done) {
+  if (from == dest) {
+    done(true, sim.now());
+    return;
+  }
+  const NodeId next = sim.topology().parent(from);
+  sim.send_reliable(
+      from, next, query_bytes(sys, sys.node_dim(from)),
+      [&sim, &sys, next, dest, done = std::move(done)](
+          const net::DeliveryOutcome& o) mutable {
+        if (!o.delivered) {
+          done(false, o.completed_at);
+          return;
+        }
+        ship_query(sim, sys, next, dest, std::move(done));
+      });
+}
+
+/// Deterministic crash pick: node `id` fails under `rate` and `seed`.
+bool crashes(NodeId id, double rate, std::uint64_t seed) {
+  const auto word =
+      net::detail::mix64(seed ^ net::detail::mix64(0x2545f4914f6cdd1dULL * (id + 1)));
+  return net::detail::unit_from(word) < rate;
+}
+
+}  // namespace
+
+int main() {
+  const double fail_rates[] = {0.0, 0.1, 0.25, 0.5};
+  const double loss_rates[] = {0.0, 0.1, 0.3, 0.5};
+  const std::uint64_t plan_seed = 2023;
+  const std::size_t max_queries = 200;
+  const SimTime interval = 50 * net::kMillisecond;
+
+  const auto id = data::hierarchical_ids().front();
+  auto setup = bench::hier_setup(id);
+  core::EdgeHdSystem sys(setup.ds, setup.topo, setup.cfg);
+  sys.train();  // trained healthy; faults hit at serving time
+
+  const auto& topo = sys.topology();
+  const auto& leaves = topo.leaves();
+  const std::size_t queries = std::min(max_queries, setup.ds.test_size());
+
+  std::printf("{\n  \"bench\": \"faults\",\n  \"dataset\": \"%s\",\n"
+              "  \"queries\": %zu,\n  \"grid\": [\n",
+              setup.ds.name.c_str(), queries);
+
+  bool first = true;
+  for (const double fail : fail_rates) {
+    for (const double loss : loss_rates) {
+      // The plan: every non-root node may crash for the whole run; every
+      // uplink suffers Bernoulli loss. The root (the central server) stays
+      // up — availability is about the edge.
+      FaultPlan plan(plan_seed);
+      std::size_t crashed = 0;
+      for (NodeId node = 0; node < topo.num_nodes(); ++node) {
+        if (node == topo.root()) continue;
+        if (crashes(node, fail, plan_seed)) {
+          plan.crash(node);
+          ++crashed;
+        }
+        if (loss > 0.0) plan.loss(node, loss);
+      }
+      sys.set_fault_plan(plan);
+
+      // Analytic pass: serve the test set round-robin from the leaves.
+      std::size_t served = 0, correct = 0, degraded = 0;
+      std::uint64_t bytes = 0, retry_bytes = 0;
+      std::vector<std::pair<NodeId, NodeId>> routes;  // (start, serving node)
+      for (std::size_t q = 0; q < queries; ++q) {
+        const NodeId start = leaves[q % leaves.size()];
+        const auto r = sys.infer_routed(setup.ds.test_x[q], start);
+        if (!r.served()) continue;
+        ++served;
+        if (r.label == setup.ds.test_y[q]) ++correct;
+        if (r.degraded) ++degraded;
+        bytes += r.bytes;
+        retry_bytes += r.retry_bytes;
+        routes.emplace_back(start, r.node);
+      }
+
+      // Transport pass: replay the served queries' uplink traffic through
+      // the simulator under the same plan to price latency and wire bytes
+      // (retransmissions included).
+      Simulator sim(topo, net::medium(net::MediumKind::kWifi80211ac));
+      sim.set_fault_plan(plan);
+      double latency_sum = 0.0;
+      std::size_t reached = 0;
+      for (std::size_t q = 0; q < routes.size(); ++q) {
+        const auto [start, dest] = routes[q];
+        const SimTime issue = static_cast<SimTime>(q) * interval;
+        sim.schedule(issue, [&sim, &sys, start, dest, issue, &latency_sum,
+                             &reached] {
+          ship_query(sim, sys, start, dest,
+                     [issue, &latency_sum, &reached](bool ok, SimTime at) {
+                       if (!ok) return;
+                       ++reached;
+                       latency_sum += static_cast<double>(at - issue) / 1e6;
+                     });
+        });
+      }
+      const SimTime makespan = sim.run();
+
+      std::printf(
+          "%s    {\"node_fail_rate\": %.2f, \"packet_loss\": %.2f, "
+          "\"crashed_nodes\": %zu,\n"
+          "     \"served_fraction\": %.4f, \"accuracy_served\": %.4f, "
+          "\"degraded_fraction\": %.4f,\n"
+          "     \"mean_query_bytes\": %.1f, \"mean_retry_bytes\": %.1f,\n"
+          "     \"sim_reached\": %zu, \"sim_mean_latency_ms\": %.3f, "
+          "\"sim_makespan_ms\": %.3f,\n"
+          "     \"sim_total_bytes\": %llu, \"sim_retransmissions\": %llu, "
+          "\"sim_drops\": %llu}",
+          first ? "" : ",\n", fail, loss, crashed,
+          static_cast<double>(served) / static_cast<double>(queries),
+          served ? static_cast<double>(correct) / static_cast<double>(served)
+                 : 0.0,
+          served ? static_cast<double>(degraded) / static_cast<double>(served)
+                 : 0.0,
+          served ? static_cast<double>(bytes) / static_cast<double>(served)
+                 : 0.0,
+          served
+              ? static_cast<double>(retry_bytes) / static_cast<double>(served)
+              : 0.0,
+          reached, reached ? latency_sum / static_cast<double>(reached) : 0.0,
+          static_cast<double>(makespan) / 1e6,
+          static_cast<unsigned long long>(sim.total_bytes_transferred()),
+          static_cast<unsigned long long>(sim.total_retransmissions()),
+          static_cast<unsigned long long>(sim.total_drops()));
+      first = false;
+    }
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

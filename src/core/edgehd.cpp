@@ -34,6 +34,8 @@ EdgeHdSystem::EdgeHdSystem(const data::Dataset& ds, net::Topology topology,
       topology_(std::move(topology)),
       config_(config),
       pool_(std::make_unique<runtime::ThreadPool>(config.num_threads)) {
+  pending_contrib_.resize(topology_.num_nodes());
+  pending_residuals_.resize(topology_.num_nodes());
   leaves_ = topology_.leaves();
   if (leaves_.size() != ds_.partitions.size()) {
     throw std::invalid_argument(
@@ -111,6 +113,48 @@ const hdc::HDClassifier& EdgeHdSystem::classifier_at(NodeId id) const {
   return *nodes_[id].classifier;
 }
 
+// ---- fault awareness -------------------------------------------------------
+
+void EdgeHdSystem::set_health(net::HealthMask mask) {
+  if (!mask.empty() && mask.size() != topology_.num_nodes()) {
+    throw std::invalid_argument(
+        "EdgeHdSystem: health mask size must match the topology");
+  }
+  health_ = std::move(mask);
+  degraded_ = !health_.empty() && !health_.all_healthy();
+}
+
+void EdgeHdSystem::set_fault_plan(const net::FaultPlan& plan,
+                                  net::SimTime at) {
+  set_health(net::HealthMask::snapshot(plan, topology_.num_nodes(), at));
+}
+
+void EdgeHdSystem::clear_health() {
+  health_ = {};
+  degraded_ = false;
+}
+
+bool EdgeHdSystem::node_up(NodeId id) const noexcept {
+  return !degraded_ || health_.node_up(id);
+}
+
+bool EdgeHdSystem::link_up(NodeId child) const noexcept {
+  return !degraded_ || health_.link_up(child);
+}
+
+bool EdgeHdSystem::child_delivers(NodeId child) const noexcept {
+  return node_up(child) && link_up(child);
+}
+
+bool EdgeHdSystem::subtree_degraded(NodeId id) const {
+  if (!degraded_ || topology_.is_leaf(id)) return false;
+  for (NodeId kid : topology_.children(id)) {
+    if (!child_delivers(kid)) return true;
+    if (subtree_degraded(kid)) return true;
+  }
+  return false;
+}
+
 std::vector<NodeId> EdgeHdSystem::bottom_up_order() const {
   std::vector<NodeId> order;
   order.reserve(topology_.num_nodes());
@@ -137,6 +181,41 @@ std::vector<BipolarHV> EdgeHdSystem::encode_all(
       std::vector<BipolarHV> child_hvs(kids.size());
       for (std::size_t c = 0; c < kids.size(); ++c) {
         child_hvs[c] = hvs[kids[c]];
+      }
+      hvs[id] = st.aggregator->aggregate(child_hvs);
+    }
+  }
+  return hvs;
+}
+
+std::vector<BipolarHV> EdgeHdSystem::encode_all_masked(
+    std::span<const float> x) const {
+  if (x.size() != ds_.num_features) {
+    throw std::invalid_argument("EdgeHdSystem: feature count mismatch");
+  }
+  // Like encode_all, but a child whose contribution cannot reach its parent
+  // is replaced by silence (all-zero components — the same "no signal"
+  // convention as the Figure-12 erasure model). Crashed nodes emit silence
+  // themselves, so the degradation cascades exactly as a real partition
+  // would.
+  std::vector<BipolarHV> hvs(topology_.num_nodes());
+  for (NodeId id : bottom_up_order()) {
+    const NodeState& st = nodes_[id];
+    if (!node_up(id)) {
+      hvs[id] = BipolarHV(st.dim, 0);
+      continue;
+    }
+    if (topology_.is_leaf(id)) {
+      const std::size_t offset = ds_.partition_offset(st.partition);
+      hvs[id] = st.leaf_encoder->encode(
+          x.subspan(offset, ds_.partitions[st.partition]));
+    } else {
+      const auto& kids = topology_.children(id);
+      std::vector<BipolarHV> child_hvs(kids.size());
+      for (std::size_t c = 0; c < kids.size(); ++c) {
+        child_hvs[c] = child_delivers(kids[c])
+                           ? hvs[kids[c]]
+                           : BipolarHV(nodes_[kids[c]].dim, 0);
       }
       hvs[id] = st.aggregator->aggregate(child_hvs);
     }
@@ -199,10 +278,16 @@ CommStats EdgeHdSystem::train_initial(
   ensure_train_encoded(train_indices);
   const std::size_t k = ds_.num_classes;
   CommStats comm;
+  stragglers_.clear();
 
-  // Per-node class accumulators ("partial models"), built bottom-up.
+  // Per-node class accumulators ("partial models"), built bottom-up. Under a
+  // health mask, crashed nodes compute nothing (their accumulators stay
+  // empty) and a child whose path to its parent is down contributes zeros
+  // there instead; the child's own contribution is parked in
+  // pending_contrib_ for reintegrate_stragglers().
   std::vector<std::vector<AccumHV>> class_accums(topology_.num_nodes());
   for (NodeId id : bottom_up_order()) {
+    if (!node_up(id)) continue;
     const NodeState& st = nodes_[id];
     auto& accums = class_accums[id];
     accums.assign(k, AccumHV(st.dim, 0));
@@ -216,12 +301,15 @@ CommStats EdgeHdSystem::train_initial(
       std::vector<AccumHV> child_accums(kids.size());
       for (std::size_t c = 0; c < k; ++c) {
         for (std::size_t ci = 0; ci < kids.size(); ++ci) {
-          child_accums[ci] = class_accums[kids[ci]][c];
+          child_accums[ci] = child_delivers(kids[ci])
+                                 ? class_accums[kids[ci]][c]
+                                 : AccumHV(nodes_[kids[ci]].dim, 0);
         }
         accums[c] = st.aggregator->aggregate_accum(child_accums);
       }
       // Children ship their k class hypervectors (models, not data).
       for (NodeId kid : kids) {
+        if (!child_delivers(kid)) continue;
         for (std::size_t c = 0; c < k; ++c) {
           comm.bytes += hdc::wire_bytes_accum(class_accums[kid][c]);
           ++comm.messages;
@@ -232,6 +320,12 @@ CommStats EdgeHdSystem::train_initial(
       for (std::size_t c = 0; c < k; ++c) {
         st.classifier->set_class_accumulator(c, accums[c]);
       }
+    }
+    // A node cut off from its parent keeps its contribution pending.
+    if (degraded_ && id != topology_.root() &&
+        (!link_up(id) || !node_up(topology_.parent(id)))) {
+      pending_contrib_[id] = accums;
+      stragglers_.push_back(id);
     }
   }
   return comm;
@@ -263,10 +357,21 @@ CommStats EdgeHdSystem::retrain_batches(
     }
   }
 
-  // Bottom-up batch hypervectors; internal nodes aggregate children's.
+  // Bottom-up batch hypervectors; internal nodes aggregate children's. Under
+  // a health mask, crashed nodes sit the round out entirely; a missing
+  // child's batch slots are zeros (the parent retrains on what arrived) and
+  // the cut-off child is recorded as a straggler — recovery re-syncs it via
+  // a fresh retrain, since perceptron updates are not linear.
+  auto note_straggler = [this](NodeId id) {
+    if (std::find(stragglers_.begin(), stragglers_.end(), id) ==
+        stragglers_.end()) {
+      stragglers_.push_back(id);
+    }
+  };
   std::vector<std::vector<std::vector<AccumHV>>> node_batches(
       topology_.num_nodes());  // [node][class][batch]
   for (NodeId id : bottom_up_order()) {
+    if (!node_up(id)) continue;
     const NodeState& st = nodes_[id];
     auto& nb = node_batches[id];
     nb.assign(k, {});
@@ -285,12 +390,15 @@ CommStats EdgeHdSystem::retrain_batches(
       for (std::size_t c = 0; c < k; ++c) {
         for (std::size_t b = 0; b < batches[c].size(); ++b) {
           for (std::size_t ci = 0; ci < kids.size(); ++ci) {
-            child_accums[ci] = node_batches[kids[ci]][c][b];
+            child_accums[ci] = child_delivers(kids[ci])
+                                   ? node_batches[kids[ci]][c][b]
+                                   : AccumHV(nodes_[kids[ci]].dim, 0);
           }
           nb[c].push_back(st.aggregator->aggregate_accum(child_accums));
         }
       }
       for (NodeId kid : kids) {
+        if (!child_delivers(kid)) continue;
         for (std::size_t c = 0; c < k; ++c) {
           for (const auto& acc : node_batches[kid][c]) {
             comm.bytes += hdc::wire_bytes_accum(acc);
@@ -298,6 +406,10 @@ CommStats EdgeHdSystem::retrain_batches(
           }
         }
       }
+    }
+    if (degraded_ && id != topology_.root() &&
+        (!link_up(id) || !node_up(topology_.parent(id)))) {
+      note_straggler(id);
     }
 
     if (st.classifier == nullptr) continue;
@@ -391,6 +503,7 @@ RoutedResult EdgeHdSystem::infer_routed(std::span<const float> x,
   if (!has_classifier(start)) {
     throw std::invalid_argument("EdgeHdSystem: start node hosts no classifier");
   }
+  if (degraded_) return infer_routed_degraded(x, start);
   const auto hvs = encode_all(x);
   NodeId current = start;
   RoutedResult result;
@@ -414,6 +527,77 @@ RoutedResult EdgeHdSystem::infer_routed(std::span<const float> x,
   return result;
 }
 
+void EdgeHdSystem::gather_bytes_masked(NodeId id, std::uint64_t& bytes,
+                                       std::uint64_t& retry_bytes) const {
+  if (topology_.is_leaf(id)) return;
+  for (NodeId kid : topology_.children(id)) {
+    if (!child_delivers(kid)) continue;  // nothing crosses a dead hop
+    gather_bytes_masked(kid, bytes, retry_bytes);
+    const std::uint64_t b = compressed_query_bytes(nodes_[kid].dim);
+    bytes += b;
+    const double p = health_.link_loss(kid);
+    if (p > 0.0) {
+      // Reliable transport: the hop is charged the expected number of
+      // transmissions per packet under its retry cap; everything beyond the
+      // first copy is retry overhead.
+      retry_bytes += static_cast<std::uint64_t>(std::llround(
+          static_cast<double>(b) *
+          (net::expected_attempts(p, config_.failover.max_retries) - 1.0)));
+    }
+  }
+}
+
+RoutedResult EdgeHdSystem::infer_routed_degraded(std::span<const float> x,
+                                                 NodeId start) const {
+  RoutedResult result;
+  if (!node_up(start)) {
+    // The query's origin is dead; nobody can even pose the question.
+    result.degraded = true;
+    return result;
+  }
+  const auto hvs = encode_all_masked(x);
+  NodeId current = start;
+  bool cut = false;  // escalation wanted to continue but faults blocked it
+  while (true) {
+    const auto pred = nodes_[current].classifier->predict(hvs[current]);
+    result.label = pred.label;
+    result.confidence = pred.confidence;
+    result.node = current;
+    result.level = topology_.level(current);
+    const bool confident = pred.confidence >= config_.confidence_threshold;
+    if (confident || current == topology_.root()) break;
+    // Walk hop by hop toward the nearest reachable ancestor hosting a
+    // classifier; a dead hop anywhere on the way strands the query here.
+    NodeId next = current;
+    bool blocked = false;
+    do {
+      if (!link_up(next)) {
+        blocked = true;
+        break;
+      }
+      next = topology_.parent(next);
+      if (!node_up(next)) {
+        blocked = true;
+        break;
+      }
+    } while (next != topology_.root() && !has_classifier(next));
+    if (blocked) {
+      cut = true;
+      break;
+    }
+    if (!has_classifier(next)) break;
+    current = next;
+  }
+  if (cut && !config_.failover.serve_degraded) {
+    RoutedResult unserved;
+    unserved.degraded = true;
+    return unserved;
+  }
+  result.degraded = cut || subtree_degraded(result.node);
+  gather_bytes_masked(result.node, result.bytes, result.retry_bytes);
+  return result;
+}
+
 std::vector<RoutedResult> EdgeHdSystem::infer_routed_batch(
     std::span<const std::vector<float>> xs, NodeId start) const {
   if (!has_classifier(start)) {
@@ -427,9 +611,11 @@ std::vector<RoutedResult> EdgeHdSystem::infer_routed_batch(
 RoutedResult EdgeHdSystem::online_serve(std::span<const float> x,
                                         std::size_t truth, NodeId start) {
   const RoutedResult result = infer_routed(x, start);
-  if (result.label != truth) {
+  if (result.served() && result.label != truth) {
     // The user rejects the answer; only the wrongly matched class is known.
-    const auto hvs = encode_all(x);
+    // Under a health mask the feedback targets the hypervector the serving
+    // node actually saw (with unreachable contributions silenced).
+    const auto hvs = degraded_ ? encode_all_masked(x) : encode_all(x);
     for (std::size_t w = 0; w < config_.feedback_weight; ++w) {
       nodes_[result.node].classifier->feedback_negative(result.label,
                                                         hvs[result.node]);
@@ -454,6 +640,12 @@ CommStats EdgeHdSystem::propagate_residuals() {
 
   for (NodeId id : bottom_up_order()) {
     NodeState& st = nodes_[id];
+    // A crashed node neither applies nor ships anything; its own residuals
+    // stay queued inside its classifier until a later propagate finds it up.
+    if (!node_up(id)) {
+      outbox[id].assign(k, AccumHV(st.dim, 0));
+      continue;
+    }
     std::vector<AccumHV> total(k, AccumHV(st.dim, 0));
 
     if (!topology_.is_leaf(id)) {
@@ -461,7 +653,7 @@ CommStats EdgeHdSystem::propagate_residuals() {
       std::vector<AccumHV> child_res(kids.size());
       bool any_child = false;
       for (NodeId kid : kids) {
-        if (!is_zero(outbox[kid])) {
+        if (child_delivers(kid) && !is_zero(outbox[kid])) {
           any_child = true;
           for (std::size_t c = 0; c < k; ++c) {
             comm.bytes += hdc::wire_bytes_accum(outbox[kid][c]);
@@ -472,7 +664,9 @@ CommStats EdgeHdSystem::propagate_residuals() {
       if (any_child) {
         for (std::size_t c = 0; c < k; ++c) {
           for (std::size_t ci = 0; ci < kids.size(); ++ci) {
-            child_res[ci] = outbox[kids[ci]][c];
+            child_res[ci] = child_delivers(kids[ci])
+                                ? outbox[kids[ci]][c]
+                                : AccumHV(nodes_[kids[ci]].dim, 0);
           }
           total[c] = st.aggregator->aggregate_accum(child_res);
         }
@@ -490,11 +684,79 @@ CommStats EdgeHdSystem::propagate_residuals() {
         st.classifier->apply_external_residuals(total);
       }
     }
-    outbox[id] = std::move(total);
+
+    // What ships upward: this round's bundle plus anything held back by an
+    // earlier round whose uplink was down.
+    std::vector<AccumHV> ship = std::move(total);
+    if (!pending_residuals_[id].empty()) {
+      for (std::size_t c = 0; c < k; ++c) {
+        hdc::accumulate(ship[c], pending_residuals_[id][c]);
+      }
+      pending_residuals_[id].clear();
+    }
+    if (degraded_ && id != topology_.root() &&
+        (!link_up(id) || !node_up(topology_.parent(id)))) {
+      if (!is_zero(ship)) pending_residuals_[id] = std::move(ship);
+      outbox[id].assign(k, AccumHV(st.dim, 0));
+    } else {
+      outbox[id] = std::move(ship);
+    }
   }
 
   // Model changes invalidate nothing cached (encodings are model-free), so
   // no cache flush is needed.
+  return comm;
+}
+
+CommStats EdgeHdSystem::reintegrate_stragglers() {
+  const std::size_t k = ds_.num_classes;
+  CommStats comm;
+  for (NodeId id : bottom_up_order()) {
+    if (pending_contrib_[id].empty()) continue;
+    // Still cut off? The contribution stays pending for a later call.
+    if (degraded_ &&
+        !health_.reachable_up(topology_, id, topology_.root())) {
+      continue;
+    }
+    std::vector<AccumHV> cur = std::move(pending_contrib_[id]);
+    pending_contrib_[id].clear();
+    NodeId child = id;
+    while (child != topology_.root()) {
+      const NodeId parent = topology_.parent(child);
+      // Ship the delta one hop up (k class hypervectors, like training).
+      for (std::size_t c = 0; c < k; ++c) {
+        comm.bytes += hdc::wire_bytes_accum(cur[c]);
+        ++comm.messages;
+      }
+      // Lift the delta through the parent's aggregator: zeros in every slot
+      // but this child's. The hierarchical encoding is linear (up to its
+      // integer rescale), so adding the lifted delta to the parent's class
+      // accumulators is what aggregating the full contribution would have
+      // produced.
+      const NodeState& pst = nodes_[parent];
+      const auto& kids = topology_.children(parent);
+      std::vector<AccumHV> slots(kids.size());
+      std::vector<AccumHV> delta(k);
+      for (std::size_t c = 0; c < k; ++c) {
+        for (std::size_t ci = 0; ci < kids.size(); ++ci) {
+          slots[ci] = kids[ci] == child ? cur[c]
+                                        : AccumHV(nodes_[kids[ci]].dim, 0);
+        }
+        delta[c] = pst.aggregator->aggregate_accum(slots);
+      }
+      if (pst.classifier != nullptr) {
+        for (std::size_t c = 0; c < k; ++c) {
+          AccumHV acc = pst.classifier->class_accumulator(c);
+          hdc::accumulate(acc, delta[c]);
+          pst.classifier->set_class_accumulator(c, std::move(acc));
+        }
+      }
+      cur = std::move(delta);
+      child = parent;
+    }
+    stragglers_.erase(std::remove(stragglers_.begin(), stragglers_.end(), id),
+                      stragglers_.end());
+  }
   return comm;
 }
 

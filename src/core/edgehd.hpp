@@ -36,10 +36,27 @@
 #include "hdc/encoder.hpp"
 #include "hier/dim_allocation.hpp"
 #include "hier/hier_encoder.hpp"
+#include "net/fault.hpp"
 #include "net/topology.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace edgehd::core {
+
+/// How routed inference behaves when the hierarchy is partially down
+/// (see DESIGN.md §6). Escalation always stops at the deepest *reachable*
+/// classifier; these knobs govern the edge cases around that rule.
+struct FailoverPolicy {
+  /// A query that wants to escalate past a dead ancestor is served at the
+  /// deepest reachable classifier with `degraded = true`. When false, such
+  /// queries are reported unserved (RoutedResult::node == net::kNoNode)
+  /// instead — the fail-fast mode for callers that prefer an explicit error
+  /// over a low-confidence answer.
+  bool serve_degraded = true;
+  /// Retry cap assumed by the retry-byte accounting on lossy links: a hop
+  /// with loss p is charged the expected (1-p^(R+1))/(1-p) transmissions
+  /// per packet (matches net::ReliableConfig::max_retries).
+  std::size_t max_retries = 5;
+};
 
 /// Deployment-wide configuration (defaults are the paper's Section VI-A
 /// operating point).
@@ -71,6 +88,8 @@ struct SystemConfig {
   /// override, else hardware concurrency). Every parallel path is
   /// bit-identical across worker counts, so this is purely a speed knob.
   std::size_t num_threads = 0;
+  /// Degraded-operation policy for routed inference under faults.
+  FailoverPolicy failover;
 };
 
 /// Bytes/messages a protocol phase placed on the network.
@@ -85,13 +104,25 @@ struct CommStats {
   }
 };
 
-/// Outcome of one routed inference.
+/// Outcome of one routed inference. `node == net::kNoNode` after the call
+/// means the query could not be served at all (origin crashed, or nothing
+/// reachable hosts a classifier and the failover policy forbids a degraded
+/// answer).
 struct RoutedResult {
   std::size_t label = 0;
   net::NodeId node = net::kNoNode;  ///< node that served the prediction
   std::size_t level = 0;
   double confidence = 0.0;
   std::uint64_t bytes = 0;  ///< query-gathering bytes (compression amortized)
+  /// True when the answer came off the normal path: escalation was cut
+  /// short by a crash/outage, or the serving node aggregated with child
+  /// contributions missing.
+  bool degraded = false;
+  /// Expected retransmission bytes on lossy links beyond `bytes` (reliable
+  /// transport with FailoverPolicy::max_retries; zero on loss-free links).
+  std::uint64_t retry_bytes = 0;
+
+  bool served() const noexcept { return node != net::kNoNode; }
 };
 
 /// Scales the paper's batch size B to a scaled-down training-set size so the
@@ -182,7 +213,43 @@ class EdgeHdSystem {
   /// hierarchy (Figure 5b). Returns bytes spent on residual transfer.
   CommStats propagate_residuals();
 
-  // ---- fault injection (Figure 12) -----------------------------------------
+  // ---- fault awareness (transport-level degradation) -----------------------
+
+  /// Installs a connectivity snapshot. Protocols run after this call skip
+  /// crashed nodes, aggregate only the child contributions whose path is up,
+  /// and route inference over reachable nodes only. An all-healthy mask is
+  /// zero-cost: every protocol takes its fault-free fast path and results
+  /// are bit-identical to never having set a mask.
+  void set_health(net::HealthMask mask);
+
+  /// Convenience: snapshot `plan` at instant `at` and install it.
+  void set_fault_plan(const net::FaultPlan& plan, net::SimTime at = 0);
+
+  /// Restores full health (recovery). Pending straggler contributions stay
+  /// recorded; call reintegrate_stragglers() to fold them in.
+  void clear_health();
+
+  const net::HealthMask& health() const noexcept { return health_; }
+
+  /// True when the installed mask actually degrades something.
+  bool degraded_mode() const noexcept { return degraded_; }
+
+  /// Nodes whose training-time contribution could not reach their parent
+  /// under the current mask (recorded by the latest train_initial /
+  /// retrain_batches pass, deepest-first).
+  const std::vector<net::NodeId>& stragglers() const noexcept {
+    return stragglers_;
+  }
+
+  /// Re-integrates straggler contributions recorded by train_initial once
+  /// their path to the root is back up: each pending class-hypervector set
+  /// is shipped upward and folded into every ancestor's model through the
+  /// ancestor's aggregator (exact by linearity of the hierarchical
+  /// encoding). Returns the bytes spent. Contributions whose path is still
+  /// down stay pending.
+  CommStats reintegrate_stragglers();
+
+  // ---- fault injection (Figure 12, payload-level) --------------------------
 
   /// Test accuracy at node `id` when a random fraction `loss` of each query
   /// hypervector's dimensions is zeroed in transit (independent per-dim
@@ -213,6 +280,27 @@ class EdgeHdSystem {
   void ensure_train_encoded(std::span<const std::size_t> train_indices);
   void ensure_test_encoded() const;
 
+  // ---- health helpers (true when no mask is installed) ---------------------
+  bool node_up(net::NodeId id) const noexcept;
+  bool link_up(net::NodeId child) const noexcept;
+  /// A child's contribution reaches its parent iff the child and its uplink
+  /// are both up (the parent's own liveness is the caller's context).
+  bool child_delivers(net::NodeId child) const noexcept;
+  /// Any contribution missing anywhere in `id`'s subtree?
+  bool subtree_degraded(net::NodeId id) const;
+
+  /// encode_all with unreachable child contributions zeroed (the transport
+  /// analogue of the Figure-12 dimension erasure).
+  std::vector<hdc::BipolarHV> encode_all_masked(std::span<const float> x) const;
+
+  /// Query-gather accounting over the reachable subtree only, with expected
+  /// retransmission bytes on lossy links.
+  void gather_bytes_masked(net::NodeId id, std::uint64_t& bytes,
+                           std::uint64_t& retry_bytes) const;
+
+  RoutedResult infer_routed_degraded(std::span<const float> x,
+                                     net::NodeId start) const;
+
   std::vector<std::size_t> effective_indices(
       std::span<const std::size_t> train_indices) const;
 
@@ -238,6 +326,18 @@ class EdgeHdSystem {
   std::vector<std::size_t> encoded_train_labels_;
   std::vector<std::size_t> encoded_train_source_;  ///< dataset row per sample
   mutable std::vector<std::vector<hdc::BipolarHV>> encoded_test_;
+
+  // ---- degraded-operation state --------------------------------------------
+  net::HealthMask health_;   ///< empty = all healthy
+  bool degraded_ = false;    ///< mask installed and not all-healthy
+  std::vector<net::NodeId> stragglers_;
+  /// Per-node class-hypervector contributions computed during train_initial
+  /// but not yet delivered upstream (indexed by node; empty = nothing
+  /// pending).
+  std::vector<std::vector<hdc::AccumHV>> pending_contrib_;
+  /// Residual bundles held back by propagate_residuals while the uplink was
+  /// down; shipped by the next propagate that finds the path up.
+  std::vector<std::vector<hdc::AccumHV>> pending_residuals_;
 };
 
 }  // namespace edgehd::core

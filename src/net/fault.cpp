@@ -1,0 +1,148 @@
+#include "fault.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace edgehd::net {
+
+using detail::mix64;
+using detail::unit_from;
+
+namespace {
+
+constexpr bool in_window(SimTime at, SimTime from, SimTime until) noexcept {
+  return at >= from && at < until;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::crash(NodeId node, SimTime from, SimTime until) {
+  if (node == kNoNode || from < 0 || until < from) {
+    throw std::invalid_argument("FaultPlan: malformed crash window");
+  }
+  crashes_.push_back({node, from, until});
+  return *this;
+}
+
+FaultPlan& FaultPlan::outage(NodeId child, SimTime from, SimTime until) {
+  if (child == kNoNode || from < 0 || until < from) {
+    throw std::invalid_argument("FaultPlan: malformed outage window");
+  }
+  outages_.push_back({child, from, until});
+  return *this;
+}
+
+FaultPlan& FaultPlan::loss(NodeId child, double probability) {
+  if (child == kNoNode || probability < 0.0 || probability > 1.0 ||
+      !std::isfinite(probability)) {
+    throw std::invalid_argument("FaultPlan: loss probability out of range");
+  }
+  losses_.push_back({child, probability});
+  return *this;
+}
+
+bool FaultPlan::node_up(NodeId node, SimTime at) const noexcept {
+  for (const auto& w : crashes_) {
+    if (w.node == node && in_window(at, w.from, w.until)) return false;
+  }
+  return true;
+}
+
+bool FaultPlan::link_up(NodeId child, SimTime at) const noexcept {
+  for (const auto& w : outages_) {
+    if (w.child == child && in_window(at, w.from, w.until)) return false;
+  }
+  return true;
+}
+
+double FaultPlan::loss_probability(NodeId child) const noexcept {
+  double p = 0.0;
+  // Multiple entries on one link compose as independent loss processes.
+  for (const auto& l : losses_) {
+    if (l.child == child) p = 1.0 - (1.0 - p) * (1.0 - l.probability);
+  }
+  return p;
+}
+
+bool FaultPlan::drop(NodeId child, std::uint64_t attempt) const noexcept {
+  const double p = loss_probability(child);
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  const std::uint64_t word =
+      mix64(seed_ ^ mix64(0x9e3779b97f4a7c15ULL * (child + 1) ^
+                          0xd1b54a32d192ed03ULL * (attempt + 1)));
+  return unit_from(word) < p;
+}
+
+HealthMask HealthMask::snapshot(const FaultPlan& plan, std::size_t num_nodes,
+                                SimTime at) {
+  HealthMask mask(num_nodes);
+  for (NodeId id = 0; id < num_nodes; ++id) {
+    mask.node_up_[id] = plan.node_up(id, at) ? 1 : 0;
+    mask.link_up_[id] = plan.link_up(id, at) ? 1 : 0;
+    mask.link_loss_[id] = plan.loss_probability(id);
+  }
+  return mask;
+}
+
+HealthMask& HealthMask::set_node_up(NodeId id, bool up) {
+  if (id >= node_up_.size()) {
+    throw std::out_of_range("HealthMask: node id out of range");
+  }
+  node_up_[id] = up ? 1 : 0;
+  return *this;
+}
+
+HealthMask& HealthMask::set_link_up(NodeId child, bool up) {
+  if (child >= link_up_.size()) {
+    throw std::out_of_range("HealthMask: node id out of range");
+  }
+  link_up_[child] = up ? 1 : 0;
+  return *this;
+}
+
+HealthMask& HealthMask::set_link_loss(NodeId child, double probability) {
+  if (child >= link_loss_.size()) {
+    throw std::out_of_range("HealthMask: node id out of range");
+  }
+  if (probability < 0.0 || probability > 1.0 || !std::isfinite(probability)) {
+    throw std::invalid_argument("HealthMask: loss probability out of range");
+  }
+  link_loss_[child] = probability;
+  return *this;
+}
+
+bool HealthMask::all_healthy() const noexcept {
+  for (const auto up : node_up_) {
+    if (up == 0) return false;
+  }
+  for (const auto up : link_up_) {
+    if (up == 0) return false;
+  }
+  for (const double p : link_loss_) {
+    if (p > 0.0) return false;
+  }
+  return true;
+}
+
+bool HealthMask::reachable_up(const Topology& topo, NodeId id,
+                              NodeId ancestor) const {
+  if (!node_up(id)) return false;
+  NodeId cur = id;
+  while (cur != ancestor) {
+    if (cur == topo.root()) return false;  // ancestor not on the root path
+    if (!link_up(cur)) return false;
+    cur = topo.parent(cur);
+    if (!node_up(cur)) return false;
+  }
+  return true;
+}
+
+double expected_attempts(double p, std::size_t max_retries) noexcept {
+  if (p <= 0.0) return 1.0;
+  if (p >= 1.0) return static_cast<double>(max_retries + 1);
+  // Geometric series: 1 + p + ... + p^max_retries.
+  return (1.0 - std::pow(p, static_cast<double>(max_retries + 1))) / (1.0 - p);
+}
+
+}  // namespace edgehd::net

@@ -1,0 +1,166 @@
+// Deterministic fault injection for the network layer.
+//
+// A FaultPlan describes everything that goes wrong during a run: node
+// crash/recover windows, link outage windows, and per-link Bernoulli packet
+// loss. Every stochastic decision is a stateless hash of (plan seed, link,
+// per-link attempt index), so a run is reproducible bit-for-bit from
+// (seed, plan) — the same determinism contract the runtime layer gives for
+// worker counts. The Simulator consumes a plan directly (drop semantics,
+// send_reliable); the core protocols consume a HealthMask, a connectivity
+// snapshot of the plan at one instant, because the protocol byte accounting
+// is analytic rather than event-driven.
+//
+// This is the *transport-level* fault model. The payload-level counterpart —
+// what erased dimensions do to accuracy once a packet is gone — is
+// EdgeHdSystem::accuracy_at_node_with_loss / _with_burst_loss (Figure 12).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "medium.hpp"
+#include "topology.hpp"
+
+namespace edgehd::net {
+
+namespace detail {
+
+/// SplitMix64 finalizer (same mixer as hdc::splitmix64, duplicated so
+/// edgehd_net keeps zero dependencies on the HDC layer).
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform [0, 1) from the top 53 bits of a mixed word.
+constexpr double unit_from(std::uint64_t u) noexcept {
+  return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+}  // namespace detail
+
+/// Open-ended end for crash/outage windows.
+inline constexpr SimTime kForever = std::numeric_limits<SimTime>::max();
+
+/// Half-open window [from, until) during which a node is crashed: it neither
+/// transmits nor receives.
+struct CrashWindow {
+  NodeId node = kNoNode;
+  SimTime from = 0;
+  SimTime until = kForever;
+};
+
+/// Half-open window [from, until) during which the uplink of `child` (the
+/// link to its parent) is down: no transfer may start in either direction.
+struct OutageWindow {
+  NodeId child = kNoNode;
+  SimTime from = 0;
+  SimTime until = kForever;
+};
+
+/// Bernoulli loss on the uplink of `child`: each transmission attempt is
+/// dropped in the air with this probability, independently per attempt.
+struct LinkLoss {
+  NodeId child = kNoNode;
+  double probability = 0.0;
+};
+
+/// A seeded description of node crashes, link outages and packet loss.
+/// Default-constructed plans are all-healthy and cost nothing to consult.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Crashes `node` for [from, until); returns *this for chaining.
+  FaultPlan& crash(NodeId node, SimTime from = 0, SimTime until = kForever);
+
+  /// Takes the uplink of `child` down for [from, until).
+  FaultPlan& outage(NodeId child, SimTime from = 0, SimTime until = kForever);
+
+  /// Sets Bernoulli loss `probability` in [0, 1] on the uplink of `child`.
+  FaultPlan& loss(NodeId child, double probability);
+
+  /// True when no crash, outage or loss entry exists.
+  bool empty() const noexcept {
+    return crashes_.empty() && outages_.empty() && losses_.empty();
+  }
+
+  bool node_up(NodeId node, SimTime at) const noexcept;
+  bool link_up(NodeId child, SimTime at) const noexcept;
+  double loss_probability(NodeId child) const noexcept;
+
+  /// Deterministic Bernoulli draw for the `attempt`-th transmission on the
+  /// uplink of `child`. A stateless hash of (seed, child, attempt): the draw
+  /// depends only on the per-link attempt index, never on how events from
+  /// other links interleave.
+  bool drop(NodeId child, std::uint64_t attempt) const noexcept;
+
+  const std::vector<CrashWindow>& crashes() const noexcept { return crashes_; }
+  const std::vector<OutageWindow>& outages() const noexcept { return outages_; }
+  const std::vector<LinkLoss>& losses() const noexcept { return losses_; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<CrashWindow> crashes_;
+  std::vector<OutageWindow> outages_;
+  std::vector<LinkLoss> losses_;
+};
+
+/// Connectivity snapshot used by the analytic core protocols: which nodes
+/// and uplinks are up right now, and the loss rate a reliable transport
+/// would fight on each link. Default-constructed masks are all-healthy.
+class HealthMask {
+ public:
+  HealthMask() = default;
+  explicit HealthMask(std::size_t num_nodes)
+      : node_up_(num_nodes, 1),
+        link_up_(num_nodes, 1),
+        link_loss_(num_nodes, 0.0) {}
+
+  /// Evaluates `plan` at instant `at` over `num_nodes` nodes.
+  static HealthMask snapshot(const FaultPlan& plan, std::size_t num_nodes,
+                             SimTime at);
+
+  std::size_t size() const noexcept { return node_up_.size(); }
+  bool empty() const noexcept { return node_up_.empty(); }
+
+  bool node_up(NodeId id) const noexcept {
+    return id >= node_up_.size() || node_up_[id] != 0;
+  }
+  bool link_up(NodeId child) const noexcept {
+    return child >= link_up_.size() || link_up_[child] != 0;
+  }
+  double link_loss(NodeId child) const noexcept {
+    return child < link_loss_.size() ? link_loss_[child] : 0.0;
+  }
+
+  HealthMask& set_node_up(NodeId id, bool up);
+  HealthMask& set_link_up(NodeId child, bool up);
+  HealthMask& set_link_loss(NodeId child, double probability);
+
+  /// True when every node and link is up and loss-free (the mask changes
+  /// nothing — protocols take their fault-free fast paths).
+  bool all_healthy() const noexcept;
+
+  /// True when `id` is up and every hop from `id` to `ancestor` — uplinks
+  /// and intermediate nodes, `ancestor` included — is up. `id == ancestor`
+  /// reduces to node_up(id).
+  bool reachable_up(const Topology& topo, NodeId id, NodeId ancestor) const;
+
+ private:
+  std::vector<std::uint8_t> node_up_;
+  std::vector<std::uint8_t> link_up_;
+  std::vector<double> link_loss_;
+};
+
+/// Expected transmissions of one packet over a link with Bernoulli loss `p`
+/// under a reliable transport capped at `max_retries` retries (so at most
+/// max_retries + 1 attempts): sum of p^k for k in [0, max_retries].
+double expected_attempts(double p, std::size_t max_retries) noexcept;
+
+}  // namespace edgehd::net

@@ -1,6 +1,7 @@
 #include "simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -8,7 +9,7 @@ namespace edgehd::net {
 
 Simulator::Simulator(Topology topology, Medium medium)
     : topology_(std::move(topology)),
-      links_(topology_.num_nodes(), Link{medium, 0}),
+      links_(topology_.num_nodes(), Link{medium, 0, 0}),
       node_busy_until_(topology_.num_nodes(), 0),
       stats_(topology_.num_nodes()) {}
 
@@ -19,11 +20,21 @@ void Simulator::set_link_medium(NodeId child, Medium medium) {
   links_[child].medium = std::move(medium);
 }
 
+void Simulator::set_fault_plan(FaultPlan plan) {
+  faults_ = std::move(plan);
+  faults_active_ = !faults_.empty();
+}
+
+void Simulator::push_event(SimTime time, std::function<void()> fn) {
+  queue_.push_back(Event{time, next_seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), EventOrder{});
+}
+
 void Simulator::schedule(SimTime delay, std::function<void()> fn) {
   if (delay < 0) {
     throw std::invalid_argument("Simulator: negative delay");
   }
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  push_event(now_ + delay, std::move(fn));
 }
 
 void Simulator::compute(NodeId node, SimTime duration, double power_w,
@@ -40,7 +51,7 @@ void Simulator::compute(NodeId node, SimTime duration, double power_w,
   stats_[node].compute_busy += duration;
   stats_[node].compute_energy_j +=
       power_w * static_cast<double>(duration) / 1e9;
-  queue_.push(Event{end, next_seq_++, std::move(on_done)});
+  push_event(end, std::move(on_done));
 }
 
 Simulator::Link& Simulator::uplink_of(NodeId from, NodeId to) {
@@ -50,11 +61,14 @@ Simulator::Link& Simulator::uplink_of(NodeId from, NodeId to) {
   throw std::invalid_argument("Simulator: send endpoints are not adjacent");
 }
 
-void Simulator::send(NodeId from, NodeId to, std::uint64_t bytes,
-                     std::function<void()> on_delivered) {
+void Simulator::transmit(NodeId from, NodeId to, std::uint64_t bytes,
+                         std::function<void(TransmitResult)> on_result) {
   Link& link = uplink_of(from, to);
+  const NodeId link_child = topology_.parent(from) == to ? from : to;
   // Wireless links share one collision domain: a transfer must also wait for
-  // the whole medium to go quiet, and occupies it while in the air.
+  // the whole medium to go quiet, and occupies it while in the air. The slot
+  // is reserved now (the queuing discipline); stats are charged when the
+  // transfer actually starts and ends.
   const SimTime floor = link.medium.shared_domain
                             ? std::max(link.busy_until, shared_busy_until_)
                             : link.busy_until;
@@ -64,21 +78,146 @@ void Simulator::send(NodeId from, NodeId to, std::uint64_t bytes,
   link.busy_until = end;
   if (link.medium.shared_domain) shared_busy_until_ = end;
 
-  stats_[from].tx_time += duration;
-  stats_[to].rx_time += duration;
-  stats_[from].bytes_tx += bytes;
-  stats_[to].bytes_rx += bytes;
-  const double seconds = static_cast<double>(duration) / 1e9;
-  stats_[from].comm_energy_j += link.medium.tx_power_w * seconds;
-  stats_[to].comm_energy_j += link.medium.rx_power_w * seconds;
+  // Capture cost parameters now so a later set_link_medium cannot
+  // retroactively change this transfer's accounting.
+  const double tx_power = link.medium.tx_power_w;
+  const double rx_power = link.medium.rx_power_w;
 
-  queue_.push(Event{end, next_seq_++, std::move(on_delivered)});
+  push_event(start, [this, from, to, bytes, link_child, duration, end,
+                     tx_power, rx_power, cb = std::move(on_result)]() mutable {
+    if (faults_active_ &&
+        (!faults_.node_up(from, now_) || !faults_.link_up(link_child, now_))) {
+      ++stats_[from].sends_suppressed;
+      if (cb) cb(TransmitResult::kNotSent);
+      return;
+    }
+    // The attempt hits the air: charge the sender.
+    const double seconds = static_cast<double>(duration) / 1e9;
+    stats_[from].tx_time += duration;
+    stats_[from].bytes_tx += bytes;
+    ++stats_[from].packets_tx;
+    stats_[from].comm_energy_j += tx_power * seconds;
+    const bool lost =
+        faults_active_ &&
+        faults_.drop(link_child, links_[link_child].attempts++);
+    push_event(end, [this, from, to, bytes, duration, rx_power, seconds, lost,
+                     cb = std::move(cb)]() mutable {
+      if (lost || (faults_active_ && !faults_.node_up(to, now_))) {
+        ++stats_[from].packets_dropped;
+        if (cb) cb(TransmitResult::kLostInAir);
+        return;
+      }
+      stats_[to].rx_time += duration;
+      stats_[to].bytes_rx += bytes;
+      ++stats_[to].packets_rx;
+      stats_[to].comm_energy_j += rx_power * seconds;
+      if (cb) cb(TransmitResult::kDelivered);
+    });
+  });
+}
+
+void Simulator::send(NodeId from, NodeId to, std::uint64_t bytes,
+                     std::function<void()> on_delivered) {
+  transmit(from, to, bytes,
+           [cb = std::move(on_delivered)](TransmitResult r) {
+             if (r == TransmitResult::kDelivered && cb) cb();
+           });
+}
+
+// ---- reliable transport ----------------------------------------------------
+
+struct Simulator::ReliableState {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::uint64_t bytes = 0;
+  ReliableConfig cfg;
+  std::function<void(const DeliveryOutcome&)> on_outcome;
+  std::size_t attempts = 0;        ///< payload transmissions issued
+  std::uint64_t bytes_on_wire = 0; ///< payload bytes that hit the air
+  bool receiver_got = false;
+  bool done = false;
+};
+
+void Simulator::send_reliable(
+    NodeId from, NodeId to, std::uint64_t bytes,
+    std::function<void(const DeliveryOutcome&)> on_outcome,
+    ReliableConfig config) {
+  if (config.ack_timeout <= 0 || config.backoff_factor < 1.0 ||
+      config.jitter < 0.0 || config.jitter >= 1.0) {
+    throw std::invalid_argument("Simulator: malformed ReliableConfig");
+  }
+  auto st = std::make_shared<ReliableState>();
+  st->from = from;
+  st->to = to;
+  st->bytes = bytes;
+  st->cfg = config;
+  st->on_outcome = std::move(on_outcome);
+  reliable_attempt(std::move(st));
+}
+
+void Simulator::reliable_attempt(std::shared_ptr<ReliableState> st) {
+  ++st->attempts;
+  const std::size_t attempt = st->attempts;
+  transmit(st->from, st->to, st->bytes,
+           [this, st, attempt](TransmitResult r) {
+             if (r == TransmitResult::kNotSent) return;  // timer drives retry
+             st->bytes_on_wire += st->bytes;
+             if (attempt > 1) {
+               ++stats_[st->from].retransmissions;
+               stats_[st->from].bytes_retransmitted += st->bytes;
+             }
+             if (r != TransmitResult::kDelivered) return;
+             st->receiver_got = true;
+             // The receiver acks every received copy (duplicates re-ack, so
+             // a lost ack is recoverable). Completion fires on the first ack
+             // that makes it back.
+             transmit(st->to, st->from, st->cfg.ack_bytes,
+                      [this, st](TransmitResult ar) {
+                        if (ar == TransmitResult::kDelivered && !st->done) {
+                          finish_reliable(st, true);
+                        }
+                      });
+           });
+
+  // Exponential backoff with seeded jitter: timeout_k = ack_timeout *
+  // backoff^(k-1), scaled by a deterministic draw from [1-j, 1+j).
+  double timeout = static_cast<double>(st->cfg.ack_timeout) *
+                   std::pow(st->cfg.backoff_factor,
+                            static_cast<double>(attempt - 1));
+  if (st->cfg.jitter > 0.0) {
+    const std::uint64_t word = detail::mix64(
+        faults_.seed() ^
+        detail::mix64(0xa0761d6478bd642fULL * (++jitter_draws_)));
+    timeout *= 1.0 - st->cfg.jitter +
+               2.0 * st->cfg.jitter * detail::unit_from(word);
+  }
+  const SimTime wait = std::max<SimTime>(1, std::llround(timeout));
+  schedule(wait, [this, st] {
+    if (st->done) return;
+    if (st->attempts > st->cfg.max_retries) {
+      finish_reliable(st, false);
+      return;
+    }
+    reliable_attempt(st);
+  });
+}
+
+void Simulator::finish_reliable(std::shared_ptr<ReliableState> st,
+                                bool delivered) {
+  st->done = true;
+  if (!st->on_outcome) return;
+  DeliveryOutcome outcome;
+  outcome.delivered = delivered;
+  outcome.attempts = st->attempts;
+  outcome.bytes_on_wire = st->bytes_on_wire;
+  outcome.completed_at = now_;
+  st->on_outcome(outcome);
 }
 
 void Simulator::send_to_root(NodeId from, std::uint64_t bytes,
                              std::function<void()> on_delivered) {
   if (from == topology_.root()) {
-    queue_.push(Event{now_, next_seq_++, std::move(on_delivered)});
+    push_event(now_, std::move(on_delivered));
     return;
   }
   const NodeId next = topology_.parent(from);
@@ -91,8 +230,9 @@ void Simulator::send_to_root(NodeId from, std::uint64_t bytes,
 
 SimTime Simulator::run() {
   while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    std::pop_heap(queue_.begin(), queue_.end(), EventOrder{});
+    Event ev = std::move(queue_.back());
+    queue_.pop_back();
     now_ = ev.time;
     makespan_ = std::max(makespan_, now_);
     if (ev.fn) ev.fn();
@@ -118,6 +258,20 @@ double Simulator::total_energy_j() const {
 std::uint64_t Simulator::total_bytes_transferred() const {
   std::uint64_t total = 0;
   for (const auto& s : stats_) total += s.bytes_tx;
+  return total;
+}
+
+std::uint64_t Simulator::total_retransmissions() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stats_) total += s.retransmissions;
+  return total;
+}
+
+std::uint64_t Simulator::total_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stats_) {
+    total += s.packets_dropped + s.sends_suppressed;
+  }
   return total;
 }
 

@@ -5,14 +5,24 @@
 // compute occupancy (a node runs one task at a time), link occupancy (one
 // transfer at a time per parent-child link), and energy (compute power ×
 // busy time plus radio power × air time). The simulator is deterministic:
-// ties in event time are broken by insertion order.
+// ties in event time are broken by insertion order, and every fault draw is
+// a stateless function of (FaultPlan seed, link, attempt index), so a run is
+// reproducible bit-for-bit from (seed, plan).
+//
+// Fault semantics (see fault.hpp): a transfer's sender-side conditions —
+// sender alive, link not in an outage window, Bernoulli loss draw — are
+// evaluated when the transfer *starts*; the receiver must be alive when it
+// *ends*. A transfer already in the air when an outage window opens still
+// lands. Stats are charged when they happen (tx side at transfer start, rx
+// side at delivery), so snapshots taken mid-run are causally consistent.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "fault.hpp"
 #include "medium.hpp"
 #include "topology.hpp"
 
@@ -27,6 +37,41 @@ struct NodeStats {
   std::uint64_t bytes_rx = 0;
   double compute_energy_j = 0.0;
   double comm_energy_j = 0.0;
+  // ---- fault/transport accounting ----------------------------------------
+  std::uint64_t packets_tx = 0;  ///< transmission attempts that hit the air
+  std::uint64_t packets_rx = 0;  ///< packets received intact
+  /// Attempts lost in transit (loss draw, or receiver dead at delivery);
+  /// charged to the sender.
+  std::uint64_t packets_dropped = 0;
+  /// Attempts that never transmitted (sender crashed or link in outage at
+  /// transfer start); charged to the sender. No bytes/energy are spent.
+  std::uint64_t sends_suppressed = 0;
+  /// Payload retransmissions issued by send_reliable (as sender).
+  std::uint64_t retransmissions = 0;
+  std::uint64_t bytes_retransmitted = 0;  ///< payload bytes of those retries
+};
+
+/// Tunables for the reliable-transport primitive. Acks are modelled as
+/// zero-byte control frames by default (they cost one link latency and can
+/// be lost, but carry no charged bytes).
+struct ReliableConfig {
+  SimTime ack_timeout = 50 * kMillisecond;  ///< wait before first retry
+  std::size_t max_retries = 5;              ///< cap: at most 1 + this attempts
+  double backoff_factor = 2.0;              ///< timeout multiplier per retry
+  /// Uniform jitter: each backoff is scaled by a factor drawn from
+  /// [1 - jitter, 1 + jitter) using the plan-seeded RNG.
+  double jitter = 0.1;
+  std::uint64_t ack_bytes = 0;  ///< wire bytes charged per ack frame
+};
+
+/// Sender-side result of one send_reliable call.
+struct DeliveryOutcome {
+  bool delivered = false;   ///< an ack came back within the retry budget
+  std::size_t attempts = 0; ///< payload transmissions issued (1 = no retry)
+  /// Payload bytes placed on the air across all attempts — equals
+  /// payload × attempts when no attempt was suppressed.
+  std::uint64_t bytes_on_wire = 0;
+  SimTime completed_at = 0; ///< ack arrival, or the giving-up instant
 };
 
 /// Event-driven simulator over a Topology with a single link medium (the
@@ -42,6 +87,11 @@ class Simulator {
   /// Overrides the medium of the link between `child` and its parent.
   void set_link_medium(NodeId child, Medium medium);
 
+  /// Installs the fault plan governing this run. An empty plan restores
+  /// fault-free behaviour exactly (the fault path is zero-cost when off).
+  void set_fault_plan(FaultPlan plan);
+  const FaultPlan& fault_plan() const noexcept { return faults_; }
+
   /// Schedules `fn` to run `delay` from now.
   void schedule(SimTime delay, std::function<void()> fn);
 
@@ -52,9 +102,20 @@ class Simulator {
 
   /// Sends `bytes` one hop between `from` and `to` (which must be
   /// parent/child in the topology). The link serializes transfers;
-  /// `on_delivered` (optional) fires when the last byte arrives.
+  /// `on_delivered` (optional) fires when the last byte arrives. Under a
+  /// fault plan the message may be dropped, in which case `on_delivered`
+  /// never fires and the sender's drop counters advance.
   void send(NodeId from, NodeId to, std::uint64_t bytes,
             std::function<void()> on_delivered = {});
+
+  /// Reliable one-hop transfer: retransmits until an ack arrives, the retry
+  /// cap is hit, or the sender finds itself unable to transmit. Backoff is
+  /// exponential with seeded jitter; duplicate deliveries at the receiver
+  /// are suppressed (the payload callback semantics of `on_outcome` fire
+  /// exactly once, from the sender's point of view).
+  void send_reliable(NodeId from, NodeId to, std::uint64_t bytes,
+                     std::function<void(const DeliveryOutcome&)> on_outcome = {},
+                     ReliableConfig config = {});
 
   /// Multi-hop convenience: forwards `bytes` hop by hop from `from` up to
   /// the root (store-and-forward through every gateway), then fires
@@ -74,6 +135,12 @@ class Simulator {
   /// Sum of bytes placed on the air/wire (each hop counted once).
   std::uint64_t total_bytes_transferred() const;
 
+  /// Sum of retransmissions over all nodes.
+  std::uint64_t total_retransmissions() const;
+
+  /// Sum of dropped + suppressed transmission attempts over all nodes.
+  std::uint64_t total_drops() const;
+
  private:
   struct Event {
     SimTime time;
@@ -81,6 +148,8 @@ class Simulator {
     std::function<void()> fn;
   };
   struct EventOrder {
+    /// Heap comparator: a orders *below* b when a fires later (or tied with
+    /// a later insertion), so the heap front is the next event.
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
@@ -91,16 +160,38 @@ class Simulator {
   struct Link {
     Medium medium;
     SimTime busy_until = 0;
+    std::uint64_t attempts = 0;  ///< transmissions so far (fault-draw index)
   };
 
+  /// What happened to one transmission attempt.
+  enum class TransmitResult : std::uint8_t {
+    kDelivered,   ///< landed intact at the receiver
+    kLostInAir,   ///< transmitted but dropped (loss draw / dead receiver)
+    kNotSent,     ///< never transmitted (sender crashed / link outage)
+  };
+
+  struct ReliableState;
+
   Link& uplink_of(NodeId from, NodeId to);
+  void push_event(SimTime time, std::function<void()> fn);
+
+  /// One transmission attempt with full fault semantics; `on_result` always
+  /// fires exactly once (at delivery time, or at the failure instant).
+  void transmit(NodeId from, NodeId to, std::uint64_t bytes,
+                std::function<void(TransmitResult)> on_result);
+
+  void reliable_attempt(std::shared_ptr<ReliableState> st);
+  void finish_reliable(std::shared_ptr<ReliableState> st, bool delivered);
 
   Topology topology_;
   std::vector<Link> links_;  // indexed by the child endpoint
   SimTime shared_busy_until_ = 0;  ///< collision-domain occupancy (wireless)
   std::vector<SimTime> node_busy_until_;
   std::vector<NodeStats> stats_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<Event> queue_;  ///< binary heap ordered by EventOrder
+  FaultPlan faults_;
+  bool faults_active_ = false;
+  std::uint64_t jitter_draws_ = 0;  ///< backoff-jitter draw counter
   SimTime now_ = 0;
   SimTime makespan_ = 0;
   std::uint64_t next_seq_ = 0;

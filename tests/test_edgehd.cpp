@@ -173,6 +173,66 @@ TEST(EdgeHd, ResidualPropagationWithoutFeedbackIsFree) {
   EXPECT_EQ(comm.messages, 0u);
 }
 
+// The Figure-12 fault-injection surface, exercised under *both* aggregation
+// modes: each mode must degrade gracefully on its own, and holographic must
+// degrade no worse than concatenation (the paper's robustness claim).
+class AggregationLoss
+    : public ::testing::TestWithParam<hier::AggregationMode> {
+ protected:
+  static core::SystemConfig cfg_for(hier::AggregationMode mode) {
+    auto cfg = small_cfg();
+    cfg.aggregation = mode;
+    return cfg;
+  }
+};
+
+TEST_P(AggregationLoss, RandomLossDegradesGracefully) {
+  const auto ds = four_node_dataset();
+  core::EdgeHdSystem sys(ds, net::Topology::paper_tree(4),
+                         cfg_for(GetParam()));
+  sys.train();
+  const auto root = sys.topology().root();
+  const double clean = sys.accuracy_at_node_with_loss(root, 0.0, 3);
+  const double heavy = sys.accuracy_at_node_with_loss(root, 0.6, 3);
+  EXPECT_GT(clean, 0.6);
+  EXPECT_GE(clean + 0.02, heavy);       // losing signal never helps (modulo
+                                        // sampling noise in the erasure draw)
+  EXPECT_GT(heavy, 1.0 / 3.0 - 0.05);   // but never collapses below chance
+}
+
+TEST_P(AggregationLoss, ZeroLossMatchesTheUndamagedModel) {
+  const auto ds = four_node_dataset(400, 100);
+  core::EdgeHdSystem sys(ds, net::Topology::paper_tree(4),
+                         cfg_for(GetParam()));
+  sys.train();
+  const auto root = sys.topology().root();
+  EXPECT_DOUBLE_EQ(sys.accuracy_at_node_with_loss(root, 0.0, 3),
+                   sys.accuracy_at_node_with_burst_loss(root, 0.0, 16, 3));
+}
+
+TEST_P(AggregationLoss, BurstLossKeepsAUsableModel) {
+  const auto ds = four_node_dataset();
+  core::EdgeHdSystem sys(ds, net::Topology::paper_tree(4),
+                         cfg_for(GetParam()));
+  sys.train();
+  const auto root = sys.topology().root();
+  const std::size_t burst = sys.node_dim(sys.topology().leaves()[0]);
+  const double clean = sys.accuracy_at_node_with_burst_loss(root, 0.0, burst, 3);
+  const double bursty = sys.accuracy_at_node_with_burst_loss(root, 0.5, burst, 3);
+  EXPECT_GE(clean + 0.02, bursty);
+  EXPECT_GT(bursty, 1.0 / 3.0 - 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, AggregationLoss,
+    ::testing::Values(hier::AggregationMode::kHolographic,
+                      hier::AggregationMode::kConcatenation),
+    [](const auto& info) {
+      return info.param == hier::AggregationMode::kHolographic
+                 ? "Holographic"
+                 : "Concatenation";
+    });
+
 TEST(EdgeHd, HolographicLossToleranceBeatsConcatenation) {
   const auto ds = four_node_dataset();
   auto holo_cfg = small_cfg();
@@ -196,7 +256,8 @@ TEST(EdgeHd, HolographicLossToleranceBeatsConcatenation) {
 TEST(EdgeHd, BurstLossFavorsHolographicAggregation) {
   // Packet-sized contiguous erasures take out a whole child block under
   // concatenation but thin all children uniformly under the holographic
-  // projection (the Figure 12 mechanism).
+  // projection (the Figure 12 mechanism): holographic degrades more
+  // gracefully, in both absolute accuracy and accuracy drop.
   const auto ds = four_node_dataset();
   core::EdgeHdSystem holo(ds, net::Topology::paper_tree(4), small_cfg());
   holo.train();
@@ -213,6 +274,11 @@ TEST(EdgeHd, BurstLossFavorsHolographicAggregation) {
   const double cat_acc =
       concat.accuracy_at_node_with_burst_loss(croot, 0.5, burst, 3);
   EXPECT_GE(holo_acc, cat_acc - 0.03);
+  const double holo_drop =
+      holo.accuracy_at_node_with_burst_loss(root, 0.0, burst, 3) - holo_acc;
+  const double cat_drop =
+      concat.accuracy_at_node_with_burst_loss(croot, 0.0, burst, 3) - cat_acc;
+  EXPECT_LE(holo_drop, cat_drop + 0.03);
 }
 
 TEST(EdgeHd, BurstLossValidatesArguments) {
