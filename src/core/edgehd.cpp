@@ -258,10 +258,19 @@ void EdgeHdSystem::ensure_train_encoded(
 void EdgeHdSystem::ensure_test_encoded() const {
   if (!encoded_test_.empty()) return;
   encoded_test_.assign(topology_.num_nodes(), {});
-  for (auto& per_node : encoded_test_) per_node.resize(ds_.test_size());
+  packed_test_.assign(topology_.num_nodes(), {});
+  for (NodeId id = 0; id < topology_.num_nodes(); ++id) {
+    encoded_test_[id].resize(ds_.test_size());
+    if (has_classifier(id)) packed_test_[id].resize(ds_.test_size());
+  }
   runtime::parallel_for(*pool_, ds_.test_size(), [&](std::size_t s) {
     auto hvs = encode_all(ds_.test_x[s]);
     for (NodeId id = 0; id < topology_.num_nodes(); ++id) {
+      // Classifier nodes additionally keep the query packed, so every later
+      // evaluation pass feeds the popcount similarity path directly.
+      if (has_classifier(id)) {
+        packed_test_[id][s] = hdc::kernels::pack_query(hvs[id]);
+      }
       encoded_test_[id][s] = std::move(hvs[id]);
     }
   });
@@ -435,7 +444,7 @@ CommStats EdgeHdSystem::retrain_batches(
 double EdgeHdSystem::accuracy_at_node(NodeId id) const {
   const auto& clf = classifier_at(id);
   ensure_test_encoded();
-  return clf.accuracy(encoded_test_[id], ds_.test_y, *pool_);
+  return clf.accuracy(packed_test_[id], ds_.test_y, *pool_);
 }
 
 double EdgeHdSystem::accuracy_at_level(std::size_t level) const {
@@ -455,13 +464,10 @@ double EdgeHdSystem::accuracy_at_level(std::size_t level) const {
 double EdgeHdSystem::mean_confidence_at_node(NodeId id) const {
   const auto& clf = classifier_at(id);
   ensure_test_encoded();
+  const auto preds = clf.predict_batch(packed_test_[id], *pool_);
   double sum = 0.0;
-  for (const auto& hv : encoded_test_[id]) {
-    sum += clf.predict(hv).confidence;
-  }
-  return encoded_test_[id].empty()
-             ? 0.0
-             : sum / static_cast<double>(encoded_test_[id].size());
+  for (const auto& pred : preds) sum += pred.confidence;
+  return preds.empty() ? 0.0 : sum / static_cast<double>(preds.size());
 }
 
 double EdgeHdSystem::mean_confidence_at_level(std::size_t level) const {
@@ -602,6 +608,11 @@ std::vector<RoutedResult> EdgeHdSystem::infer_routed_batch(
     std::span<const std::vector<float>> xs, NodeId start) const {
   if (!has_classifier(start)) {
     throw std::invalid_argument("EdgeHdSystem: start node hosts no classifier");
+  }
+  // Per-query predicts inside the fan-out hit the classifiers' packed-plane
+  // caches; warm them all up front — lazy rebuilds are not thread-safe.
+  for (const NodeState& st : nodes_) {
+    if (st.classifier != nullptr) st.classifier->warm_cache();
   }
   const runtime::BatchExecutor exec(*pool_);
   return exec.map(xs.size(),

@@ -326,6 +326,10 @@ class EdgeHdSystem {
   std::vector<std::size_t> encoded_train_labels_;
   std::vector<std::size_t> encoded_train_source_;  ///< dataset row per sample
   mutable std::vector<std::vector<hdc::BipolarHV>> encoded_test_;
+  /// Pre-packed test queries (sign-mask pairs) per classifier node, built
+  /// alongside encoded_test_ so repeated evaluation passes skip the per-call
+  /// query pack and run straight on the popcount path.
+  mutable std::vector<std::vector<hdc::kernels::PackedQuery>> packed_test_;
 
   // ---- degraded-operation state --------------------------------------------
   net::HealthMask health_;   ///< empty = all healthy

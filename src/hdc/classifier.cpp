@@ -45,6 +45,9 @@ HDClassifier::HDClassifier(std::size_t num_classes, std::size_t dim,
   }
   classes_.assign(num_classes, AccumHV(dim_, 0));
   residuals_.assign(num_classes, AccumHV(dim_, 0));
+  packed_classes_.resize(num_classes);
+  denoms_.assign(num_classes, 0.0);
+  cache_valid_.assign(num_classes, 0);
 }
 
 void HDClassifier::check_label(std::size_t label) const {
@@ -53,16 +56,39 @@ void HDClassifier::check_label(std::size_t label) const {
   }
 }
 
+void HDClassifier::invalidate_cache(std::size_t label) noexcept {
+  cache_valid_[label] = 0;
+}
+
+void HDClassifier::invalidate_cache() noexcept {
+  std::fill(cache_valid_.begin(), cache_valid_.end(), std::uint8_t{0});
+}
+
+void HDClassifier::ensure_cache(std::size_t c) const {
+  if (cache_valid_[c] != 0) return;
+  packed_classes_[c] = kernels::build_planes(classes_[c]);
+  // Same denominator the historical per-query cosine computed: na * nb with
+  // na = sqrt(dim), nb = ||class||. Cached once per model mutation.
+  denoms_[c] = std::sqrt(static_cast<double>(dim_)) * norm(classes_[c]);
+  cache_valid_[c] = 1;
+}
+
+void HDClassifier::warm_cache() const {
+  for (std::size_t c = 0; c < classes_.size(); ++c) ensure_cache(c);
+}
+
 void HDClassifier::add_sample(std::size_t label,
                               std::span<const std::int8_t> hv) {
   check_label(label);
   bundle_into(classes_[label], hv);
+  invalidate_cache(label);
 }
 
 void HDClassifier::add_accumulator(std::size_t label,
                                    std::span<const std::int32_t> acc) {
   check_label(label);
   accumulate(classes_[label], acc);
+  invalidate_cache(label);
 }
 
 void HDClassifier::train_batch(std::span<const BipolarHV> hvs,
@@ -94,6 +120,7 @@ void HDClassifier::train_batch(std::span<const BipolarHV> hvs,
       accumulate(classes_[c], local[c]);
     }
   }
+  invalidate_cache();
 }
 
 std::size_t HDClassifier::retrain_epoch(std::span<const BipolarHV> hvs,
@@ -108,6 +135,8 @@ std::size_t HDClassifier::retrain_epoch(std::span<const BipolarHV> hvs,
       ++errors;
       bundle_into(classes_[labels[i]], hvs[i]);
       unbundle_from(classes_[best], hvs[i]);
+      invalidate_cache(labels[i]);
+      invalidate_cache(best);
     }
   }
   return errors;
@@ -123,49 +152,91 @@ std::size_t HDClassifier::retrain(std::span<const BipolarHV> hvs,
   return errors;
 }
 
-std::size_t HDClassifier::retrain_epoch(std::span<const BipolarHV> hvs,
-                                        std::span<const std::size_t> labels,
-                                        runtime::ThreadPool& pool) {
-  assert(hvs.size() == labels.size());
-  // Scan against the epoch-start model snapshot in parallel…
-  std::vector<std::size_t> predicted(hvs.size());
-  runtime::parallel_for(pool, hvs.size(), [&](std::size_t i) {
-    predicted[i] = argmax(similarities(hvs[i]));
+std::size_t HDClassifier::retrain_epoch_packed(
+    std::span<const kernels::PackedQuery> packed,
+    std::span<const BipolarHV> hvs, std::span<const std::size_t> labels,
+    runtime::ThreadPool& pool) {
+  // Scan against the epoch-start model snapshot in parallel (cache warmed
+  // up front so workers only read it)…
+  warm_cache();
+  std::vector<std::size_t> predicted(packed.size());
+  runtime::parallel_for(pool, packed.size(), [&](std::size_t i) {
+    predicted[i] = argmax(similarities(packed[i]));
   });
   // …then apply perceptron updates serially, in ascending sample order.
   std::size_t errors = 0;
-  for (std::size_t i = 0; i < hvs.size(); ++i) {
+  for (std::size_t i = 0; i < packed.size(); ++i) {
     if (predicted[i] != labels[i]) {
       ++errors;
       bundle_into(classes_[labels[i]], hvs[i]);
       unbundle_from(classes_[predicted[i]], hvs[i]);
+      invalidate_cache(labels[i]);
+      invalidate_cache(predicted[i]);
     }
   }
   return errors;
 }
 
+namespace {
+
+/// Packs every query once, fanned over the pool (disjoint slots).
+std::vector<kernels::PackedQuery> pack_queries(std::span<const BipolarHV> hvs,
+                                               runtime::ThreadPool& pool) {
+  std::vector<kernels::PackedQuery> packed(hvs.size());
+  runtime::parallel_for(pool, hvs.size(), [&](std::size_t i) {
+    packed[i] = kernels::pack_query(hvs[i]);
+  });
+  return packed;
+}
+
+}  // namespace
+
+std::size_t HDClassifier::retrain_epoch(std::span<const BipolarHV> hvs,
+                                        std::span<const std::size_t> labels,
+                                        runtime::ThreadPool& pool) {
+  assert(hvs.size() == labels.size());
+  return retrain_epoch_packed(pack_queries(hvs, pool), hvs, labels, pool);
+}
+
 std::size_t HDClassifier::retrain(std::span<const BipolarHV> hvs,
                                   std::span<const std::size_t> labels,
                                   runtime::ThreadPool& pool) {
+  // Queries are scanned every epoch but never change: pack once up front.
+  const auto packed = pack_queries(hvs, pool);
   std::size_t errors = 0;
   for (std::size_t e = 0; e < config_.retrain_epochs; ++e) {
-    errors = retrain_epoch(hvs, labels, pool);
+    errors = retrain_epoch_packed(packed, hvs, labels, pool);
     if (errors == 0) break;
   }
   return errors;
 }
 
 std::vector<double> HDClassifier::similarities(
-    std::span<const std::int8_t> query) const {
-  assert(query.size() == dim_);
+    const kernels::PackedQuery& query) const {
+  assert(query.dim == dim_);
   std::vector<double> sims(classes_.size());
   for (std::size_t c = 0; c < classes_.size(); ++c) {
-    sims[c] = cosine(query, classes_[c]);
+    ensure_cache(c);
+    if (denoms_[c] == 0.0) {
+      sims[c] = 0.0;
+      continue;
+    }
+    // Exact integer numerator (bit-plane popcount dot); double conversion
+    // is exact while dim * max|class| < 2^53, so this equals the historical
+    // element-wise double accumulation bit-for-bit.
+    const std::int64_t d = kernels::planes_dot(query, packed_classes_[c]);
+    sims[c] = static_cast<double>(d) / denoms_[c];
   }
   return sims;
 }
 
-Prediction HDClassifier::predict(std::span<const std::int8_t> query) const {
+std::vector<double> HDClassifier::similarities(
+    std::span<const std::int8_t> query) const {
+  assert(query.size() == dim_);
+  return similarities(kernels::pack_query(query));
+}
+
+Prediction HDClassifier::predict(const kernels::PackedQuery& query) const {
   Prediction p;
   p.similarities = similarities(query);
   const auto best = std::max_element(p.similarities.begin(), p.similarities.end());
@@ -173,6 +244,10 @@ Prediction HDClassifier::predict(std::span<const std::int8_t> query) const {
   const auto probs = softmax(p.similarities, config_.softmax_beta);
   p.confidence = probs[p.label];
   return p;
+}
+
+Prediction HDClassifier::predict(std::span<const std::int8_t> query) const {
+  return predict(kernels::pack_query(query));
 }
 
 double HDClassifier::accuracy(std::span<const BipolarHV> hvs,
@@ -191,6 +266,17 @@ double HDClassifier::accuracy(std::span<const BipolarHV> hvs,
 
 std::vector<Prediction> HDClassifier::predict_batch(
     std::span<const BipolarHV> queries, runtime::ThreadPool& pool) const {
+  warm_cache();
+  const runtime::BatchExecutor exec(pool);
+  return exec.map(queries.size(), [&](std::size_t i) {
+    return predict(kernels::pack_query(queries[i]));
+  });
+}
+
+std::vector<Prediction> HDClassifier::predict_batch(
+    std::span<const kernels::PackedQuery> queries,
+    runtime::ThreadPool& pool) const {
+  warm_cache();
   const runtime::BatchExecutor exec(pool);
   return exec.map(queries.size(),
                   [&](std::size_t i) { return predict(queries[i]); });
@@ -201,11 +287,25 @@ double HDClassifier::accuracy(std::span<const BipolarHV> hvs,
                               runtime::ThreadPool& pool) const {
   assert(hvs.size() == labels.size());
   if (hvs.empty()) return 0.0;
+  warm_cache();
   const runtime::BatchExecutor exec(pool);
   const std::size_t correct = exec.count_if(hvs.size(), [&](std::size_t i) {
-    return argmax(similarities(hvs[i])) == labels[i];
+    return argmax(similarities(kernels::pack_query(hvs[i]))) == labels[i];
   });
   return static_cast<double>(correct) / static_cast<double>(hvs.size());
+}
+
+double HDClassifier::accuracy(std::span<const kernels::PackedQuery> queries,
+                              std::span<const std::size_t> labels,
+                              runtime::ThreadPool& pool) const {
+  assert(queries.size() == labels.size());
+  if (queries.empty()) return 0.0;
+  warm_cache();
+  const runtime::BatchExecutor exec(pool);
+  const std::size_t correct = exec.count_if(queries.size(), [&](std::size_t i) {
+    return argmax(similarities(queries[i])) == labels[i];
+  });
+  return static_cast<double>(correct) / static_cast<double>(queries.size());
 }
 
 void HDClassifier::feedback_negative(std::size_t predicted_label,
@@ -219,6 +319,7 @@ void HDClassifier::apply_residuals() {
     deaccumulate(classes_[c], residuals_[c]);
     std::fill(residuals_[c].begin(), residuals_[c].end(), 0);
   }
+  invalidate_cache();
 }
 
 std::vector<AccumHV> HDClassifier::take_residuals() {
@@ -235,6 +336,7 @@ void HDClassifier::apply_external_residuals(std::span<const AccumHV> residuals) 
   for (std::size_t c = 0; c < classes_.size(); ++c) {
     deaccumulate(classes_[c], residuals[c]);
   }
+  invalidate_cache();
 }
 
 bool HDClassifier::has_pending_residuals() const noexcept {
@@ -257,6 +359,7 @@ void HDClassifier::set_class_accumulator(std::size_t label, AccumHV acc) {
     throw std::invalid_argument("HDClassifier: accumulator dimension mismatch");
   }
   classes_[label] = std::move(acc);
+  invalidate_cache(label);
 }
 
 void HDClassifier::merge(const HDClassifier& other) {
@@ -266,6 +369,7 @@ void HDClassifier::merge(const HDClassifier& other) {
   for (std::size_t c = 0; c < classes_.size(); ++c) {
     accumulate(classes_[c], other.classes_[c]);
   }
+  invalidate_cache();
 }
 
 }  // namespace edgehd::hdc

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "hypervector.hpp"
+#include "kernels/packed.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace edgehd::hdc {
@@ -100,18 +101,38 @@ class HDClassifier {
                       runtime::ThreadPool& pool);
 
   // ---- inference ---------------------------------------------------------
+  //
+  // Inference runs on packed class memory: each class accumulator is
+  // lazily decomposed into two's-complement bit planes (kernels::
+  // PackedPlanes) with its norm cached, so a similarity scan is one
+  // AND+popcount pass per plane instead of a D-wide multiply-accumulate
+  // plus an O(D) norm recompute per query. The exact int64 plane dot equals
+  // the historical double accumulation bit-for-bit (every partial sum is an
+  // integer below 2^53), so similarities/predictions are unchanged.
 
   /// Cosine similarity of `query` to every class hypervector.
   std::vector<double> similarities(std::span<const std::int8_t> query) const;
 
+  /// Similarities against a pre-packed query (callers that keep queries
+  /// packed — batch predict, memoized test sets — skip the per-call pack).
+  std::vector<double> similarities(const kernels::PackedQuery& query) const;
+
   /// Full prediction with confidence.
   Prediction predict(std::span<const std::int8_t> query) const;
+
+  /// Prediction from a pre-packed query.
+  Prediction predict(const kernels::PackedQuery& query) const;
 
   /// Predicts every query, fanning samples over `pool`. Per-sample work is
   /// the unchanged predict(), so results are bit-identical to the serial
   /// loop for any worker count; output order is input order.
   std::vector<Prediction> predict_batch(std::span<const BipolarHV> queries,
                                         runtime::ThreadPool& pool) const;
+
+  /// Batched prediction over pre-packed queries.
+  std::vector<Prediction> predict_batch(
+      std::span<const kernels::PackedQuery> queries,
+      runtime::ThreadPool& pool) const;
 
   /// Fraction of (hvs, labels) classified correctly.
   double accuracy(std::span<const BipolarHV> hvs,
@@ -123,6 +144,18 @@ class HDClassifier {
   double accuracy(std::span<const BipolarHV> hvs,
                   std::span<const std::size_t> labels,
                   runtime::ThreadPool& pool) const;
+
+  /// Parallel accuracy over pre-packed queries.
+  double accuracy(std::span<const kernels::PackedQuery> queries,
+                  std::span<const std::size_t> labels,
+                  runtime::ThreadPool& pool) const;
+
+  /// Builds every stale per-class cache entry (packed planes + norm) now.
+  /// Called internally by every batch entry point before fanning work out;
+  /// callers that invoke single-query predict()/similarities() from their
+  /// own parallel loops must call this first — lazy rebuilds are not
+  /// thread-safe.
+  void warm_cache() const;
 
   // ---- online learning (negative feedback, Section IV-D) -----------------
 
@@ -160,10 +193,33 @@ class HDClassifier {
  private:
   void check_label(std::size_t label) const;
 
+  /// Marks one class's packed planes + cached norm stale (any mutation of
+  /// classes_[label] must call this).
+  void invalidate_cache(std::size_t label) noexcept;
+  /// Marks every class stale.
+  void invalidate_cache() noexcept;
+  /// Rebuilds class `c`'s cache entry if stale. Single-threaded only.
+  void ensure_cache(std::size_t c) const;
+
+  /// Shared parallel perceptron epoch over pre-packed queries.
+  std::size_t retrain_epoch_packed(std::span<const kernels::PackedQuery> packed,
+                                   std::span<const BipolarHV> hvs,
+                                   std::span<const std::size_t> labels,
+                                   runtime::ThreadPool& pool);
+
   std::size_t dim_;
   ClassifierConfig config_;
   std::vector<AccumHV> classes_;    // one accumulator per class
   std::vector<AccumHV> residuals_;  // online-learning residual per class
+
+  // Lazily rebuilt per-class inference cache: bit-plane packed accumulator
+  // and the similarity denominator sqrt(dim) * ||class|| (so similarities()
+  // stops recomputing sqrt(dot(c, c)) per query). `mutable` because warming
+  // the cache is observably pure; uint8_t (not vector<bool>) so distinct
+  // slots are distinct bytes.
+  mutable std::vector<kernels::PackedPlanes> packed_classes_;
+  mutable std::vector<double> denoms_;
+  mutable std::vector<std::uint8_t> cache_valid_;
 };
 
 /// Softmax of `values` scaled by `beta`, returned as probabilities.

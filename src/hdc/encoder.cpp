@@ -15,6 +15,20 @@ namespace {
 
 constexpr float kTwoPi = 2.0F * std::numbers::pi_v<float>;
 
+/// Per-thread float scratch, resized on demand. Shared by every encoder on
+/// the thread — contents never outlive one call.
+std::vector<float>& scratch_f32(std::size_t n) {
+  static thread_local std::vector<float> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf;
+}
+
+std::vector<float>& scratch2_f32(std::size_t n) {
+  static thread_local std::vector<float> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf;
+}
+
 }  // namespace
 
 RealHV Encoder::encode_real(std::span<const float> features) const {
@@ -58,20 +72,38 @@ RbfEncoder::RbfEncoder(std::size_t input_dim, std::size_t dim,
   Rng proj_rng(derive_seed(seed, 0));
   Rng bias_rng(derive_seed(seed, 1));
   const float scale = 1.0F / length_scale;
-  projection_.resize(dim_ * input_dim_);
-  for (auto& w : projection_) w = proj_rng.gaussian() * scale;
+  // Draw in row-major order (the historical draw order, so projections are
+  // unchanged for a given seed), then repack into the blocked kernel layout.
+  std::vector<float> row_major(dim_ * input_dim_);
+  for (auto& w : row_major) w = proj_rng.gaussian() * scale;
+  projection_ = kernels::BlockedMatrixF32::from_row_major(row_major.data(),
+                                                          dim_, input_dim_);
   bias_.resize(dim_);
   for (auto& b : bias_) b = bias_rng.uniform(0.0F, kTwoPi);
 }
 
-RealHV RbfEncoder::encode_real(std::span<const float> features) const {
+void RbfEncoder::project(std::span<const float> features, float* proj) const {
   assert(features.size() == input_dim_);
-  RealHV out(dim_);
+  kernels::active().gemv_f32(projection_.data(), dim_, input_dim_,
+                             features.data(), proj);
+}
+
+void RbfEncoder::finish_bipolar(const float* proj, std::int8_t* out) const {
   const float amp = std::sqrt(2.0F / static_cast<float>(dim_));
   for (std::size_t i = 0; i < dim_; ++i) {
-    const float* row = projection_.data() + i * input_dim_;
-    float proj = 0.0F;
-    for (std::size_t j = 0; j < input_dim_; ++j) proj += row[j] * features[j];
+    const float h = form_ == RbfForm::kCosSin
+                        ? std::cos(proj[i] + bias_[i]) * std::sin(proj[i])
+                        : amp * std::cos(proj[i] + bias_[i]);
+    out[i] = h < 0.0F ? std::int8_t{-1} : std::int8_t{1};
+  }
+}
+
+RealHV RbfEncoder::encode_real(std::span<const float> features) const {
+  RealHV out(dim_);
+  project(features, out.data());
+  const float amp = std::sqrt(2.0F / static_cast<float>(dim_));
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const float proj = out[i];
     out[i] = form_ == RbfForm::kCosSin
                  ? std::cos(proj + bias_[i]) * std::sin(proj)
                  : amp * std::cos(proj + bias_[i]);
@@ -80,7 +112,42 @@ RealHV RbfEncoder::encode_real(std::span<const float> features) const {
 }
 
 BipolarHV RbfEncoder::encode(std::span<const float> features) const {
-  return binarize(encode_real(features));
+  std::vector<float>& proj = scratch_f32(dim_);
+  project(features, proj.data());
+  BipolarHV out(dim_);
+  finish_bipolar(proj.data(), out.data());
+  return out;
+}
+
+std::vector<BipolarHV> RbfEncoder::encode_batch(
+    std::span<const std::vector<float>> features,
+    runtime::ThreadPool& pool) const {
+  std::vector<BipolarHV> out(features.size());
+  const runtime::BatchExecutor exec(pool);
+  exec.for_each_chunk(features.size(), [&](std::size_t begin, std::size_t end) {
+    const std::size_t count = end - begin;
+    // One matrix-matrix product per chunk: the projections of every sample
+    // in the chunk land in one scratch block, then the nonlinearity + sign
+    // runs over it. Scratch is per-thread, so repeated chunks reuse it.
+    std::vector<float>& proj = scratch_f32(count * dim_);
+    static thread_local std::vector<const float*> xs;
+    static thread_local std::vector<float*> outs;
+    xs.resize(count);
+    outs.resize(count);
+    for (std::size_t s = 0; s < count; ++s) {
+      assert(features[begin + s].size() == input_dim_);
+      xs[s] = features[begin + s].data();
+      outs[s] = proj.data() + s * dim_;
+    }
+    kernels::active().gemm_f32(projection_.data(), dim_, input_dim_, xs.data(),
+                               outs.data(), count);
+    for (std::size_t s = 0; s < count; ++s) {
+      BipolarHV& hv = out[begin + s];
+      hv.resize(dim_);
+      finish_bipolar(outs[s], hv.data());
+    }
+  });
+  return out;
 }
 
 // ---------------------------------------------------------- SparseRbfEncoder
@@ -109,32 +176,78 @@ SparseRbfEncoder::SparseRbfEncoder(std::size_t input_dim, std::size_t dim,
   Rng b_rng(derive_seed(seed, 1));
   Rng s_rng(derive_seed(seed, 2));
   const float scale = 1.0F / length_scale;
-  weights_.resize(dim_ * window_);
-  for (auto& w : weights_) w = w_rng.gaussian() * scale;
+  std::vector<float> row_major(dim_ * window_);
+  for (auto& w : row_major) w = w_rng.gaussian() * scale;
+  weights_ =
+      kernels::BlockedMatrixF32::from_row_major(row_major.data(), dim_, window_);
   bias_.resize(dim_);
   for (auto& b : bias_) b = b_rng.uniform(0.0F, kTwoPi);
   start_.resize(dim_);
   for (auto& s : start_) s = static_cast<std::uint32_t>(s_rng.index(input_dim_));
 }
 
+void SparseRbfEncoder::project_doubled(const float* xx, float* proj) const {
+  kernels::active().sparse_gemv_f32(weights_.data(), start_.data(), dim_,
+                                    window_, xx, proj);
+}
+
+void SparseRbfEncoder::finish_bipolar(const float* proj,
+                                      std::int8_t* out) const {
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const float h = std::cos(proj[i] + bias_[i]) * std::sin(proj[i]);
+    out[i] = h < 0.0F ? std::int8_t{-1} : std::int8_t{1};
+  }
+}
+
 RealHV SparseRbfEncoder::encode_real(std::span<const float> features) const {
   assert(features.size() == input_dim_);
+  std::vector<float>& xx = scratch2_f32(2 * input_dim_);
+  std::copy(features.begin(), features.end(), xx.begin());
+  std::copy(features.begin(), features.end(),
+            xx.begin() + static_cast<std::ptrdiff_t>(input_dim_));
   RealHV out(dim_);
+  project_doubled(xx.data(), out.data());
   for (std::size_t i = 0; i < dim_; ++i) {
-    const float* row = weights_.data() + i * window_;
-    std::size_t f = start_[i];
-    float proj = 0.0F;
-    for (std::size_t j = 0; j < window_; ++j) {
-      proj += row[j] * features[f];
-      if (++f == input_dim_) f = 0;  // contiguous window, wrapping
-    }
+    const float proj = out[i];
     out[i] = std::cos(proj + bias_[i]) * std::sin(proj);
   }
   return out;
 }
 
 BipolarHV SparseRbfEncoder::encode(std::span<const float> features) const {
-  return binarize(encode_real(features));
+  assert(features.size() == input_dim_);
+  std::vector<float>& xx = scratch2_f32(2 * input_dim_);
+  std::copy(features.begin(), features.end(), xx.begin());
+  std::copy(features.begin(), features.end(),
+            xx.begin() + static_cast<std::ptrdiff_t>(input_dim_));
+  std::vector<float>& proj = scratch_f32(dim_);
+  project_doubled(xx.data(), proj.data());
+  BipolarHV out(dim_);
+  finish_bipolar(proj.data(), out.data());
+  return out;
+}
+
+std::vector<BipolarHV> SparseRbfEncoder::encode_batch(
+    std::span<const std::vector<float>> features,
+    runtime::ThreadPool& pool) const {
+  std::vector<BipolarHV> out(features.size());
+  const runtime::BatchExecutor exec(pool);
+  exec.for_each_chunk(features.size(), [&](std::size_t begin, std::size_t end) {
+    std::vector<float>& xx = scratch2_f32(2 * input_dim_);
+    std::vector<float>& proj = scratch_f32(dim_);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::vector<float>& f = features[i];
+      assert(f.size() == input_dim_);
+      std::copy(f.begin(), f.end(), xx.begin());
+      std::copy(f.begin(), f.end(),
+                xx.begin() + static_cast<std::ptrdiff_t>(input_dim_));
+      project_doubled(xx.data(), proj.data());
+      BipolarHV& hv = out[i];
+      hv.resize(dim_);
+      finish_bipolar(proj.data(), hv.data());
+    }
+  });
+  return out;
 }
 
 // --------------------------------------------------------- LinearLevelEncoder

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "hypervector.hpp"
+#include "kernels/kernels.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace edgehd::hdc {
@@ -53,10 +54,11 @@ class Encoder {
   virtual RealHV encode_real(std::span<const float> features) const;
 
   /// Encodes a batch of feature vectors, fanning samples over `pool`.
-  /// Every sample runs the identical per-sample encode(), so the result is
-  /// bit-identical to the serial loop for any worker count. Results are in
-  /// input order.
-  std::vector<BipolarHV> encode_batch(
+  /// The default fans the identical per-sample encode(); the RFF encoders
+  /// override it with a chunked matrix–matrix product. Either way the
+  /// result is bit-identical to the serial per-sample loop for any worker
+  /// count. Results are in input order.
+  virtual std::vector<BipolarHV> encode_batch(
       std::span<const std::vector<float>> features,
       runtime::ThreadPool& pool) const;
 
@@ -95,12 +97,27 @@ class RbfEncoder final : public Encoder {
   BipolarHV encode(std::span<const float> features) const override;
   RealHV encode_real(std::span<const float> features) const override;
 
+  /// Chunked GEMM over the batch: every chunk of samples runs one blocked
+  /// matrix–matrix product against the projection (kernels::gemm_f32)
+  /// instead of per-sample GEMVs, with per-thread scratch reuse.
+  std::vector<BipolarHV> encode_batch(
+      std::span<const std::vector<float>> features,
+      runtime::ThreadPool& pool) const override;
+
  private:
+  /// GEMV of the projection against `features` into `proj` (size dim_),
+  /// through the dispatched kernel table.
+  void project(std::span<const float> features, float* proj) const;
+  /// Applies the kernel form + sign to a projection row, writing bipolar
+  /// components (the fused tail of encode()).
+  void finish_bipolar(const float* proj, std::int8_t* out) const;
+
   std::size_t input_dim_;
   std::size_t dim_;
   RbfForm form_;
-  std::vector<float> projection_;  // row-major D x n, pre-scaled by 1/w
-  std::vector<float> bias_;        // D values in [0, 2pi)
+  kernels::BlockedMatrixF32 projection_;  // D x n, pre-scaled by 1/w,
+                                          // 8-row-interleaved blocks
+  std::vector<float> bias_;               // D values in [0, 2pi)
 };
 
 /// Sparse RFF encoder mirroring the FPGA weight-vector storage: row i of the
@@ -119,6 +136,12 @@ class SparseRbfEncoder final : public Encoder {
   BipolarHV encode(std::span<const float> features) const override;
   RealHV encode_real(std::span<const float> features) const override;
 
+  /// Chunked batch encode through the sparse-window GEMV kernel with
+  /// per-thread scratch reuse.
+  std::vector<BipolarHV> encode_batch(
+      std::span<const std::vector<float>> features,
+      runtime::ThreadPool& pool) const override;
+
   /// Non-zero window length per projection row.
   std::size_t nonzeros_per_row() const noexcept { return window_; }
 
@@ -127,11 +150,16 @@ class SparseRbfEncoder final : public Encoder {
   std::size_t macs_per_dim() const noexcept { return window_; }
 
  private:
+  /// Sparse GEMV into `proj` using `xx`, the features doubled ([x, x]) so
+  /// wrapped windows read contiguously.
+  void project_doubled(const float* xx, float* proj) const;
+  void finish_bipolar(const float* proj, std::int8_t* out) const;
+
   std::size_t input_dim_;
   std::size_t dim_;
   std::size_t window_;
-  std::vector<float> weights_;       // row-major D x window, pre-scaled
-  std::vector<std::uint32_t> start_; // start feature index per row
+  kernels::BlockedMatrixF32 weights_;  // D x window, pre-scaled, blocked
+  std::vector<std::uint32_t> start_;   // start feature index per row
   std::vector<float> bias_;
 };
 

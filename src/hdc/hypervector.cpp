@@ -1,5 +1,6 @@
 #include "hypervector.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdlib>
@@ -40,9 +41,12 @@ BipolarHV permute(std::span<const std::int8_t> v, std::size_t shift) {
   BipolarHV out(n);
   if (n == 0) return out;
   shift %= n;
-  for (std::size_t i = 0; i < n; ++i) {
-    out[(i + shift) % n] = v[i];
-  }
+  // A cyclic rotation is two straight block copies: v[0 .. n-shift) lands at
+  // out[shift ..) and the wrapped tail v[n-shift ..) lands at out[0 ..).
+  std::copy(v.begin(), v.end() - static_cast<std::ptrdiff_t>(shift),
+            out.begin() + static_cast<std::ptrdiff_t>(shift));
+  std::copy(v.end() - static_cast<std::ptrdiff_t>(shift), v.end(),
+            out.begin());
   return out;
 }
 

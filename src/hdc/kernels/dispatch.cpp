@@ -1,0 +1,71 @@
+// Runtime backend selection. Resolved once (first call to active()), from:
+//   1. EDGEHD_KERNEL env var: "scalar" forces the reference backend, "simd"
+//      forces the SIMD backend (falling back to scalar if the binary or CPU
+//      lacks one), anything else / unset means "auto";
+//   2. what this binary carries (the AVX2 TU is compiled only on x86-64,
+//      NEON only on aarch64, neither under -DEDGEHD_DISABLE_SIMD=ON);
+//   3. what the CPU reports (cpuid for AVX2; NEON is baseline on aarch64).
+//
+// Because every backend is bit-identical, the choice is observable only as
+// speed — EDGEHD_KERNEL=scalar|simd is the supported A/B switch.
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "kernels.hpp"
+
+namespace edgehd::hdc::kernels {
+
+// Defined in kernels_avx2.cpp / kernels_neon.cpp; null when the backend is
+// not compiled in or the CPU lacks the ISA.
+const KernelTable* avx2_table();
+const KernelTable* neon_table();
+
+const KernelTable* simd_table() {
+  if (const KernelTable* t = avx2_table()) return t;
+  if (const KernelTable* t = neon_table()) return t;
+  return nullptr;
+}
+
+namespace {
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* pick() {
+  const char* env = std::getenv("EDGEHD_KERNEL");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return &scalar_table();
+  }
+  // "simd", "auto", or unset: best available.
+  if (const KernelTable* t = simd_table()) return t;
+  return &scalar_table();
+}
+
+}  // namespace
+
+const KernelTable& active() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // Benign race: concurrent first calls compute the same table.
+    t = pick();
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+const char* backend_name() { return active().name; }
+
+bool force_backend(Backend b) {
+  if (b == Backend::kScalar) {
+    g_active.store(&scalar_table(), std::memory_order_release);
+    return true;
+  }
+  if (const KernelTable* t = simd_table()) {
+    g_active.store(t, std::memory_order_release);
+    return true;
+  }
+  g_active.store(&scalar_table(), std::memory_order_release);
+  return false;
+}
+
+}  // namespace edgehd::hdc::kernels

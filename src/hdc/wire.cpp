@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "kernels/packed.hpp"
+
 namespace edgehd::hdc {
 
 std::uint32_t bits_for_magnitude(std::int64_t max_magnitude) noexcept {
@@ -26,23 +28,17 @@ std::uint64_t wire_bytes_accum(std::span<const std::int32_t> acc) noexcept {
 }
 
 std::vector<std::uint8_t> pack_bipolar(std::span<const std::int8_t> hv) {
+  // The packed kernel builds the identical bit layout (component i -> bit
+  // i % 8 of byte i / 8) a word at a time, via the dispatched backend.
+  const kernels::PackedHV p = kernels::pack_hv(hv);
   std::vector<std::uint8_t> out(wire_bytes_bipolar(hv.size()), 0);
-  for (std::size_t i = 0; i < hv.size(); ++i) {
-    if (hv[i] > 0) {
-      out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
-    }
-  }
+  kernels::packed_to_bytes(p, out.data());
   return out;
 }
 
 BipolarHV unpack_bipolar(std::span<const std::uint8_t> bytes, std::size_t dim) {
   assert(bytes.size() >= wire_bytes_bipolar(dim));
-  BipolarHV out(dim);
-  for (std::size_t i = 0; i < dim; ++i) {
-    const bool bit = (bytes[i / 8] >> (i % 8)) & 1u;
-    out[i] = bit ? std::int8_t{1} : std::int8_t{-1};
-  }
-  return out;
+  return kernels::unpack_hv(kernels::packed_from_bytes(bytes, dim));
 }
 
 }  // namespace edgehd::hdc

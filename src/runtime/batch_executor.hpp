@@ -33,6 +33,14 @@ class BatchExecutor {
     parallel_for(*pool_, n, std::forward<Fn>(fn), grain_);
   }
 
+  /// Runs `fn(begin, end)` for every chunk of [0, n). Chunk boundaries
+  /// depend only on (n, grain), so chunk-granular kernels (e.g. the batched
+  /// GEMM encoders) stay bit-identical across worker counts.
+  template <typename Fn>
+  void for_each_chunk(std::size_t n, Fn&& fn) const {
+    parallel_for_chunks(*pool_, n, std::forward<Fn>(fn), grain_);
+  }
+
   /// Computes `fn(i)` for every i and returns the results in index order.
   /// The result type must be default-constructible (slots are pre-sized).
   template <typename Fn>
