@@ -65,16 +65,36 @@ int main() {
         // EdgeHD is hierarchical by construction; its STAR row is the same
         // deployment with every end node directly under the central node.
         const auto& r = star ? rows[d].star : rows[d].tree;
+        // Every cell routes through the metrics registry; the raw byte
+        // totals are recorded alongside so regression gates can read this
+        // table from the metrics dump rather than parsing stdout.
+        const std::string prefix = "fig10." + data::spec(id).name + "." +
+                                   names[d] + "." + topo + ".";
         std::printf("%-8s | %10.4f %10.4f %10.2f | %10.4f %10.4f %10.2f  (%s)\n",
                     names[d],
-                    static_cast<double>(r.train.time) /
-                        static_cast<double>(base.train.time),
-                    r.train.energy_j / base.train.energy_j,
-                    static_cast<double>(r.train.bytes) / 1e6,
-                    static_cast<double>(r.infer.time) /
-                        static_cast<double>(base.infer.time),
-                    r.infer.energy_j / base.infer.energy_j,
-                    static_cast<double>(r.infer.bytes) / 1e6, topo);
+                    bench::via_registry(
+                        prefix + "train_time_norm",
+                        static_cast<double>(r.train.time) /
+                            static_cast<double>(base.train.time)),
+                    bench::via_registry(prefix + "train_energy_norm",
+                                        r.train.energy_j / base.train.energy_j),
+                    bench::via_registry(
+                        prefix + "train_mb",
+                        static_cast<double>(r.train.bytes) / 1e6),
+                    bench::via_registry(
+                        prefix + "infer_time_norm",
+                        static_cast<double>(r.infer.time) /
+                            static_cast<double>(base.infer.time)),
+                    bench::via_registry(prefix + "infer_energy_norm",
+                                        r.infer.energy_j / base.infer.energy_j),
+                    bench::via_registry(
+                        prefix + "infer_mb",
+                        static_cast<double>(r.infer.bytes) / 1e6),
+                    topo);
+        bench::via_registry(prefix + "train_bytes",
+                            static_cast<double>(r.train.bytes));
+        bench::via_registry(prefix + "infer_bytes",
+                            static_cast<double>(r.infer.bytes));
       }
     }
     bench::print_rule(94);
@@ -98,12 +118,22 @@ int main() {
   std::printf("\nheadline ratios, EdgeHD vs centralized HD-GPU (TREE):\n");
   std::printf("  training:  %.1fx speedup, %.1fx energy efficiency "
               "(paper: 3.4x, 11.7x)\n",
-              speedup_train / n, energy_train / n);
+              bench::via_registry("fig10.headline.train_speedup",
+                                  speedup_train / n),
+              bench::via_registry("fig10.headline.train_energy_eff",
+                                  energy_train / n));
   std::printf("  inference: %.1fx speedup, %.1fx energy efficiency "
               "(paper: 1.9x, 7.8x)\n",
-              speedup_infer / n, energy_infer / n);
+              bench::via_registry("fig10.headline.infer_speedup",
+                                  speedup_infer / n),
+              bench::via_registry("fig10.headline.infer_energy_eff",
+                                  energy_infer / n));
   std::printf("  communication reduction: %.0f%% training, %.0f%% inference "
               "(paper: 85%%, 78%%)\n",
-              100.0 * comm_train / n, 100.0 * comm_infer / n);
+              bench::via_registry("fig10.headline.comm_reduction_train_pct",
+                                  100.0 * comm_train / n),
+              bench::via_registry("fig10.headline.comm_reduction_infer_pct",
+                                  100.0 * comm_infer / n));
+  bench::dump_metrics("BENCH_fig10_metrics.json");
   return 0;
 }

@@ -55,9 +55,17 @@ int main() {
     bench::print_rule(74);
     double base_dnn = 0.0, base_cat = 0.0, base_holo = 0.0;
     for (const double loss : losses) {
-      const double d = dnn_with_loss(mlp, setup.ds, loss, 7);
-      const double c = concat.accuracy_at_node_with_loss(root, loss, 7);
-      const double h = holo.accuracy_at_node_with_loss(root, loss, 7);
+      // Accuracy under loss is recorded in (and printed from) the metrics
+      // registry so regression gates can read the figure from the dump.
+      const std::string prefix = "fig12." + setup.ds.name + ".loss" +
+                                 std::to_string(static_cast<int>(100 * loss)) +
+                                 ".";
+      const double d = bench::via_registry(
+          prefix + "dnn", dnn_with_loss(mlp, setup.ds, loss, 7));
+      const double c = bench::via_registry(
+          prefix + "concat", concat.accuracy_at_node_with_loss(root, loss, 7));
+      const double h = bench::via_registry(
+          prefix + "holo", holo.accuracy_at_node_with_loss(root, loss, 7));
       if (loss == 0.0) {
         base_dnn = d;
         base_cat = c;
@@ -88,10 +96,15 @@ int main() {
         concat.node_dim(concat.topology().leaves().front());
     std::printf("%-8s", setup.ds.name.c_str());
     for (const double loss : {0.2, 0.4, 0.6}) {
-      const double c =
-          concat.accuracy_at_node_with_burst_loss(croot, loss, burst, 7);
-      const double h =
-          holo.accuracy_at_node_with_burst_loss(root, loss, burst, 7);
+      const std::string prefix = "fig12." + setup.ds.name + ".burst" +
+                                 std::to_string(static_cast<int>(100 * loss)) +
+                                 ".";
+      const double c = bench::via_registry(
+          prefix + "concat",
+          concat.accuracy_at_node_with_burst_loss(croot, loss, burst, 7));
+      const double h = bench::via_registry(
+          prefix + "holo",
+          holo.accuracy_at_node_with_burst_loss(root, loss, burst, 7));
       std::printf("  loss=%2.0f%%: concat %5.1f%% vs holo %5.1f%%",
                   100.0 * loss, bench::pct(c), bench::pct(h));
     }
@@ -101,5 +114,6 @@ int main() {
   std::printf(
       "paper at 80%% loss: DNN drops up to 54.3%%, non-holographic up to "
       "17.5%%, holographic up to 8.3%%\n");
+  bench::dump_metrics("BENCH_fig12_metrics.json");
   return 0;
 }

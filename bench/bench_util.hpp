@@ -14,6 +14,7 @@
 #include "core/edgehd.hpp"
 #include "data/dataset.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 
 namespace edgehd::bench {
 
@@ -84,5 +85,29 @@ inline void print_rule(int width = 78) {
 }
 
 inline double pct(double v) { return 100.0 * v; }
+
+/// Routes a figure value through the metrics registry: records it as a gauge
+/// under `name` and returns the registry's copy, so every number a bench
+/// prints is the registry's number (one source of truth for tests, benches
+/// and regression gates). With observability compiled out the value passes
+/// through unchanged — printed output is identical either way.
+inline double via_registry(const std::string& name, double value) {
+  if constexpr (!obs::kEnabled) return value;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge(name).set(value);
+  return reg.gauge_value(name);
+}
+
+/// Writes the full registry state (volatile metrics included) to `path` as
+/// one JSON document, and notes the dump on stdout.
+inline void dump_metrics(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  const std::string json = obs::MetricsRegistry::global().to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("metrics dump: %s\n", path);
+}
 
 }  // namespace edgehd::bench

@@ -10,6 +10,7 @@
 #include "core/edgehd.hpp"
 #include "data/dataset.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 
 int main() {
   using namespace edgehd;
@@ -48,6 +49,27 @@ int main() {
     std::printf("queries served at level %zu:       %.1f%%\n", level,
                 100.0 * static_cast<double>(by_level[level]) /
                     static_cast<double>(ds.test_size()));
+  }
+
+  // 5. Everything above was also recorded by the built-in metrics registry
+  //    (compile with -DEDGEHD_OBS=OFF to remove every hook). Dump it: the
+  //    JSON is deterministic for a fixed seed and worker count.
+  if constexpr (obs::kEnabled) {
+    const std::string json = obs::MetricsRegistry::global().to_json(
+        /*include_volatile=*/false);
+    if (std::FILE* f = std::fopen("quickstart_metrics.json", "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+    std::printf("metrics: core.routed.queries=%llu escalations=%llu "
+                "(full dump: quickstart_metrics.json)\n",
+                static_cast<unsigned long long>(
+                    obs::MetricsRegistry::global().counter_value(
+                        "core.routed.queries")),
+                static_cast<unsigned long long>(
+                    obs::MetricsRegistry::global().counter_value(
+                        "core.routed.escalations")));
   }
   return 0;
 }

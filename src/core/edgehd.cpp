@@ -8,6 +8,7 @@
 
 #include "hdc/random.hpp"
 #include "hdc/wire.hpp"
+#include "obs/trace.hpp"
 #include "runtime/batch_executor.hpp"
 #include "runtime/parallel.hpp"
 
@@ -17,6 +18,70 @@ using hdc::AccumHV;
 using hdc::BipolarHV;
 using hdc::derive_seed;
 using net::NodeId;
+
+namespace {
+
+/// Protocol-layer registry handles, interned once per process. Counter
+/// increments are deterministic for a fixed (seed, plan, worker-count) run —
+/// the sums are order-independent — so all of these are registered stable.
+struct CoreObs {
+  obs::Counter routed_queries;
+  obs::Counter routed_escalations;
+  obs::Counter routed_degraded;
+  obs::Counter routed_unserved;
+  obs::Counter routed_bytes;
+  obs::Counter routed_retry_bytes;
+  obs::Histogram confidence;
+  obs::Counter train_initial_bytes, train_initial_messages;
+  obs::Counter retrain_bytes, retrain_messages;
+  obs::Counter residual_bytes, residual_messages;
+  obs::Counter reintegrate_bytes, reintegrate_messages;
+
+  static const CoreObs& get() {
+    static const CoreObs o = [] {
+      CoreObs c;
+      if constexpr (obs::kEnabled) {
+        auto& reg = obs::MetricsRegistry::global();
+        c.routed_queries = reg.counter("core.routed.queries");
+        c.routed_escalations = reg.counter("core.routed.escalations");
+        c.routed_degraded = reg.counter("core.routed.served_degraded");
+        c.routed_unserved = reg.counter("core.routed.unserved");
+        c.routed_bytes = reg.counter("core.routed.bytes");
+        c.routed_retry_bytes = reg.counter("core.routed.retry_bytes");
+        // Confidence-threshold histogram: where served queries landed
+        // relative to SystemConfig::confidence_threshold.
+        std::vector<double> bounds;
+        for (int b = 1; b < 20; ++b) bounds.push_back(0.05 * b);
+        c.confidence = reg.histogram("core.routed.confidence", bounds);
+        c.train_initial_bytes = reg.counter("core.train_initial.bytes");
+        c.train_initial_messages = reg.counter("core.train_initial.messages");
+        c.retrain_bytes = reg.counter("core.retrain.bytes");
+        c.retrain_messages = reg.counter("core.retrain.messages");
+        c.residual_bytes = reg.counter("core.residual.bytes");
+        c.residual_messages = reg.counter("core.residual.messages");
+        c.reintegrate_bytes = reg.counter("core.reintegrate.bytes");
+        c.reintegrate_messages = reg.counter("core.reintegrate.messages");
+      }
+      return c;
+    }();
+    return o;
+  }
+};
+
+void record_routed(const RoutedResult& result) {
+  const CoreObs& o = CoreObs::get();
+  o.routed_queries.inc();
+  if (!result.served()) {
+    o.routed_unserved.inc();
+    return;
+  }
+  if (result.degraded) o.routed_degraded.inc();
+  o.routed_bytes.inc(result.bytes);
+  o.routed_retry_bytes.inc(result.retry_bytes);
+  o.confidence.observe(result.confidence);
+}
+
+}  // namespace
 
 std::size_t scaled_batch_size(std::size_t paper_batch, std::size_t paper_train,
                               std::size_t actual_train) {
@@ -36,6 +101,14 @@ EdgeHdSystem::EdgeHdSystem(const data::Dataset& ds, net::Topology topology,
       pool_(std::make_unique<runtime::ThreadPool>(config.num_threads)) {
   pending_contrib_.resize(topology_.num_nodes());
   pending_residuals_.resize(topology_.num_nodes());
+  node_serves_.resize(topology_.num_nodes());
+  if constexpr (obs::kEnabled) {
+    auto& reg = obs::MetricsRegistry::global();
+    for (NodeId id = 0; id < topology_.num_nodes(); ++id) {
+      node_serves_[id] =
+          reg.counter("core.routed.serves.node" + std::to_string(id));
+    }
+  }
   leaves_ = topology_.leaves();
   if (leaves_.size() != ds_.partitions.size()) {
     throw std::invalid_argument(
@@ -284,6 +357,7 @@ CommStats EdgeHdSystem::train(std::span<const std::size_t> train_indices) {
 
 CommStats EdgeHdSystem::train_initial(
     std::span<const std::size_t> train_indices) {
+  const obs::Span span("core.train_initial");
   ensure_train_encoded(train_indices);
   const std::size_t k = ds_.num_classes;
   CommStats comm;
@@ -337,11 +411,14 @@ CommStats EdgeHdSystem::train_initial(
       stragglers_.push_back(id);
     }
   }
+  CoreObs::get().train_initial_bytes.inc(comm.bytes);
+  CoreObs::get().train_initial_messages.inc(comm.messages);
   return comm;
 }
 
 CommStats EdgeHdSystem::retrain_batches(
     std::span<const std::size_t> train_indices) {
+  const obs::Span span("core.retrain");
   ensure_train_encoded(train_indices);
   const std::size_t k = ds_.num_classes;
   CommStats comm;
@@ -438,6 +515,8 @@ CommStats EdgeHdSystem::retrain_batches(
       st.classifier->retrain(hvs, labels);
     }
   }
+  CoreObs::get().retrain_bytes.inc(comm.bytes);
+  CoreObs::get().retrain_messages.inc(comm.messages);
   return comm;
 }
 
@@ -509,8 +588,17 @@ RoutedResult EdgeHdSystem::infer_routed(std::span<const float> x,
   if (!has_classifier(start)) {
     throw std::invalid_argument("EdgeHdSystem: start node hosts no classifier");
   }
-  if (degraded_) return infer_routed_degraded(x, start);
+  if (degraded_) {
+    RoutedResult result = infer_routed_degraded(x, start);
+    record_routed(result);
+    if (result.served()) node_serves_[result.node].inc();
+    return result;
+  }
+  auto& tracer = obs::Tracer::global();
+  const std::uint64_t span =
+      tracer.begin("core.infer_routed", obs::kAutoTime, 0, start);
   const auto hvs = encode_all(x);
+  tracer.instant("core.encode", obs::kAutoTime, span);
   NodeId current = start;
   RoutedResult result;
   while (true) {
@@ -519,6 +607,7 @@ RoutedResult EdgeHdSystem::infer_routed(std::span<const float> x,
     result.confidence = pred.confidence;
     result.node = current;
     result.level = topology_.level(current);
+    tracer.instant("core.predict", obs::kAutoTime, span, current, pred.label);
     const bool confident = pred.confidence >= config_.confidence_threshold;
     if (confident || current == topology_.root()) break;
     // Escalate to the nearest ancestor that hosts a classifier.
@@ -527,9 +616,14 @@ RoutedResult EdgeHdSystem::infer_routed(std::span<const float> x,
       next = topology_.parent(next);
     }
     if (!has_classifier(next)) break;
+    CoreObs::get().routed_escalations.inc();
+    tracer.instant("core.escalate", obs::kAutoTime, span, current, next);
     current = next;
   }
   result.bytes = query_gather_bytes(result.node);
+  tracer.end(span);
+  record_routed(result);
+  node_serves_[result.node].inc();
   return result;
 }
 
@@ -592,6 +686,7 @@ RoutedResult EdgeHdSystem::infer_routed_degraded(std::span<const float> x,
       break;
     }
     if (!has_classifier(next)) break;
+    CoreObs::get().routed_escalations.inc();
     current = next;
   }
   if (cut && !config_.failover.serve_degraded) {
@@ -615,8 +710,12 @@ std::vector<RoutedResult> EdgeHdSystem::infer_routed_batch(
     if (st.classifier != nullptr) st.classifier->warm_cache();
   }
   const runtime::BatchExecutor exec(*pool_);
-  return exec.map(xs.size(),
-                  [&](std::size_t i) { return infer_routed(xs[i], start); });
+  return exec.map(xs.size(), [&](std::size_t i) {
+    // Counters aggregate deterministically from any thread; trace events
+    // would interleave nondeterministically, so the fan-out emits none.
+    const obs::TraceSuppress no_trace;
+    return infer_routed(xs[i], start);
+  });
 }
 
 RoutedResult EdgeHdSystem::online_serve(std::span<const float> x,
@@ -716,6 +815,8 @@ CommStats EdgeHdSystem::propagate_residuals() {
 
   // Model changes invalidate nothing cached (encodings are model-free), so
   // no cache flush is needed.
+  CoreObs::get().residual_bytes.inc(comm.bytes);
+  CoreObs::get().residual_messages.inc(comm.messages);
   return comm;
 }
 
@@ -768,6 +869,8 @@ CommStats EdgeHdSystem::reintegrate_stragglers() {
     stragglers_.erase(std::remove(stragglers_.begin(), stragglers_.end(), id),
                       stragglers_.end());
   }
+  CoreObs::get().reintegrate_bytes.inc(comm.bytes);
+  CoreObs::get().reintegrate_messages.inc(comm.messages);
   return comm;
 }
 

@@ -38,6 +38,7 @@
 #include "hier/hier_encoder.hpp"
 #include "net/fault.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace edgehd::core {
@@ -313,6 +314,10 @@ class EdgeHdSystem {
   const data::Dataset& ds_;
   net::Topology topology_;
   SystemConfig config_;
+  /// Per-node "core.routed.serves.node<id>" counters (escalation-rate
+  /// numerators), interned once at construction so the hot routed path never
+  /// builds a name.
+  std::vector<obs::Counter> node_serves_;
   /// Pool for batch encode/inference fan-out; mutable because const
   /// evaluation paths (encoding memoization, batch inference) fan work over
   /// it without changing observable state.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "runtime/batch_executor.hpp"
 #include "runtime/parallel.hpp"
 
@@ -18,6 +19,28 @@ std::size_t argmax(std::span<const double> sims) {
   return static_cast<std::size_t>(
       std::max_element(sims.begin(), sims.end()) - sims.begin());
 }
+
+struct ClassifierObs {
+  obs::Counter predict_queries;
+  obs::Counter train_samples;
+  obs::Counter retrain_epochs;
+  obs::Counter retrain_updates;
+
+  static const ClassifierObs& get() {
+    static const ClassifierObs o = [] {
+      ClassifierObs c;
+      if constexpr (obs::kEnabled) {
+        auto& reg = obs::MetricsRegistry::global();
+        c.predict_queries = reg.counter("hdc.predict.queries");
+        c.train_samples = reg.counter("hdc.train.samples");
+        c.retrain_epochs = reg.counter("hdc.retrain.epochs");
+        c.retrain_updates = reg.counter("hdc.retrain.updates");
+      }
+      return c;
+    }();
+    return o;
+  }
+};
 
 }  // namespace
 
@@ -97,6 +120,7 @@ void HDClassifier::train_batch(std::span<const BipolarHV> hvs,
   assert(hvs.size() == labels.size());
   for (std::size_t l : labels) check_label(l);
 
+  ClassifierObs::get().train_samples.inc(hvs.size());
   const std::size_t k = classes_.size();
   const std::size_t grain = runtime::default_grain(hvs.size());
   const std::size_t chunks = runtime::chunk_count(hvs.size(), grain);
@@ -126,6 +150,7 @@ void HDClassifier::train_batch(std::span<const BipolarHV> hvs,
 std::size_t HDClassifier::retrain_epoch(std::span<const BipolarHV> hvs,
                                         std::span<const std::size_t> labels) {
   assert(hvs.size() == labels.size());
+  ClassifierObs::get().retrain_epochs.inc();
   std::size_t errors = 0;
   for (std::size_t i = 0; i < hvs.size(); ++i) {
     const auto sims = similarities(hvs[i]);
@@ -139,6 +164,7 @@ std::size_t HDClassifier::retrain_epoch(std::span<const BipolarHV> hvs,
       invalidate_cache(best);
     }
   }
+  ClassifierObs::get().retrain_updates.inc(errors);
   return errors;
 }
 
@@ -158,6 +184,7 @@ std::size_t HDClassifier::retrain_epoch_packed(
     runtime::ThreadPool& pool) {
   // Scan against the epoch-start model snapshot in parallel (cache warmed
   // up front so workers only read it)…
+  ClassifierObs::get().retrain_epochs.inc();
   warm_cache();
   std::vector<std::size_t> predicted(packed.size());
   runtime::parallel_for(pool, packed.size(), [&](std::size_t i) {
@@ -174,6 +201,7 @@ std::size_t HDClassifier::retrain_epoch_packed(
       invalidate_cache(predicted[i]);
     }
   }
+  ClassifierObs::get().retrain_updates.inc(errors);
   return errors;
 }
 
@@ -237,6 +265,7 @@ std::vector<double> HDClassifier::similarities(
 }
 
 Prediction HDClassifier::predict(const kernels::PackedQuery& query) const {
+  ClassifierObs::get().predict_queries.inc();
   Prediction p;
   p.similarities = similarities(query);
   const auto best = std::max_element(p.similarities.begin(), p.similarities.end());

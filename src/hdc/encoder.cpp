@@ -6,6 +6,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "random.hpp"
 #include "runtime/batch_executor.hpp"
 
@@ -14,6 +15,41 @@ namespace edgehd::hdc {
 namespace {
 
 constexpr float kTwoPi = 2.0F * std::numbers::pi_v<float>;
+
+struct EncoderObs {
+  obs::Counter batches;
+  obs::Counter batch_samples;
+  obs::Histogram batch_ns;  ///< wall clock — registered volatile
+
+  static const EncoderObs& get() {
+    static const EncoderObs o = [] {
+      EncoderObs e;
+      if constexpr (obs::kEnabled) {
+        auto& reg = obs::MetricsRegistry::global();
+        e.batches = reg.counter("hdc.encode.batches");
+        e.batch_samples = reg.counter("hdc.encode.batch_samples");
+        // 1 µs .. ~1 s in decade-ish steps.
+        e.batch_ns = reg.histogram(
+            "hdc.encode.batch_ns",
+            {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9},
+            /*stable=*/false);
+      }
+      return e;
+    }();
+    return o;
+  }
+};
+
+/// Counts one encode_batch call; the timer feeds the latency histogram on
+/// scope exit.
+struct BatchScope {
+  explicit BatchScope(std::size_t samples)
+      : timer(EncoderObs::get().batch_ns) {
+    EncoderObs::get().batches.inc();
+    EncoderObs::get().batch_samples.inc(samples);
+  }
+  obs::ScopedTimerNs timer;
+};
 
 /// Per-thread float scratch, resized on demand. Shared by every encoder on
 /// the thread — contents never outlive one call.
@@ -42,6 +78,7 @@ RealHV Encoder::encode_real(std::span<const float> features) const {
 std::vector<BipolarHV> Encoder::encode_batch(
     std::span<const std::vector<float>> features,
     runtime::ThreadPool& pool) const {
+  const BatchScope scope(features.size());
   const runtime::BatchExecutor exec(pool);
   return exec.map(features.size(),
                   [&](std::size_t i) { return encode(features[i]); });
@@ -122,6 +159,7 @@ BipolarHV RbfEncoder::encode(std::span<const float> features) const {
 std::vector<BipolarHV> RbfEncoder::encode_batch(
     std::span<const std::vector<float>> features,
     runtime::ThreadPool& pool) const {
+  const BatchScope scope(features.size());
   std::vector<BipolarHV> out(features.size());
   const runtime::BatchExecutor exec(pool);
   exec.for_each_chunk(features.size(), [&](std::size_t begin, std::size_t end) {
@@ -230,6 +268,7 @@ BipolarHV SparseRbfEncoder::encode(std::span<const float> features) const {
 std::vector<BipolarHV> SparseRbfEncoder::encode_batch(
     std::span<const std::vector<float>> features,
     runtime::ThreadPool& pool) const {
+  const BatchScope scope(features.size());
   std::vector<BipolarHV> out(features.size());
   const runtime::BatchExecutor exec(pool);
   exec.for_each_chunk(features.size(), [&](std::size_t begin, std::size_t end) {

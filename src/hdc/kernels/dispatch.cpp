@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "kernels.hpp"
+#include "obs/metrics.hpp"
 
 namespace edgehd::hdc::kernels {
 
@@ -41,6 +42,12 @@ const KernelTable* pick() {
   return &scalar_table();
 }
 
+/// Tags the resolved backend in the metrics registry, so every metrics dump
+/// records which kernel implementation produced its numbers.
+void publish_backend(const KernelTable* t) {
+  obs::MetricsRegistry::global().set_label("hdc.kernel.backend", t->name);
+}
+
 }  // namespace
 
 const KernelTable& active() {
@@ -49,6 +56,7 @@ const KernelTable& active() {
     // Benign race: concurrent first calls compute the same table.
     t = pick();
     g_active.store(t, std::memory_order_release);
+    publish_backend(t);
   }
   return *t;
 }
@@ -58,13 +66,16 @@ const char* backend_name() { return active().name; }
 bool force_backend(Backend b) {
   if (b == Backend::kScalar) {
     g_active.store(&scalar_table(), std::memory_order_release);
+    publish_backend(&scalar_table());
     return true;
   }
   if (const KernelTable* t = simd_table()) {
     g_active.store(t, std::memory_order_release);
+    publish_backend(t);
     return true;
   }
   g_active.store(&scalar_table(), std::memory_order_release);
+  publish_backend(&scalar_table());
   return false;
 }
 

@@ -3,15 +3,41 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "obs/trace.hpp"
 
 namespace edgehd::net {
 
 Simulator::Simulator(Topology topology, Medium medium)
     : topology_(std::move(topology)),
-      links_(topology_.num_nodes(), Link{medium, 0, 0}),
+      links_(topology_.num_nodes(), Link{medium, 0, 0, {}, {}, {}, {}}),
       node_busy_until_(topology_.num_nodes(), 0),
-      stats_(topology_.num_nodes()) {}
+      stats_(topology_.num_nodes()) {
+  if constexpr (obs::kEnabled) {
+    auto& reg = obs::MetricsRegistry::global();
+    obs_.bytes_tx = reg.counter("net.bytes_tx");
+    obs_.bytes_rx = reg.counter("net.bytes_rx");
+    obs_.bytes_retransmitted = reg.counter("net.bytes_retransmitted");
+    obs_.packets_tx = reg.counter("net.packets_tx");
+    obs_.packets_rx = reg.counter("net.packets_rx");
+    obs_.packets_dropped = reg.counter("net.packets_dropped");
+    obs_.sends_suppressed = reg.counter("net.sends_suppressed");
+    obs_.retransmissions = reg.counter("net.retransmissions");
+    obs_.reliable_delivered = reg.counter("net.reliable.delivered");
+    obs_.reliable_failed = reg.counter("net.reliable.failed");
+    obs_.reliable_attempts = reg.counter("net.reliable.attempts");
+    for (NodeId child = 0; child < links_.size(); ++child) {
+      if (child == topology_.root()) continue;
+      const std::string prefix = "net.link." + std::to_string(child) + ".";
+      links_[child].obs_tx_bytes = reg.counter(prefix + "tx_bytes");
+      links_[child].obs_rx_bytes = reg.counter(prefix + "rx_bytes");
+      links_[child].obs_drop_bytes = reg.counter(prefix + "drop_bytes");
+      links_[child].obs_retx_bytes = reg.counter(prefix + "retx_bytes");
+    }
+  }
+}
 
 void Simulator::set_link_medium(NodeId child, Medium medium) {
   if (child >= links_.size() || child == topology_.root()) {
@@ -88,6 +114,7 @@ void Simulator::transmit(NodeId from, NodeId to, std::uint64_t bytes,
     if (faults_active_ &&
         (!faults_.node_up(from, now_) || !faults_.link_up(link_child, now_))) {
       ++stats_[from].sends_suppressed;
+      obs_.sends_suppressed.inc();
       if (cb) cb(TransmitResult::kNotSent);
       return;
     }
@@ -97,13 +124,18 @@ void Simulator::transmit(NodeId from, NodeId to, std::uint64_t bytes,
     stats_[from].bytes_tx += bytes;
     ++stats_[from].packets_tx;
     stats_[from].comm_energy_j += tx_power * seconds;
+    obs_.bytes_tx.inc(bytes);
+    obs_.packets_tx.inc();
+    links_[link_child].obs_tx_bytes.inc(bytes);
     const bool lost =
         faults_active_ &&
         faults_.drop(link_child, links_[link_child].attempts++);
-    push_event(end, [this, from, to, bytes, duration, rx_power, seconds, lost,
-                     cb = std::move(cb)]() mutable {
+    push_event(end, [this, from, to, bytes, link_child, duration, rx_power,
+                     seconds, lost, cb = std::move(cb)]() mutable {
       if (lost || (faults_active_ && !faults_.node_up(to, now_))) {
         ++stats_[from].packets_dropped;
+        obs_.packets_dropped.inc();
+        links_[link_child].obs_drop_bytes.inc(bytes);
         if (cb) cb(TransmitResult::kLostInAir);
         return;
       }
@@ -111,6 +143,9 @@ void Simulator::transmit(NodeId from, NodeId to, std::uint64_t bytes,
       stats_[to].bytes_rx += bytes;
       ++stats_[to].packets_rx;
       stats_[to].comm_energy_j += rx_power * seconds;
+      obs_.bytes_rx.inc(bytes);
+      obs_.packets_rx.inc();
+      links_[link_child].obs_rx_bytes.inc(bytes);
       if (cb) cb(TransmitResult::kDelivered);
     });
   });
@@ -136,6 +171,8 @@ struct Simulator::ReliableState {
   std::uint64_t bytes_on_wire = 0; ///< payload bytes that hit the air
   bool receiver_got = false;
   bool done = false;
+  NodeId link_child = kNoNode;     ///< child endpoint of the traversed link
+  std::uint64_t span = 0;          ///< open "net.send_reliable" trace span
 };
 
 void Simulator::send_reliable(
@@ -152,6 +189,11 @@ void Simulator::send_reliable(
   st->bytes = bytes;
   st->cfg = config;
   st->on_outcome = std::move(on_outcome);
+  st->link_child = topology_.parent(from) == to ? from : to;
+  // The span opens at the call and closes in finish_reliable, both stamped
+  // with simulator virtual time; each retry lands as a child instant.
+  st->span = obs::Tracer::global().begin("net.send_reliable", now_,
+                                         /*parent=*/0, from, bytes);
   reliable_attempt(std::move(st));
 }
 
@@ -165,6 +207,11 @@ void Simulator::reliable_attempt(std::shared_ptr<ReliableState> st) {
              if (attempt > 1) {
                ++stats_[st->from].retransmissions;
                stats_[st->from].bytes_retransmitted += st->bytes;
+               obs_.retransmissions.inc();
+               obs_.bytes_retransmitted.inc(st->bytes);
+               links_[st->link_child].obs_retx_bytes.inc(st->bytes);
+               obs::Tracer::global().instant("net.retry", now_, st->span,
+                                             attempt, st->bytes);
              }
              if (r != TransmitResult::kDelivered) return;
              st->receiver_got = true;
@@ -205,6 +252,9 @@ void Simulator::reliable_attempt(std::shared_ptr<ReliableState> st) {
 void Simulator::finish_reliable(std::shared_ptr<ReliableState> st,
                                 bool delivered) {
   st->done = true;
+  (delivered ? obs_.reliable_delivered : obs_.reliable_failed).inc();
+  obs_.reliable_attempts.inc(st->attempts);
+  obs::Tracer::global().end(st->span, now_);
   if (!st->on_outcome) return;
   DeliveryOutcome outcome;
   outcome.delivered = delivered;

@@ -24,6 +24,7 @@
 
 #include "fault.hpp"
 #include "medium.hpp"
+#include "obs/metrics.hpp"
 #include "topology.hpp"
 
 namespace edgehd::net {
@@ -161,6 +162,30 @@ class Simulator {
     Medium medium;
     SimTime busy_until = 0;
     std::uint64_t attempts = 0;  ///< transmissions so far (fault-draw index)
+    // Registry mirrors of this link's byte accounting ("net.link.<child>.*",
+    // keyed by the child endpoint; cumulative across simulators that share a
+    // topology node id). Empty handles until the constructor interns them.
+    obs::Counter obs_tx_bytes;
+    obs::Counter obs_rx_bytes;
+    obs::Counter obs_drop_bytes;
+    obs::Counter obs_retx_bytes;
+  };
+
+  /// Registry mirrors of the aggregate NodeStats accounting; every hook
+  /// sits beside the stats_ mutation it shadows, so the invariant
+  /// "registry == sum over NodeStats" is pinned by tests.
+  struct ObsCounters {
+    obs::Counter bytes_tx;
+    obs::Counter bytes_rx;
+    obs::Counter bytes_retransmitted;
+    obs::Counter packets_tx;
+    obs::Counter packets_rx;
+    obs::Counter packets_dropped;
+    obs::Counter sends_suppressed;
+    obs::Counter retransmissions;
+    obs::Counter reliable_delivered;
+    obs::Counter reliable_failed;
+    obs::Counter reliable_attempts;
   };
 
   /// What happened to one transmission attempt.
@@ -185,6 +210,7 @@ class Simulator {
 
   Topology topology_;
   std::vector<Link> links_;  // indexed by the child endpoint
+  ObsCounters obs_;
   SimTime shared_busy_until_ = 0;  ///< collision-domain occupancy (wireless)
   std::vector<SimTime> node_busy_until_;
   std::vector<NodeStats> stats_;

@@ -1,0 +1,148 @@
+#include "trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace edgehd::obs {
+
+namespace {
+
+int& suppress_depth() noexcept {
+  thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace
+
+TraceSuppress::TraceSuppress() noexcept {
+  if constexpr (kEnabled) ++suppress_depth();
+}
+
+TraceSuppress::~TraceSuppress() {
+  if constexpr (kEnabled) --suppress_depth();
+}
+
+bool TraceSuppress::active() noexcept {
+  if constexpr (kEnabled) {
+    return suppress_depth() > 0;
+  } else {
+    return true;
+  }
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+bool Tracer::should_emit() const noexcept {
+  if constexpr (!kEnabled) return false;
+  return enabled_.load(std::memory_order_relaxed) && !TraceSuppress::active();
+}
+
+std::int64_t Tracer::resolve(std::int64_t t) {
+  return t == kAutoTime ? static_cast<std::int64_t>(++tick_) : t;
+}
+
+std::uint64_t Tracer::begin(const char* name, std::int64_t t,
+                            std::uint64_t parent, std::uint64_t arg0,
+                            std::uint64_t arg1) {
+  if (!should_emit()) return 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  TraceEvent ev;
+  ev.id = next_id_++;
+  ev.parent = parent;
+  ev.name = name;
+  ev.t_begin = resolve(t);
+  ev.t_end = -1;
+  ev.arg0 = arg0;
+  ev.arg1 = arg1;
+  buf_.push_back(ev);
+  if (buf_.size() > capacity_) buf_.pop_front();
+  return ev.id;
+}
+
+void Tracer::end(std::uint64_t id, std::int64_t t) {
+  if constexpr (!kEnabled) return;
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (buf_.empty() || id < buf_.front().id) return;  // fell off the ring
+  const std::size_t idx = static_cast<std::size_t>(id - buf_.front().id);
+  if (idx >= buf_.size()) return;
+  buf_[idx].t_end = resolve(t);
+}
+
+std::uint64_t Tracer::instant(const char* name, std::int64_t t,
+                              std::uint64_t parent, std::uint64_t arg0,
+                              std::uint64_t arg1) {
+  if (!should_emit()) return 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  TraceEvent ev;
+  ev.id = next_id_++;
+  ev.parent = parent;
+  ev.name = name;
+  ev.t_begin = resolve(t);
+  ev.t_end = ev.t_begin;
+  ev.arg0 = arg0;
+  ev.arg1 = arg1;
+  buf_.push_back(ev);
+  if (buf_.size() > capacity_) buf_.pop_front();
+  return ev.id;
+}
+
+void Tracer::set_enabled(bool on) noexcept {
+  if constexpr (!kEnabled) return;
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+bool Tracer::enabled() const noexcept {
+  if constexpr (!kEnabled) return false;
+  return enabled_.load(std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  if constexpr (!kEnabled) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  buf_.clear();
+  next_id_ = 1;
+  tick_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {buf_.begin(), buf_.end()};
+}
+
+std::uint64_t Tracer::emitted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_id_ - 1;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return (next_id_ - 1) - buf_.size();
+}
+
+std::string Tracer::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "[";
+  bool first = true;
+  for (const TraceEvent& ev : buf_) {
+    if (!first) out += ',';
+    first = false;
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"id\":%" PRIu64 ",\"parent\":%" PRIu64
+                  ",\"name\":\"%s\",\"t_begin\":%" PRId64 ",\"t_end\":%" PRId64
+                  ",\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64 "}",
+                  ev.id, ev.parent, ev.name, ev.t_begin, ev.t_end, ev.arg0,
+                  ev.arg1);
+    out += buf;
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace edgehd::obs

@@ -1,0 +1,122 @@
+// Bounded ring-buffer event tracer. Spans and instants carry a timestamp
+// from whatever clock the emitting layer owns — the network simulator passes
+// its virtual time (ns), serial protocol drivers pass kAutoTime and get a
+// monotonic logical tick — plus a parent id, so a routed query's walk up the
+// hierarchy (encode, per-node predict, escalation hops, reliable-transport
+// retries) reconstructs as one tree.
+//
+// Determinism contract: events are only emitted from deterministic serial
+// contexts. Parallel fan-outs (e.g. infer_routed_batch workers) install a
+// TraceSuppress guard so their interleaving can never reorder the stream;
+// with that rule, identical (seed, FaultPlan, worker-count) runs produce an
+// identical event sequence. The ring keeps the newest `capacity` events;
+// `dropped()` says how many fell off the front.
+//
+// Event names must be string literals (or otherwise outlive the tracer):
+// the ring stores the pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "metrics.hpp"  // kEnabled
+
+namespace edgehd::obs {
+
+/// Sentinel timestamp: "stamp with the tracer's own logical tick".
+inline constexpr std::int64_t kAutoTime = std::numeric_limits<std::int64_t>::min();
+
+struct TraceEvent {
+  std::uint64_t id = 0;      ///< 1-based, emission order
+  std::uint64_t parent = 0;  ///< 0 = root
+  const char* name = "";
+  std::int64_t t_begin = 0;
+  std::int64_t t_end = 0;    ///< == t_begin for instants; -1 while open
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+};
+
+inline bool operator==(const TraceEvent& a, const TraceEvent& b) {
+  return a.id == b.id && a.parent == b.parent &&
+         std::strcmp(a.name, b.name) == 0 && a.t_begin == b.t_begin &&
+         a.t_end == b.t_end && a.arg0 == b.arg0 && a.arg1 == b.arg1;
+}
+
+/// Thread-local trace suppression: while any guard is alive on this thread,
+/// begin/instant return 0 and record nothing. Used by parallel fan-outs.
+class TraceSuppress {
+ public:
+  TraceSuppress() noexcept;
+  ~TraceSuppress();
+  TraceSuppress(const TraceSuppress&) = delete;
+  TraceSuppress& operator=(const TraceSuppress&) = delete;
+  static bool active() noexcept;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 4096);
+
+  /// Opens a span; returns its id (0 when disabled/suppressed — every other
+  /// method treats id 0 as "ignore me").
+  std::uint64_t begin(const char* name, std::int64_t t = kAutoTime,
+                      std::uint64_t parent = 0, std::uint64_t arg0 = 0,
+                      std::uint64_t arg1 = 0);
+  /// Closes a span (no-op if the event has fallen off the ring).
+  void end(std::uint64_t id, std::int64_t t = kAutoTime);
+  /// Zero-duration event.
+  std::uint64_t instant(const char* name, std::int64_t t = kAutoTime,
+                        std::uint64_t parent = 0, std::uint64_t arg0 = 0,
+                        std::uint64_t arg1 = 0);
+
+  void set_enabled(bool on) noexcept;
+  bool enabled() const noexcept;
+
+  /// Drops all buffered events and resets the id counter and logical tick.
+  void clear();
+
+  /// Copies the retained window, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+  std::uint64_t emitted() const;  ///< total events ever emitted
+  std::uint64_t dropped() const;  ///< emitted - retained
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Retained events as a stable-ordered JSON array.
+  std::string to_json() const;
+
+  /// The process-wide tracer every built-in hook reports to.
+  static Tracer& global();
+
+ private:
+  bool should_emit() const noexcept;
+  std::int64_t resolve(std::int64_t t);  // caller holds mu_
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceEvent> buf_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t tick_ = 0;
+  std::atomic<bool> enabled_{true};
+};
+
+/// RAII span on the global tracer using logical ticks; for serial,
+/// deterministic contexts (training rounds, protocol drivers).
+class Span {
+ public:
+  explicit Span(const char* name, std::uint64_t parent = 0,
+                std::uint64_t arg0 = 0, std::uint64_t arg1 = 0)
+      : id_(Tracer::global().begin(name, kAutoTime, parent, arg0, arg1)) {}
+  ~Span() { Tracer::global().end(id_); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace edgehd::obs

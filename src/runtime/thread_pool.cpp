@@ -4,7 +4,37 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace edgehd::runtime {
+
+namespace {
+
+struct PoolObs {
+  /// Submission count is a pure function of (work size, grain, worker
+  /// count) — stable. Steals and instantaneous queue depth depend on
+  /// scheduling — volatile, excluded from the determinism-suite JSON.
+  obs::Counter tasks;
+  obs::Counter steals;
+  obs::Gauge queue_depth;
+
+  static const PoolObs& get() {
+    static const PoolObs o = [] {
+      PoolObs p;
+      if constexpr (obs::kEnabled) {
+        auto& reg = obs::MetricsRegistry::global();
+        p.tasks = reg.counter("runtime.pool.tasks");
+        p.steals = reg.counter("runtime.pool.steals", /*stable=*/false);
+        p.queue_depth = reg.gauge("runtime.pool.queue_depth",
+                                  /*stable=*/false);
+      }
+      return p;
+    }();
+    return o;
+  }
+};
+
+}  // namespace
 
 std::size_t ThreadPool::default_worker_count() {
   if (const char* env = std::getenv("EDGEHD_THREADS")) {
@@ -25,6 +55,10 @@ ThreadPool& ThreadPool::global() {
 }
 
 ThreadPool::ThreadPool(std::size_t num_workers) {
+  // Touch the registry before spawning workers: the process-wide registry is
+  // then constructed first and destroyed last, so worker threads (and the
+  // global pool's exit-time teardown) can never outlive their shards.
+  PoolObs::get();
   const std::size_t n =
       num_workers == 0 ? default_worker_count()
                        : std::min(num_workers, kMaxWorkers);
@@ -54,7 +88,9 @@ void ThreadPool::submit(Task task) {
     target = next_queue_;
     next_queue_ = (next_queue_ + 1) % queues_.size();
     ++pending_;
+    PoolObs::get().queue_depth.set(static_cast<double>(pending_));
   }
+  PoolObs::get().tasks.inc();
   {
     std::lock_guard<std::mutex> lk(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
@@ -80,6 +116,7 @@ bool ThreadPool::try_pop(std::size_t self, Task& out) {
     if (!q.tasks.empty()) {
       out = std::move(q.tasks.back());
       q.tasks.pop_back();
+      PoolObs::get().steals.inc();
       return true;
     }
   }
@@ -97,6 +134,7 @@ void ThreadPool::worker_loop(std::size_t self) {
         return;
       }
       --pending_;
+      PoolObs::get().queue_depth.set(static_cast<double>(pending_));
     }
     // A claimed task is guaranteed to exist in some queue; the pop below can
     // only race other claimants, never find the pool empty.

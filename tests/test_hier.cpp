@@ -1,5 +1,9 @@
 // Unit tests for the hierarchy substrate: dimension allocation and the
 // hierarchical (concat + ternary projection) encoder (src/hier/*).
+//
+// Seed audit: every test constructs its own hdc::Rng with a distinct
+// explicit seed (no file-level or shared RNG), so no test's draws depend on
+// which other tests ran before it in the same process.
 #include <gtest/gtest.h>
 
 #include "hdc/random.hpp"

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <string>
 
 #include "baseline/hd_model.hpp"
 #include "baseline/mlp.hpp"
@@ -11,7 +12,10 @@
 #include "core/edgehd.hpp"
 #include "data/dataset.hpp"
 #include "hdc/random.hpp"
+#include "net/fault.hpp"
+#include "net/simulator.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -155,6 +159,121 @@ TEST(Integration, DnnDegradesFasterThanHolographicUnderLoss) {
                          sys.accuracy_at_node_with_loss(root, 0.6, 71);
   // Figure 12 claim.
   EXPECT_LT(hd_drop, dnn_drop + 0.03);
+}
+
+// ---- cross-layer observability invariants ---------------------------------
+// Every registry hook sits directly beside the first-party accounting it
+// shadows (NodeStats in the simulator, RoutedResult in the core), so the two
+// must agree *exactly* — any divergence means a hook was moved, duplicated
+// or dropped.
+
+TEST(ObsInvariants, SimulatorStatsMatchRegistryCounters) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out (-DEDGEHD_OBS=OFF)";
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  reg.reset();
+
+  const auto topo = net::Topology::paper_tree(4);
+  net::FaultPlan plan(21);
+  const auto leaves = topo.leaves();
+  for (const auto leaf : leaves) plan.loss(leaf, 0.35);
+  plan.outage(leaves.front(), 0, 2 * net::kMillisecond);
+  net::Simulator sim(topo, net::medium(net::MediumKind::kWifi80211n));
+  sim.set_fault_plan(plan);
+  for (const auto leaf : leaves) {
+    for (int i = 0; i < 6; ++i) {
+      sim.send_reliable(leaf, topo.parent(leaf), 700 + 50 * i);
+    }
+    sim.send(leaf, topo.parent(leaf), 400);
+  }
+  sim.run();
+
+  net::NodeStats total;
+  for (net::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const auto& s = sim.stats(n);
+    total.bytes_tx += s.bytes_tx;
+    total.bytes_rx += s.bytes_rx;
+    total.packets_tx += s.packets_tx;
+    total.packets_rx += s.packets_rx;
+    total.packets_dropped += s.packets_dropped;
+    total.sends_suppressed += s.sends_suppressed;
+    total.retransmissions += s.retransmissions;
+    total.bytes_retransmitted += s.bytes_retransmitted;
+  }
+  ASSERT_GT(total.packets_dropped + total.retransmissions, 0u)
+      << "fault plan produced no faults; the invariant would be vacuous";
+
+  EXPECT_EQ(reg.counter_value("net.bytes_tx"), total.bytes_tx);
+  EXPECT_EQ(reg.counter_value("net.bytes_rx"), total.bytes_rx);
+  EXPECT_EQ(reg.counter_value("net.packets_tx"), total.packets_tx);
+  EXPECT_EQ(reg.counter_value("net.packets_rx"), total.packets_rx);
+  EXPECT_EQ(reg.counter_value("net.packets_dropped"), total.packets_dropped);
+  EXPECT_EQ(reg.counter_value("net.sends_suppressed"),
+            total.sends_suppressed);
+  EXPECT_EQ(reg.counter_value("net.retransmissions"), total.retransmissions);
+  EXPECT_EQ(reg.counter_value("net.bytes_retransmitted"),
+            total.bytes_retransmitted);
+
+  // Per-link byte counters must partition the aggregates exactly.
+  std::uint64_t link_tx = 0, link_rx = 0, link_retx = 0;
+  for (net::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (n == topo.root()) continue;
+    const std::string base = "net.link." + std::to_string(n) + ".";
+    link_tx += reg.counter_value(base + "tx_bytes");
+    link_rx += reg.counter_value(base + "rx_bytes");
+    link_retx += reg.counter_value(base + "retx_bytes");
+  }
+  EXPECT_EQ(link_tx, total.bytes_tx);
+  EXPECT_EQ(link_rx, total.bytes_rx);
+  EXPECT_EQ(link_retx, total.bytes_retransmitted);
+}
+
+TEST(ObsInvariants, RoutedResultAccountingMatchesRegistry) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out (-DEDGEHD_OBS=OFF)";
+  }
+  auto ds = data::make_synthetic("obs-inv", 30, 3, {10, 10, 10}, 800, 200,
+                                 77, 3.8F, 0.5F, 0.5F);
+  data::zscore_normalize(ds);
+  core::SystemConfig cfg;
+  cfg.total_dim = 1200;
+  cfg.batch_size = 8;
+  cfg.num_threads = 1;
+  core::EdgeHdSystem sys(ds, net::Topology::paper_tree(3), cfg);
+  sys.train();
+  // Lossy links make retry_bytes non-zero so the retry accounting is
+  // exercised, not just trivially equal at zero.
+  net::FaultPlan plan(31);
+  for (const auto leaf : sys.topology().leaves()) plan.loss(leaf, 0.3);
+  sys.set_fault_plan(plan);
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.reset();
+  const auto start = sys.topology().leaves().front();
+  std::uint64_t bytes = 0, retry_bytes = 0;
+  std::size_t escalations = 0, served = 0;
+  for (std::size_t i = 0; i < ds.test_size(); ++i) {
+    const auto r = sys.infer_routed(ds.test_x[i], start);
+    if (r.served()) ++served;
+    bytes += r.bytes;
+    retry_bytes += r.retry_bytes;
+    if (r.served()) escalations += r.level - 1;
+  }
+  ASSERT_GT(retry_bytes, 0u)
+      << "lossy links produced no retry bytes; the invariant is vacuous";
+
+  EXPECT_EQ(reg.counter_value("core.routed.queries"), ds.test_size());
+  EXPECT_EQ(reg.counter_value("core.routed.bytes"), bytes);
+  EXPECT_EQ(reg.counter_value("core.routed.retry_bytes"), retry_bytes);
+  EXPECT_EQ(reg.counter_value("core.routed.escalations"), escalations);
+
+  // Per-node serve counters must partition the query count.
+  std::uint64_t serves = 0;
+  for (net::NodeId n = 0; n < sys.topology().num_nodes(); ++n) {
+    serves += reg.counter_value("core.routed.serves.node" + std::to_string(n));
+  }
+  EXPECT_EQ(serves, served);
 }
 
 TEST(Integration, DeterministicEndToEnd) {

@@ -1,0 +1,306 @@
+// Observability subsystem tests: metrics-registry semantics (interning,
+// sharded counters, histogram bucketing, stable JSON), tracer semantics
+// (parent links, ring bounds, suppression), registry concurrency (the TSan
+// target), and the determinism suite — identical (seed, FaultPlan,
+// worker-count) runs must produce byte-identical stable-metrics JSON and an
+// identical trace event sequence.
+//
+// Every value-asserting test skips under -DEDGEHD_OBS=OFF (hooks compile to
+// no-ops there); the inert-handle test runs in both configurations.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/edgehd.hpp"
+#include "data/dataset.hpp"
+#include "net/fault.hpp"
+#include "net/simulator.hpp"
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace edgehd;
+
+#define SKIP_IF_OBS_OFF()                                              \
+  if constexpr (!obs::kEnabled) {                                      \
+    GTEST_SKIP() << "observability compiled out (-DEDGEHD_OBS=OFF)";   \
+  }
+
+// ------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, HandlesAreInertWhenEmptyOrDisabled) {
+  // Default-constructed handles must be safe no-ops in every build mode.
+  obs::Counter c;
+  obs::Gauge g;
+  obs::Histogram h;
+  c.inc();
+  g.set(3.0);
+  h.observe(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsRegistry, InterningIsIdempotent) {
+  SKIP_IF_OBS_OFF();
+  obs::MetricsRegistry reg;
+  const obs::Counter a = reg.counter("x.count");
+  const obs::Counter b = reg.counter("x.count");
+  a.inc();
+  b.inc(2);
+  EXPECT_EQ(a.value(), 3u);
+  EXPECT_EQ(reg.counter_value("x.count"), 3u);
+  EXPECT_EQ(reg.counter_value("no.such.metric"), 0u);
+}
+
+TEST(MetricsRegistry, KindCollisionThrows) {
+  SKIP_IF_OBS_OFF();
+  obs::MetricsRegistry reg;
+  reg.counter("name");
+  EXPECT_THROW(reg.gauge("name"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("name", {1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndExactSum) {
+  SKIP_IF_OBS_OFF();
+  obs::MetricsRegistry reg;
+  const obs::Histogram h = reg.histogram("lat", {10.0, 20.0});
+  h.observe(10.0);  // bucket 0: v <= 10
+  h.observe(11.0);  // bucket 1
+  h.observe(20.0);  // bucket 1
+  h.observe(25.0);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 66u);
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(MetricsRegistry, HistogramRejectsUnsortedBounds) {
+  SKIP_IF_OBS_OFF();
+  obs::MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("bad", {2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, SlotExhaustionThrows) {
+  SKIP_IF_OBS_OFF();
+  obs::MetricsRegistry reg(/*slot_capacity=*/2);
+  reg.counter("a");
+  reg.counter("b");
+  EXPECT_THROW(reg.counter("c"), std::length_error);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsDefinitions) {
+  SKIP_IF_OBS_OFF();
+  obs::MetricsRegistry reg;
+  const obs::Counter c = reg.counter("c");
+  const obs::Gauge g = reg.gauge("g");
+  const obs::Histogram h = reg.histogram("h", {5.0});
+  c.inc(4);
+  g.set(2.5);
+  h.observe(3.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  c.inc();  // handles stay live across reset
+  EXPECT_EQ(reg.counter_value("c"), 1u);
+}
+
+TEST(MetricsRegistry, JsonIsSortedStableAndFiltersVolatile) {
+  SKIP_IF_OBS_OFF();
+  obs::MetricsRegistry reg;
+  reg.counter("zeta").inc(2);
+  reg.counter("alpha").inc(1);
+  reg.gauge("vol.gauge", /*stable=*/false).set(9.0);
+  reg.set_label("backend", "scalar");
+  const std::string all = reg.to_json();
+  const std::string stable = reg.to_json(/*include_volatile=*/false);
+  // Registration order was zeta-then-alpha; export must sort by name.
+  EXPECT_LT(all.find("\"alpha\""), all.find("\"zeta\""));
+  EXPECT_NE(all.find("\"vol.gauge\""), std::string::npos);
+  EXPECT_EQ(stable.find("\"vol.gauge\""), std::string::npos);
+  EXPECT_NE(stable.find("\"backend\":\"scalar\""), std::string::npos);
+  // Identical state must serialize to identical bytes.
+  EXPECT_EQ(all, reg.to_json());
+}
+
+TEST(MetricsRegistry, CountersSumAcrossConcurrentThreads) {
+  SKIP_IF_OBS_OFF();
+  // The TSan leg runs this binary: writers hammer shard slots while a reader
+  // concurrently sums and serializes. Must be race-free and lose nothing.
+  obs::MetricsRegistry reg;
+  const obs::Counter c = reg.counter("hot");
+  const obs::Histogram h = reg.histogram("hist", {1.0, 2.0});
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        h.observe(1.5);
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    for (int i = 0; i < 50; ++i) {
+      (void)c.value();
+      (void)reg.to_json();
+    }
+  });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+// --------------------------------------------------------------- tracer
+
+TEST(Tracer, SpansLinkParentsAndCloseInOrder) {
+  SKIP_IF_OBS_OFF();
+  obs::Tracer tr;
+  const auto root = tr.begin("root");
+  const auto child = tr.begin("child", obs::kAutoTime, root, 7, 9);
+  tr.instant("mark", obs::kAutoTime, child);
+  {
+    const auto open = tr.snapshot();
+    ASSERT_EQ(open.size(), 3u);
+    EXPECT_EQ(open[1].t_end, -1);  // still open
+  }
+  tr.end(child);
+  tr.end(root);
+  const auto events = tr.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].id, 1u);
+  EXPECT_EQ(events[0].parent, 0u);
+  EXPECT_EQ(events[1].parent, root);
+  EXPECT_EQ(events[1].arg0, 7u);
+  EXPECT_EQ(events[1].arg1, 9u);
+  EXPECT_EQ(events[2].parent, child);
+  EXPECT_EQ(events[2].t_begin, events[2].t_end);  // instant
+  EXPECT_GE(events[0].t_end, events[0].t_begin);  // logical ticks advance
+  EXPECT_GE(events[1].t_end, events[1].t_begin);
+}
+
+TEST(Tracer, RingKeepsNewestAndCountsDropped) {
+  SKIP_IF_OBS_OFF();
+  obs::Tracer tr(/*capacity=*/4);
+  for (int i = 0; i < 6; ++i) tr.instant("e");
+  const auto events = tr.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().id, 3u);
+  EXPECT_EQ(events.back().id, 6u);
+  EXPECT_EQ(tr.emitted(), 6u);
+  EXPECT_EQ(tr.dropped(), 2u);
+}
+
+TEST(Tracer, SuppressionAndDisableBlockEmission) {
+  SKIP_IF_OBS_OFF();
+  obs::Tracer tr;
+  {
+    const obs::TraceSuppress guard;
+    EXPECT_TRUE(obs::TraceSuppress::active());
+    EXPECT_EQ(tr.begin("hidden"), 0u);
+    EXPECT_EQ(tr.instant("hidden"), 0u);
+  }
+  EXPECT_FALSE(obs::TraceSuppress::active());
+  tr.set_enabled(false);
+  EXPECT_EQ(tr.begin("off"), 0u);
+  tr.set_enabled(true);
+  EXPECT_NE(tr.begin("on"), 0u);
+  EXPECT_EQ(tr.emitted(), 1u);
+}
+
+TEST(Tracer, ClearResetsIdsAndLogicalClock) {
+  SKIP_IF_OBS_OFF();
+  obs::Tracer tr;
+  tr.instant("a");
+  tr.instant("b");
+  tr.clear();
+  EXPECT_EQ(tr.emitted(), 0u);
+  const auto id = tr.instant("c");
+  EXPECT_EQ(id, 1u);
+  const auto events = tr.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].t_begin, 1);  // logical tick restarted
+}
+
+// --------------------------------------------------- determinism suite
+
+/// One full mixed workload: a faulty reliable-transport run on the simulator
+/// (virtual-time spans, retry instants) followed by hierarchical training
+/// and routed inference on a 2-worker system (logical-tick spans). Returns
+/// the stable-metrics JSON and the retained trace window.
+std::pair<std::string, std::vector<obs::TraceEvent>> run_workload() {
+  auto& reg = obs::MetricsRegistry::global();
+  auto& tracer = obs::Tracer::global();
+  reg.reset();
+  tracer.clear();
+
+  const auto topo = net::Topology::paper_tree(4);
+  net::FaultPlan plan(11);
+  for (const auto leaf : topo.leaves()) plan.loss(leaf, 0.3);
+  net::Simulator sim(topo, net::medium(net::MediumKind::kWifi80211n));
+  sim.set_fault_plan(plan);
+  for (const auto leaf : topo.leaves()) {
+    for (int i = 0; i < 4; ++i) {
+      sim.send_reliable(leaf, topo.parent(leaf), 900 + 100 * i);
+    }
+  }
+  sim.run();
+
+  auto ds = data::make_synthetic("obs-det", 20, 2, {10, 10}, 200, 60, 73,
+                                 3.4F, 0.6F, 0.5F);
+  data::zscore_normalize(ds);
+  core::SystemConfig cfg;
+  cfg.total_dim = 600;
+  cfg.batch_size = 4;
+  cfg.num_threads = 2;  // fixed worker count is part of the contract
+  core::EdgeHdSystem sys(ds, net::Topology::paper_tree(2), cfg);
+  sys.train();
+  const auto start = sys.topology().leaves().front();
+  for (std::size_t i = 0; i < ds.test_size(); ++i) {
+    sys.infer_routed(ds.test_x[i], start);
+  }
+  return {reg.to_json(/*include_volatile=*/false), tracer.snapshot()};
+}
+
+TEST(ObsDeterminism, IdenticalRunsMatchByteForByte) {
+  SKIP_IF_OBS_OFF();
+  const auto first = run_workload();
+  const auto second = run_workload();
+  EXPECT_EQ(first.first, second.first) << "stable metrics JSON diverged";
+  ASSERT_EQ(first.second.size(), second.second.size());
+  for (std::size_t i = 0; i < first.second.size(); ++i) {
+    EXPECT_TRUE(first.second[i] == second.second[i])
+        << "trace event " << i << " diverged: " << first.second[i].name
+        << " vs " << second.second[i].name;
+  }
+  EXPECT_FALSE(first.second.empty());
+}
+
+TEST(ObsDeterminism, StableViewExcludesSchedulingMetrics) {
+  SKIP_IF_OBS_OFF();
+  const auto out = run_workload();
+  // A 2-worker run registers the scheduling/wall-clock metrics; none may
+  // appear in the determinism-suite view.
+  const std::string all = obs::MetricsRegistry::global().to_json();
+  EXPECT_NE(all.find("runtime.pool.tasks"), std::string::npos);
+  EXPECT_EQ(out.first.find("runtime.pool.steals"), std::string::npos);
+  EXPECT_EQ(out.first.find("runtime.pool.queue_depth"), std::string::npos);
+  EXPECT_EQ(out.first.find("hdc.encode.batch_ns"), std::string::npos);
+  // The stable view still carries the protocol accounting.
+  EXPECT_NE(out.first.find("core.routed.queries"), std::string::npos);
+  EXPECT_NE(out.first.find("net.bytes_tx"), std::string::npos);
+}
+
+}  // namespace

@@ -1,5 +1,11 @@
 // Parameterized property sweeps over the paper's main tunables: hypervector
 // dimensionality, transmission loss, hierarchy depth, and batch size.
+//
+// Seed audit: no RNG state is shared between tests. Every dataset comes
+// from an explicitly seeded make_synthetic call, every system pins
+// SystemConfig::seed, and every loss draw passes its own seed — so each
+// test's result is independent of execution order and of which other tests
+// run in the same process.
 #include <gtest/gtest.h>
 
 #include "baseline/hd_model.hpp"
@@ -52,14 +58,17 @@ TEST(DimProperty, MoreDimensionsDoNotHurtMuch) {
 class LossSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(LossSweep, HolographicAccuracyDegradesGracefully) {
+  // The trained system is shared across the sweep's parameters (training is
+  // the expensive part); that is safe because construction/training use only
+  // the explicitly pinned seeds below and the per-call loss draws are
+  // stateless in the (seed, dimension) pair, so results do not depend on
+  // which parameters ran before in this process.
   static const auto ds = shared_dataset();
-  core::SystemConfig cfg;
-  cfg.total_dim = 1600;
-  cfg.batch_size = 4;
   static core::EdgeHdSystem sys = [] {
     core::SystemConfig c;
     c.total_dim = 1600;
     c.batch_size = 4;
+    c.seed = 7;  // pinned: do not rely on the SystemConfig default
     core::EdgeHdSystem s(ds, net::Topology::paper_tree(4), c);
     s.train();
     return s;
@@ -87,6 +96,7 @@ TEST_P(DepthSweep, EngineHandlesArbitraryDepths) {
   cfg.total_dim = 1600;
   cfg.batch_size = 4;
   cfg.min_node_dim = 64;
+  cfg.seed = 7;  // pinned: do not rely on the SystemConfig default
   core::EdgeHdSystem sys(
       ds, net::Topology::uniform_depth(8, GetParam()), cfg);
   sys.train();
@@ -105,6 +115,7 @@ TEST_P(BatchSweep, RetrainingWorksAtEveryBatchSize) {
   core::SystemConfig cfg;
   cfg.total_dim = 1200;
   cfg.batch_size = GetParam();
+  cfg.seed = 7;  // pinned: do not rely on the SystemConfig default
   core::EdgeHdSystem sys(ds, net::Topology::paper_tree(4), cfg);
   const auto comm = sys.train();
   EXPECT_GT(comm.bytes, 0u);
@@ -122,6 +133,7 @@ TEST_P(CompressionSweep, HigherCompressionMeansFewerQueryBytes) {
   const auto ds = shared_dataset();
   core::SystemConfig base;
   base.total_dim = 1200;
+  base.seed = 7;  // pinned: do not rely on the SystemConfig default
   base.compression = 1;
   core::EdgeHdSystem uncompressed(ds, net::Topology::paper_tree(4), base);
   base.compression = GetParam();
