@@ -10,10 +10,10 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "hdc/wire.hpp"
 #include "net/fault.hpp"
 #include "net/medium.hpp"
 #include "net/simulator.hpp"
+#include "proto/messages.hpp"
 
 namespace {
 
@@ -23,13 +23,10 @@ using net::NodeId;
 using net::SimTime;
 using net::Simulator;
 
-/// Amortized wire bytes of one m-to-1 compressed query hypervector (mirrors
-/// the core's accounting; see EdgeHdSystem::compressed_query_bytes).
+/// Amortized wire bytes of one m-to-1 compressed query hypervector — the
+/// protocol layer's accounting, same formula the core charges.
 std::uint64_t query_bytes(const core::EdgeHdSystem& sys, std::size_t dim) {
-  const std::size_t m = std::max<std::size_t>(1, sys.config().compression);
-  if (m == 1) return hdc::wire_bytes_bipolar(dim);
-  const auto bits = hdc::bits_for_magnitude(static_cast<std::int64_t>(m));
-  return (hdc::wire_bytes_accum(dim, bits) + m - 1) / m;
+  return proto::compressed_query_wire_size(dim, sys.config().compression);
 }
 
 /// Forwards one query hop by hop from `from` up to `dest` with reliable

@@ -1,0 +1,19 @@
+# Runs the quickstart example and compares its stdout against the checked-in
+# expectation (examples/quickstart_expected.txt). The run is deterministic for
+# a fixed seed, so any divergence means observable behavior changed — the same
+# guarantee the golden e2e test pins for the protocol byte totals.
+#
+# Invoked by ctest as:
+#   cmake -DQUICKSTART=<binary> -DEXPECTED=<expected.txt> -P check_quickstart.cmake
+execute_process(
+  COMMAND "${QUICKSTART}"
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE status
+)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "quickstart exited with status ${status}")
+endif()
+file(READ "${EXPECTED}" expected)
+if(NOT actual STREQUAL expected)
+  message(FATAL_ERROR "quickstart stdout diverged from ${EXPECTED}:\n${actual}")
+endif()

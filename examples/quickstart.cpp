@@ -28,6 +28,9 @@ int main() {
               100.0 * central.test_accuracy(ds));
 
   // 3. Hierarchical deployment: 4 end nodes -> 2 gateways -> 1 central node.
+  //    The facade is all an application touches; underneath, training and
+  //    inference run as typed protocol messages between per-node runtimes
+  //    (see src/proto and DESIGN.md section 9).
   core::EdgeHdSystem system(ds, net::Topology::paper_tree(4));
   const auto comm = system.train();
   std::printf("hierarchical training traffic:   %.1f KiB\n",

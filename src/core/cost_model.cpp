@@ -10,6 +10,7 @@
 #include "hdc/wire.hpp"
 #include "hier/dim_allocation.hpp"
 #include "net/simulator.hpp"
+#include "proto/messages.hpp"
 
 namespace edgehd::core {
 
@@ -117,11 +118,7 @@ std::vector<std::size_t> CostModel::node_dims(
 }
 
 std::uint64_t CostModel::compressed_query_bytes(std::size_t dim) const {
-  const std::size_t m = std::max<std::size_t>(1, config_.compression);
-  if (m == 1) return hdc::wire_bytes_bipolar(dim);
-  const std::uint32_t bits =
-      hdc::bits_for_magnitude(static_cast<std::int64_t>(m));
-  return ceil_div(hdc::wire_bytes_accum(dim, bits), m);
+  return proto::compressed_query_wire_size(dim, config_.compression);
 }
 
 PhaseCosts CostModel::centralized_train(const net::Topology& topo,

@@ -1,7 +1,6 @@
 #include "edgehd.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -129,61 +128,110 @@ EdgeHdSystem::EdgeHdSystem(const data::Dataset& ds, net::Topology topology,
 
   nodes_.resize(topology_.num_nodes());
   for (std::size_t i = 0; i < leaves_.size(); ++i) {
-    nodes_[leaves_[i]].partition = i;
+    nodes_[leaves_[i]].set_partition(i);
   }
 
   // Leaves first so concatenation-mode internal dims can be summed upward.
   for (NodeId id : bottom_up_order()) {
-    NodeState& st = nodes_[id];
+    proto::NodeRuntime& rt = nodes_[id];
     if (topology_.is_leaf(id)) {
-      st.dim = alloc_.dims[id];
-      st.leaf_encoder = hdc::make_encoder(
-          config_.leaf_encoder, ds_.partitions[st.partition], st.dim,
-          derive_seed(config_.seed, 1000 + id));
+      const std::size_t dim = alloc_.dims[id];
+      rt.init(id, topology_, dim, ds_.num_classes);
+      rt.install_leaf_encoder(hdc::make_encoder(
+          config_.leaf_encoder, ds_.partitions[rt.partition()], dim,
+          derive_seed(config_.seed, 1000 + id)));
     } else {
       const auto& kids = topology_.children(id);
       std::vector<std::size_t> child_dims(kids.size());
       for (std::size_t c = 0; c < kids.size(); ++c) {
-        child_dims[c] = nodes_[kids[c]].dim;
+        child_dims[c] = nodes_[kids[c]].dim();
       }
       const std::size_t concat_dim = std::accumulate(
           child_dims.begin(), child_dims.end(), std::size_t{0});
-      st.dim = config_.aggregation == hier::AggregationMode::kConcatenation
-                   ? concat_dim
-                   : alloc_.dims[id];
-      st.aggregator = std::make_unique<hier::HierEncoder>(
-          std::move(child_dims), st.dim, derive_seed(config_.seed, 2000 + id),
-          config_.aggregation, config_.projection_row_nnz);
+      const std::size_t dim =
+          config_.aggregation == hier::AggregationMode::kConcatenation
+              ? concat_dim
+              : alloc_.dims[id];
+      rt.init(id, topology_, dim, ds_.num_classes);
+      rt.install_aggregator(std::make_unique<hier::HierEncoder>(
+          std::move(child_dims), dim, derive_seed(config_.seed, 2000 + id),
+          config_.aggregation, config_.projection_row_nnz));
     }
     if (topology_.level(id) >= config_.classify_min_level) {
       hdc::ClassifierConfig cc;
       cc.retrain_epochs = config_.retrain_epochs;
       cc.softmax_beta = config_.softmax_beta;
-      st.classifier = std::make_unique<hdc::HDClassifier>(ds_.num_classes,
-                                                          st.dim, cc);
+      rt.install_classifier(std::make_unique<hdc::HDClassifier>(
+          ds_.num_classes, rt.dim(), cc));
     }
   }
+
+  // Wire the delivery fabric: each runtime consumes the envelopes addressed
+  // to it. nodes_ is sized for good above, so the captured pointers are
+  // stable.
+  bus_ = std::make_unique<proto::LocalBus>(topology_.num_nodes());
+  for (NodeId id = 0; id < topology_.num_nodes(); ++id) {
+    proto::NodeRuntime* rt = &nodes_[id];
+    bus_->subscribe(
+        id, [rt](const proto::Envelope& env) { rt->on_envelope(env); });
+  }
+}
+
+proto::SessionContext EdgeHdSystem::session_context() {
+  proto::SessionContext ctx;
+  ctx.topology = &topology_;
+  ctx.nodes = nodes_;
+  ctx.bus = bus_.get();
+  ctx.health = &health_;
+  ctx.degraded = degraded_;
+  ctx.num_classes = ds_.num_classes;
+  ctx.batch_size = config_.batch_size;
+  ctx.pending_contrib = &pending_contrib_;
+  ctx.pending_residuals = &pending_residuals_;
+  ctx.stragglers = &stragglers_;
+  return ctx;
+}
+
+proto::RoutingContext EdgeHdSystem::routing_context() const {
+  proto::RoutingContext ctx;
+  ctx.topology = &topology_;
+  ctx.nodes = nodes_;
+  ctx.health = &health_;
+  ctx.degraded = degraded_;
+  ctx.confidence_threshold = config_.confidence_threshold;
+  ctx.compression = config_.compression;
+  ctx.serve_degraded = config_.failover.serve_degraded;
+  ctx.max_retries = config_.failover.max_retries;
+  ctx.escalations = &CoreObs::get().routed_escalations;
+  return ctx;
+}
+
+proto::TrainData EdgeHdSystem::train_data() const {
+  proto::TrainData data;
+  data.encoded = &encoded_train_;
+  data.labels = encoded_train_labels_;
+  return data;
 }
 
 std::size_t EdgeHdSystem::node_dim(NodeId id) const {
   if (id >= nodes_.size()) {
     throw std::out_of_range("EdgeHdSystem: node id out of range");
   }
-  return nodes_[id].dim;
+  return nodes_[id].dim();
 }
 
 bool EdgeHdSystem::has_classifier(NodeId id) const {
   if (id >= nodes_.size()) {
     throw std::out_of_range("EdgeHdSystem: node id out of range");
   }
-  return nodes_[id].classifier != nullptr;
+  return nodes_[id].has_classifier();
 }
 
 const hdc::HDClassifier& EdgeHdSystem::classifier_at(NodeId id) const {
   if (!has_classifier(id)) {
     throw std::invalid_argument("EdgeHdSystem: node hosts no classifier");
   }
-  return *nodes_[id].classifier;
+  return nodes_[id].classifier();
 }
 
 // ---- fault awareness -------------------------------------------------------
@@ -219,15 +267,6 @@ bool EdgeHdSystem::child_delivers(NodeId child) const noexcept {
   return node_up(child) && link_up(child);
 }
 
-bool EdgeHdSystem::subtree_degraded(NodeId id) const {
-  if (!degraded_ || topology_.is_leaf(id)) return false;
-  for (NodeId kid : topology_.children(id)) {
-    if (!child_delivers(kid)) return true;
-    if (subtree_degraded(kid)) return true;
-  }
-  return false;
-}
-
 std::vector<NodeId> EdgeHdSystem::bottom_up_order() const {
   std::vector<NodeId> order;
   order.reserve(topology_.num_nodes());
@@ -244,18 +283,18 @@ std::vector<BipolarHV> EdgeHdSystem::encode_all(
   }
   std::vector<BipolarHV> hvs(topology_.num_nodes());
   for (NodeId id : bottom_up_order()) {
-    const NodeState& st = nodes_[id];
+    const proto::NodeRuntime& rt = nodes_[id];
     if (topology_.is_leaf(id)) {
-      const std::size_t offset = ds_.partition_offset(st.partition);
-      hvs[id] = st.leaf_encoder->encode(
-          x.subspan(offset, ds_.partitions[st.partition]));
+      const std::size_t offset = ds_.partition_offset(rt.partition());
+      hvs[id] = rt.leaf_encoder().encode(
+          x.subspan(offset, ds_.partitions[rt.partition()]));
     } else {
       const auto& kids = topology_.children(id);
       std::vector<BipolarHV> child_hvs(kids.size());
       for (std::size_t c = 0; c < kids.size(); ++c) {
         child_hvs[c] = hvs[kids[c]];
       }
-      hvs[id] = st.aggregator->aggregate(child_hvs);
+      hvs[id] = rt.aggregator().aggregate(child_hvs);
     }
   }
   return hvs;
@@ -273,24 +312,24 @@ std::vector<BipolarHV> EdgeHdSystem::encode_all_masked(
   // would.
   std::vector<BipolarHV> hvs(topology_.num_nodes());
   for (NodeId id : bottom_up_order()) {
-    const NodeState& st = nodes_[id];
+    const proto::NodeRuntime& rt = nodes_[id];
     if (!node_up(id)) {
-      hvs[id] = BipolarHV(st.dim, 0);
+      hvs[id] = BipolarHV(rt.dim(), 0);
       continue;
     }
     if (topology_.is_leaf(id)) {
-      const std::size_t offset = ds_.partition_offset(st.partition);
-      hvs[id] = st.leaf_encoder->encode(
-          x.subspan(offset, ds_.partitions[st.partition]));
+      const std::size_t offset = ds_.partition_offset(rt.partition());
+      hvs[id] = rt.leaf_encoder().encode(
+          x.subspan(offset, ds_.partitions[rt.partition()]));
     } else {
       const auto& kids = topology_.children(id);
       std::vector<BipolarHV> child_hvs(kids.size());
       for (std::size_t c = 0; c < kids.size(); ++c) {
         child_hvs[c] = child_delivers(kids[c])
                            ? hvs[kids[c]]
-                           : BipolarHV(nodes_[kids[c]].dim, 0);
+                           : BipolarHV(nodes_[kids[c]].dim(), 0);
       }
-      hvs[id] = st.aggregator->aggregate(child_hvs);
+      hvs[id] = rt.aggregator().aggregate(child_hvs);
     }
   }
   return hvs;
@@ -349,6 +388,8 @@ void EdgeHdSystem::ensure_test_encoded() const {
   });
 }
 
+// ---- training: thin wrappers over the protocol sessions --------------------
+
 CommStats EdgeHdSystem::train(std::span<const std::size_t> train_indices) {
   CommStats total = train_initial(train_indices);
   total += retrain_batches(train_indices);
@@ -359,58 +400,8 @@ CommStats EdgeHdSystem::train_initial(
     std::span<const std::size_t> train_indices) {
   const obs::Span span("core.train_initial");
   ensure_train_encoded(train_indices);
-  const std::size_t k = ds_.num_classes;
-  CommStats comm;
-  stragglers_.clear();
-
-  // Per-node class accumulators ("partial models"), built bottom-up. Under a
-  // health mask, crashed nodes compute nothing (their accumulators stay
-  // empty) and a child whose path to its parent is down contributes zeros
-  // there instead; the child's own contribution is parked in
-  // pending_contrib_ for reintegrate_stragglers().
-  std::vector<std::vector<AccumHV>> class_accums(topology_.num_nodes());
-  for (NodeId id : bottom_up_order()) {
-    if (!node_up(id)) continue;
-    const NodeState& st = nodes_[id];
-    auto& accums = class_accums[id];
-    accums.assign(k, AccumHV(st.dim, 0));
-    if (topology_.is_leaf(id)) {
-      const auto& encoded = encoded_train_[id];
-      for (std::size_t s = 0; s < encoded.size(); ++s) {
-        hdc::bundle_into(accums[encoded_train_labels_[s]], encoded[s]);
-      }
-    } else {
-      const auto& kids = topology_.children(id);
-      std::vector<AccumHV> child_accums(kids.size());
-      for (std::size_t c = 0; c < k; ++c) {
-        for (std::size_t ci = 0; ci < kids.size(); ++ci) {
-          child_accums[ci] = child_delivers(kids[ci])
-                                 ? class_accums[kids[ci]][c]
-                                 : AccumHV(nodes_[kids[ci]].dim, 0);
-        }
-        accums[c] = st.aggregator->aggregate_accum(child_accums);
-      }
-      // Children ship their k class hypervectors (models, not data).
-      for (NodeId kid : kids) {
-        if (!child_delivers(kid)) continue;
-        for (std::size_t c = 0; c < k; ++c) {
-          comm.bytes += hdc::wire_bytes_accum(class_accums[kid][c]);
-          ++comm.messages;
-        }
-      }
-    }
-    if (st.classifier != nullptr) {
-      for (std::size_t c = 0; c < k; ++c) {
-        st.classifier->set_class_accumulator(c, accums[c]);
-      }
-    }
-    // A node cut off from its parent keeps its contribution pending.
-    if (degraded_ && id != topology_.root() &&
-        (!link_up(id) || !node_up(topology_.parent(id)))) {
-      pending_contrib_[id] = accums;
-      stragglers_.push_back(id);
-    }
-  }
+  const CommStats comm =
+      proto::run_initial_training(session_context(), train_data());
   CoreObs::get().train_initial_bytes.inc(comm.bytes);
   CoreObs::get().train_initial_messages.inc(comm.messages);
   return comm;
@@ -420,101 +411,8 @@ CommStats EdgeHdSystem::retrain_batches(
     std::span<const std::size_t> train_indices) {
   const obs::Span span("core.retrain");
   ensure_train_encoded(train_indices);
-  const std::size_t k = ds_.num_classes;
-  CommStats comm;
-
-  // Per-class batches over the encoded-sample index space; the same sample
-  // partition is used at every node so batch hypervectors line up across the
-  // hierarchy (each physical observation is sensed by every leaf).
-  std::vector<std::vector<std::vector<std::size_t>>> batches(k);
-  {
-    std::vector<std::vector<std::size_t>> by_class(k);
-    for (std::size_t s = 0; s < encoded_train_labels_.size(); ++s) {
-      by_class[encoded_train_labels_[s]].push_back(s);
-    }
-    for (std::size_t c = 0; c < k; ++c) {
-      for (std::size_t start = 0; start < by_class[c].size();
-           start += config_.batch_size) {
-        const std::size_t end =
-            std::min(start + config_.batch_size, by_class[c].size());
-        batches[c].emplace_back(by_class[c].begin() + start,
-                                by_class[c].begin() + end);
-      }
-    }
-  }
-
-  // Bottom-up batch hypervectors; internal nodes aggregate children's. Under
-  // a health mask, crashed nodes sit the round out entirely; a missing
-  // child's batch slots are zeros (the parent retrains on what arrived) and
-  // the cut-off child is recorded as a straggler — recovery re-syncs it via
-  // a fresh retrain, since perceptron updates are not linear.
-  auto note_straggler = [this](NodeId id) {
-    if (std::find(stragglers_.begin(), stragglers_.end(), id) ==
-        stragglers_.end()) {
-      stragglers_.push_back(id);
-    }
-  };
-  std::vector<std::vector<std::vector<AccumHV>>> node_batches(
-      topology_.num_nodes());  // [node][class][batch]
-  for (NodeId id : bottom_up_order()) {
-    if (!node_up(id)) continue;
-    const NodeState& st = nodes_[id];
-    auto& nb = node_batches[id];
-    nb.assign(k, {});
-    if (topology_.is_leaf(id)) {
-      const auto& encoded = encoded_train_[id];
-      for (std::size_t c = 0; c < k; ++c) {
-        for (const auto& batch : batches[c]) {
-          AccumHV acc(st.dim, 0);
-          for (std::size_t s : batch) hdc::bundle_into(acc, encoded[s]);
-          nb[c].push_back(std::move(acc));
-        }
-      }
-    } else {
-      const auto& kids = topology_.children(id);
-      std::vector<AccumHV> child_accums(kids.size());
-      for (std::size_t c = 0; c < k; ++c) {
-        for (std::size_t b = 0; b < batches[c].size(); ++b) {
-          for (std::size_t ci = 0; ci < kids.size(); ++ci) {
-            child_accums[ci] = child_delivers(kids[ci])
-                                   ? node_batches[kids[ci]][c][b]
-                                   : AccumHV(nodes_[kids[ci]].dim, 0);
-          }
-          nb[c].push_back(st.aggregator->aggregate_accum(child_accums));
-        }
-      }
-      for (NodeId kid : kids) {
-        if (!child_delivers(kid)) continue;
-        for (std::size_t c = 0; c < k; ++c) {
-          for (const auto& acc : node_batches[kid][c]) {
-            comm.bytes += hdc::wire_bytes_accum(acc);
-            ++comm.messages;
-          }
-        }
-      }
-    }
-    if (degraded_ && id != topology_.root() &&
-        (!link_up(id) || !node_up(topology_.parent(id)))) {
-      note_straggler(id);
-    }
-
-    if (st.classifier == nullptr) continue;
-    if (topology_.is_leaf(id)) {
-      // End nodes retrain on their own per-sample encodings; batching only
-      // matters for what crosses the network.
-      st.classifier->retrain(encoded_train_[id], encoded_train_labels_);
-    } else {
-      std::vector<BipolarHV> hvs;
-      std::vector<std::size_t> labels;
-      for (std::size_t c = 0; c < k; ++c) {
-        for (const auto& acc : nb[c]) {
-          hvs.push_back(hdc::binarize(acc));
-          labels.push_back(c);
-        }
-      }
-      st.classifier->retrain(hvs, labels);
-    }
-  }
+  const CommStats comm =
+      proto::run_batch_retraining(session_context(), train_data());
   CoreObs::get().retrain_bytes.inc(comm.bytes);
   CoreObs::get().retrain_messages.inc(comm.messages);
   return comm;
@@ -563,24 +461,10 @@ double EdgeHdSystem::mean_confidence_at_level(std::size_t level) const {
   return sum / static_cast<double>(count);
 }
 
-std::uint64_t EdgeHdSystem::compressed_query_bytes(std::size_t dim) const {
-  const std::size_t m = std::max<std::size_t>(1, config_.compression);
-  if (m == 1) return hdc::wire_bytes_bipolar(dim);
-  // m bipolar queries superpose into one accumulator with |entry| <= m;
-  // amortize the bundle's bytes over its members.
-  const std::uint32_t bits =
-      hdc::bits_for_magnitude(static_cast<std::int64_t>(m));
-  const std::uint64_t bundle = hdc::wire_bytes_accum(dim, bits);
-  return (bundle + m - 1) / m;
-}
+// ---- routed inference ------------------------------------------------------
 
 std::uint64_t EdgeHdSystem::query_gather_bytes(NodeId id) const {
-  if (topology_.is_leaf(id)) return 0;
-  std::uint64_t bytes = 0;
-  for (NodeId kid : topology_.children(id)) {
-    bytes += query_gather_bytes(kid) + compressed_query_bytes(nodes_[kid].dim);
-  }
-  return bytes;
+  return proto::query_gather_bytes(routing_context(), id);
 }
 
 RoutedResult EdgeHdSystem::infer_routed(std::span<const float> x,
@@ -599,104 +483,26 @@ RoutedResult EdgeHdSystem::infer_routed(std::span<const float> x,
       tracer.begin("core.infer_routed", obs::kAutoTime, 0, start);
   const auto hvs = encode_all(x);
   tracer.instant("core.encode", obs::kAutoTime, span);
-  NodeId current = start;
-  RoutedResult result;
-  while (true) {
-    const auto pred = nodes_[current].classifier->predict(hvs[current]);
-    result.label = pred.label;
-    result.confidence = pred.confidence;
-    result.node = current;
-    result.level = topology_.level(current);
-    tracer.instant("core.predict", obs::kAutoTime, span, current, pred.label);
-    const bool confident = pred.confidence >= config_.confidence_threshold;
-    if (confident || current == topology_.root()) break;
-    // Escalate to the nearest ancestor that hosts a classifier.
-    NodeId next = topology_.parent(current);
-    while (next != topology_.root() && !has_classifier(next)) {
-      next = topology_.parent(next);
-    }
-    if (!has_classifier(next)) break;
-    CoreObs::get().routed_escalations.inc();
-    tracer.instant("core.escalate", obs::kAutoTime, span, current, next);
-    current = next;
-  }
-  result.bytes = query_gather_bytes(result.node);
+  const RoutedResult result =
+      proto::route_query(routing_context(), hvs, start, /*query_id=*/0, span);
   tracer.end(span);
   record_routed(result);
   node_serves_[result.node].inc();
   return result;
 }
 
-void EdgeHdSystem::gather_bytes_masked(NodeId id, std::uint64_t& bytes,
-                                       std::uint64_t& retry_bytes) const {
-  if (topology_.is_leaf(id)) return;
-  for (NodeId kid : topology_.children(id)) {
-    if (!child_delivers(kid)) continue;  // nothing crosses a dead hop
-    gather_bytes_masked(kid, bytes, retry_bytes);
-    const std::uint64_t b = compressed_query_bytes(nodes_[kid].dim);
-    bytes += b;
-    const double p = health_.link_loss(kid);
-    if (p > 0.0) {
-      // Reliable transport: the hop is charged the expected number of
-      // transmissions per packet under its retry cap; everything beyond the
-      // first copy is retry overhead.
-      retry_bytes += static_cast<std::uint64_t>(std::llround(
-          static_cast<double>(b) *
-          (net::expected_attempts(p, config_.failover.max_retries) - 1.0)));
-    }
-  }
-}
-
 RoutedResult EdgeHdSystem::infer_routed_degraded(std::span<const float> x,
                                                  NodeId start) const {
-  RoutedResult result;
   if (!node_up(start)) {
-    // The query's origin is dead; nobody can even pose the question.
+    // The query's origin is dead; nobody can even pose the question (and
+    // there is nothing worth encoding).
+    RoutedResult result;
     result.degraded = true;
     return result;
   }
   const auto hvs = encode_all_masked(x);
-  NodeId current = start;
-  bool cut = false;  // escalation wanted to continue but faults blocked it
-  while (true) {
-    const auto pred = nodes_[current].classifier->predict(hvs[current]);
-    result.label = pred.label;
-    result.confidence = pred.confidence;
-    result.node = current;
-    result.level = topology_.level(current);
-    const bool confident = pred.confidence >= config_.confidence_threshold;
-    if (confident || current == topology_.root()) break;
-    // Walk hop by hop toward the nearest reachable ancestor hosting a
-    // classifier; a dead hop anywhere on the way strands the query here.
-    NodeId next = current;
-    bool blocked = false;
-    do {
-      if (!link_up(next)) {
-        blocked = true;
-        break;
-      }
-      next = topology_.parent(next);
-      if (!node_up(next)) {
-        blocked = true;
-        break;
-      }
-    } while (next != topology_.root() && !has_classifier(next));
-    if (blocked) {
-      cut = true;
-      break;
-    }
-    if (!has_classifier(next)) break;
-    CoreObs::get().routed_escalations.inc();
-    current = next;
-  }
-  if (cut && !config_.failover.serve_degraded) {
-    RoutedResult unserved;
-    unserved.degraded = true;
-    return unserved;
-  }
-  result.degraded = cut || subtree_degraded(result.node);
-  gather_bytes_masked(result.node, result.bytes, result.retry_bytes);
-  return result;
+  return proto::route_query_degraded(routing_context(), hvs, start,
+                                     /*query_id=*/0);
 }
 
 std::vector<RoutedResult> EdgeHdSystem::infer_routed_batch(
@@ -706,8 +512,8 @@ std::vector<RoutedResult> EdgeHdSystem::infer_routed_batch(
   }
   // Per-query predicts inside the fan-out hit the classifiers' packed-plane
   // caches; warm them all up front — lazy rebuilds are not thread-safe.
-  for (const NodeState& st : nodes_) {
-    if (st.classifier != nullptr) st.classifier->warm_cache();
+  for (const proto::NodeRuntime& rt : nodes_) {
+    if (rt.has_classifier()) rt.classifier().warm_cache();
   }
   const runtime::BatchExecutor exec(*pool_);
   return exec.map(xs.size(), [&](std::size_t i) {
@@ -718,6 +524,8 @@ std::vector<RoutedResult> EdgeHdSystem::infer_routed_batch(
   });
 }
 
+// ---- online learning -------------------------------------------------------
+
 RoutedResult EdgeHdSystem::online_serve(std::span<const float> x,
                                         std::size_t truth, NodeId start) {
   const RoutedResult result = infer_routed(x, start);
@@ -727,92 +535,15 @@ RoutedResult EdgeHdSystem::online_serve(std::span<const float> x,
     // node actually saw (with unreachable contributions silenced).
     const auto hvs = degraded_ ? encode_all_masked(x) : encode_all(x);
     for (std::size_t w = 0; w < config_.feedback_weight; ++w) {
-      nodes_[result.node].classifier->feedback_negative(result.label,
-                                                        hvs[result.node]);
+      nodes_[result.node].classifier().feedback_negative(result.label,
+                                                         hvs[result.node]);
     }
   }
   return result;
 }
 
 CommStats EdgeHdSystem::propagate_residuals() {
-  const std::size_t k = ds_.num_classes;
-  CommStats comm;
-  std::vector<std::vector<AccumHV>> outbox(topology_.num_nodes());
-
-  auto is_zero = [](const std::vector<AccumHV>& accums) {
-    for (const auto& a : accums) {
-      for (std::int32_t v : a) {
-        if (v != 0) return false;
-      }
-    }
-    return true;
-  };
-
-  for (NodeId id : bottom_up_order()) {
-    NodeState& st = nodes_[id];
-    // A crashed node neither applies nor ships anything; its own residuals
-    // stay queued inside its classifier until a later propagate finds it up.
-    if (!node_up(id)) {
-      outbox[id].assign(k, AccumHV(st.dim, 0));
-      continue;
-    }
-    std::vector<AccumHV> total(k, AccumHV(st.dim, 0));
-
-    if (!topology_.is_leaf(id)) {
-      const auto& kids = topology_.children(id);
-      std::vector<AccumHV> child_res(kids.size());
-      bool any_child = false;
-      for (NodeId kid : kids) {
-        if (child_delivers(kid) && !is_zero(outbox[kid])) {
-          any_child = true;
-          for (std::size_t c = 0; c < k; ++c) {
-            comm.bytes += hdc::wire_bytes_accum(outbox[kid][c]);
-            ++comm.messages;
-          }
-        }
-      }
-      if (any_child) {
-        for (std::size_t c = 0; c < k; ++c) {
-          for (std::size_t ci = 0; ci < kids.size(); ++ci) {
-            child_res[ci] = child_delivers(kids[ci])
-                                ? outbox[kids[ci]][c]
-                                : AccumHV(nodes_[kids[ci]].dim, 0);
-          }
-          total[c] = st.aggregator->aggregate_accum(child_res);
-        }
-      }
-    }
-
-    if (st.classifier != nullptr) {
-      auto own = st.classifier->take_residuals();
-      for (std::size_t c = 0; c < k; ++c) {
-        hdc::accumulate(total[c], own[c]);
-      }
-      // Figure 5b step (2): update this node's model with everything known
-      // here — its own residuals plus the children's, re-encoded.
-      if (!is_zero(total)) {
-        st.classifier->apply_external_residuals(total);
-      }
-    }
-
-    // What ships upward: this round's bundle plus anything held back by an
-    // earlier round whose uplink was down.
-    std::vector<AccumHV> ship = std::move(total);
-    if (!pending_residuals_[id].empty()) {
-      for (std::size_t c = 0; c < k; ++c) {
-        hdc::accumulate(ship[c], pending_residuals_[id][c]);
-      }
-      pending_residuals_[id].clear();
-    }
-    if (degraded_ && id != topology_.root() &&
-        (!link_up(id) || !node_up(topology_.parent(id)))) {
-      if (!is_zero(ship)) pending_residuals_[id] = std::move(ship);
-      outbox[id].assign(k, AccumHV(st.dim, 0));
-    } else {
-      outbox[id] = std::move(ship);
-    }
-  }
-
+  const CommStats comm = proto::run_residual_propagation(session_context());
   // Model changes invalidate nothing cached (encodings are model-free), so
   // no cache flush is needed.
   CoreObs::get().residual_bytes.inc(comm.bytes);
@@ -821,58 +552,13 @@ CommStats EdgeHdSystem::propagate_residuals() {
 }
 
 CommStats EdgeHdSystem::reintegrate_stragglers() {
-  const std::size_t k = ds_.num_classes;
-  CommStats comm;
-  for (NodeId id : bottom_up_order()) {
-    if (pending_contrib_[id].empty()) continue;
-    // Still cut off? The contribution stays pending for a later call.
-    if (degraded_ &&
-        !health_.reachable_up(topology_, id, topology_.root())) {
-      continue;
-    }
-    std::vector<AccumHV> cur = std::move(pending_contrib_[id]);
-    pending_contrib_[id].clear();
-    NodeId child = id;
-    while (child != topology_.root()) {
-      const NodeId parent = topology_.parent(child);
-      // Ship the delta one hop up (k class hypervectors, like training).
-      for (std::size_t c = 0; c < k; ++c) {
-        comm.bytes += hdc::wire_bytes_accum(cur[c]);
-        ++comm.messages;
-      }
-      // Lift the delta through the parent's aggregator: zeros in every slot
-      // but this child's. The hierarchical encoding is linear (up to its
-      // integer rescale), so adding the lifted delta to the parent's class
-      // accumulators is what aggregating the full contribution would have
-      // produced.
-      const NodeState& pst = nodes_[parent];
-      const auto& kids = topology_.children(parent);
-      std::vector<AccumHV> slots(kids.size());
-      std::vector<AccumHV> delta(k);
-      for (std::size_t c = 0; c < k; ++c) {
-        for (std::size_t ci = 0; ci < kids.size(); ++ci) {
-          slots[ci] = kids[ci] == child ? cur[c]
-                                        : AccumHV(nodes_[kids[ci]].dim, 0);
-        }
-        delta[c] = pst.aggregator->aggregate_accum(slots);
-      }
-      if (pst.classifier != nullptr) {
-        for (std::size_t c = 0; c < k; ++c) {
-          AccumHV acc = pst.classifier->class_accumulator(c);
-          hdc::accumulate(acc, delta[c]);
-          pst.classifier->set_class_accumulator(c, std::move(acc));
-        }
-      }
-      cur = std::move(delta);
-      child = parent;
-    }
-    stragglers_.erase(std::remove(stragglers_.begin(), stragglers_.end(), id),
-                      stragglers_.end());
-  }
+  const CommStats comm = proto::run_reintegration(session_context());
   CoreObs::get().reintegrate_bytes.inc(comm.bytes);
   CoreObs::get().reintegrate_messages.inc(comm.messages);
   return comm;
 }
+
+// ---- payload-level fault injection (Figure 12) -----------------------------
 
 namespace {
 

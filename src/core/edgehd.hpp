@@ -39,6 +39,11 @@
 #include "net/fault.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
+#include "proto/bus.hpp"
+#include "proto/node_runtime.hpp"
+#include "proto/routing.hpp"
+#include "proto/sessions.hpp"
+#include "proto/types.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace edgehd::core {
@@ -93,38 +98,15 @@ struct SystemConfig {
   FailoverPolicy failover;
 };
 
-/// Bytes/messages a protocol phase placed on the network.
-struct CommStats {
-  std::uint64_t bytes = 0;
-  std::uint64_t messages = 0;
+/// Bytes/messages a protocol phase placed on the network. Re-exported from
+/// the protocol layer, which owns the canonical wire accounting (see
+/// src/proto/types.hpp).
+using CommStats = proto::CommStats;
 
-  CommStats& operator+=(const CommStats& o) {
-    bytes += o.bytes;
-    messages += o.messages;
-    return *this;
-  }
-};
-
-/// Outcome of one routed inference. `node == net::kNoNode` after the call
-/// means the query could not be served at all (origin crashed, or nothing
-/// reachable hosts a classifier and the failover policy forbids a degraded
-/// answer).
-struct RoutedResult {
-  std::size_t label = 0;
-  net::NodeId node = net::kNoNode;  ///< node that served the prediction
-  std::size_t level = 0;
-  double confidence = 0.0;
-  std::uint64_t bytes = 0;  ///< query-gathering bytes (compression amortized)
-  /// True when the answer came off the normal path: escalation was cut
-  /// short by a crash/outage, or the serving node aggregated with child
-  /// contributions missing.
-  bool degraded = false;
-  /// Expected retransmission bytes on lossy links beyond `bytes` (reliable
-  /// transport with FailoverPolicy::max_retries; zero on loss-free links).
-  std::uint64_t retry_bytes = 0;
-
-  bool served() const noexcept { return node != net::kNoNode; }
-};
+/// Outcome of one routed inference (re-exported from the protocol layer;
+/// see src/proto/types.hpp). `node == net::kNoNode` after the call means
+/// the query could not be served at all.
+using RoutedResult = proto::RoutedResult;
 
 /// Scales the paper's batch size B to a scaled-down training-set size so the
 /// batch-count-to-data ratio matches the paper-scale deployment:
@@ -134,6 +116,14 @@ std::size_t scaled_batch_size(std::size_t paper_batch, std::size_t paper_train,
                               std::size_t actual_train);
 
 /// One EdgeHD deployment over a dataset and a topology.
+///
+/// Since the protocol extraction (DESIGN.md §9) this class is a thin
+/// facade: it owns configuration, dataset plumbing, encoding memoization,
+/// batch fan-out and stats aggregation, while the four protocols themselves
+/// run as typed-envelope exchanges between per-node proto::NodeRuntime
+/// state machines over a proto::LocalBus (src/proto). The observable
+/// behaviour — accuracies, escalation counts, per-phase byte totals — is
+/// bit-identical to the pre-extraction monolith.
 class EdgeHdSystem {
  public:
   /// The topology's leaf count must equal ds.partitions.size(); leaf i (in
@@ -269,14 +259,6 @@ class EdgeHdSystem {
                                           std::uint64_t seed) const;
 
  private:
-  struct NodeState {
-    std::size_t dim = 0;
-    std::size_t partition = 0;  ///< leaf only: index into ds.partitions
-    std::unique_ptr<hdc::Encoder> leaf_encoder;    // leaves only
-    std::unique_ptr<hier::HierEncoder> aggregator; // internal only
-    std::unique_ptr<hdc::HDClassifier> classifier; // level >= classify_min_level
-  };
-
   /// Encodes the train split once (memoized) at every node.
   void ensure_train_encoded(std::span<const std::size_t> train_indices);
   void ensure_test_encoded() const;
@@ -287,17 +269,10 @@ class EdgeHdSystem {
   /// A child's contribution reaches its parent iff the child and its uplink
   /// are both up (the parent's own liveness is the caller's context).
   bool child_delivers(net::NodeId child) const noexcept;
-  /// Any contribution missing anywhere in `id`'s subtree?
-  bool subtree_degraded(net::NodeId id) const;
 
   /// encode_all with unreachable child contributions zeroed (the transport
   /// analogue of the Figure-12 dimension erasure).
   std::vector<hdc::BipolarHV> encode_all_masked(std::span<const float> x) const;
-
-  /// Query-gather accounting over the reachable subtree only, with expected
-  /// retransmission bytes on lossy links.
-  void gather_bytes_masked(net::NodeId id, std::uint64_t& bytes,
-                           std::uint64_t& retry_bytes) const;
 
   RoutedResult infer_routed_degraded(std::span<const float> x,
                                      net::NodeId start) const;
@@ -308,8 +283,15 @@ class EdgeHdSystem {
   /// Bottom-up node order (leaves first).
   std::vector<net::NodeId> bottom_up_order() const;
 
-  /// Amortized wire bytes of one compressed query hypervector of dim d.
-  std::uint64_t compressed_query_bytes(std::size_t dim) const;
+  // ---- protocol-layer views of this deployment ------------------------------
+  /// Mutable view for a training-side session (sessions.hpp) — hands the
+  /// protocol layer the bus, the health snapshot and the cross-phase state.
+  proto::SessionContext session_context();
+  /// Read-only view + policy knobs for query walks (routing.hpp).
+  proto::RoutingContext routing_context() const;
+  /// The facade's memoized per-node training encodings, as sessions see
+  /// them.
+  proto::TrainData train_data() const;
 
   const data::Dataset& ds_;
   net::Topology topology_;
@@ -323,7 +305,12 @@ class EdgeHdSystem {
   /// it without changing observable state.
   mutable std::unique_ptr<runtime::ThreadPool> pool_;
   hier::DimAllocation alloc_;
-  std::vector<NodeState> nodes_;
+  /// One protocol state machine per hierarchy node, owning that node's
+  /// encoder handles, classifier and protocol inboxes (src/proto).
+  std::vector<proto::NodeRuntime> nodes_;
+  /// Envelope delivery between the runtimes; every training-phase message
+  /// round-trips the real wire codec in transit (LocalBus::Codec::kEncoded).
+  std::unique_ptr<proto::LocalBus> bus_;
   std::vector<net::NodeId> leaves_;
 
   // Memoized encodings: encoded_train_[node][sample], encoded_test_ likewise.

@@ -159,6 +159,23 @@ void Simulator::send(NodeId from, NodeId to, std::uint64_t bytes,
            });
 }
 
+void Simulator::set_payload_handler(PayloadHandler handler) {
+  payload_handler_ = std::move(handler);
+}
+
+void Simulator::send_payload(NodeId from, NodeId to,
+                             std::vector<std::uint8_t> payload,
+                             std::function<void()> on_delivered) {
+  const auto bytes = static_cast<std::uint64_t>(payload.size());
+  transmit(from, to, bytes,
+           [this, from, to, body = std::move(payload),
+            cb = std::move(on_delivered)](TransmitResult r) {
+             if (r != TransmitResult::kDelivered) return;
+             if (payload_handler_) payload_handler_(from, to, body);
+             if (cb) cb();
+           });
+}
+
 // ---- reliable transport ----------------------------------------------------
 
 struct Simulator::ReliableState {

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "fault.hpp"
@@ -108,6 +109,21 @@ class Simulator {
   /// never fires and the sender's drop counters advance.
   void send(NodeId from, NodeId to, std::uint64_t bytes,
             std::function<void()> on_delivered = {});
+
+  /// Receiver-side hook for opaque payload frames: fires at delivery time
+  /// with the sender, receiver and payload bytes of each send_payload that
+  /// lands intact. One hook per simulator (the proto layer's SimulatorBus
+  /// decodes envelopes here).
+  using PayloadHandler = std::function<void(
+      NodeId from, NodeId to, std::span<const std::uint8_t> payload)>;
+
+  void set_payload_handler(PayloadHandler handler);
+
+  /// Sends an opaque byte payload one hop (same adjacency/fault semantics as
+  /// send, charged at payload.size() bytes on the wire). On delivery the
+  /// installed payload handler fires at the receiver, then `on_delivered`.
+  void send_payload(NodeId from, NodeId to, std::vector<std::uint8_t> payload,
+                    std::function<void()> on_delivered = {});
 
   /// Reliable one-hop transfer: retransmits until an ack arrives, the retry
   /// cap is hit, or the sender finds itself unable to transmit. Backoff is
@@ -216,6 +232,7 @@ class Simulator {
   std::vector<NodeStats> stats_;
   std::vector<Event> queue_;  ///< binary heap ordered by EventOrder
   FaultPlan faults_;
+  PayloadHandler payload_handler_;
   bool faults_active_ = false;
   std::uint64_t jitter_draws_ = 0;  ///< backoff-jitter draw counter
   SimTime now_ = 0;

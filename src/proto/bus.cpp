@@ -1,0 +1,126 @@
+#include "bus.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace edgehd::proto {
+
+namespace detail {
+
+namespace {
+
+struct TypeObs {
+  obs::Counter messages;
+  obs::Counter bytes;
+};
+
+/// Interned once per process; indexed by the raw MsgType byte. All counts
+/// are stable: protocol traffic is a deterministic function of (config,
+/// seed, health), independent of scheduling.
+const std::array<TypeObs, 7>& type_obs() {
+  static const std::array<TypeObs, 7> table = [] {
+    std::array<TypeObs, 7> t;
+    if constexpr (obs::kEnabled) {
+      auto& reg = obs::MetricsRegistry::global();
+      for (std::uint8_t b = 1; b <= 6; ++b) {
+        const std::string prefix =
+            std::string("proto.") + to_string(static_cast<MsgType>(b)) + ".";
+        t[b].messages = reg.counter(prefix + "messages");
+        t[b].bytes = reg.counter(prefix + "bytes");
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint64_t account_delivery(const Message& msg) {
+  const std::uint64_t size = wire_size(msg);
+  const auto idx = static_cast<std::size_t>(type_of(msg));
+  type_obs()[idx].messages.inc();
+  type_obs()[idx].bytes.inc(size);
+  return size;
+}
+
+}  // namespace detail
+
+// ---- LocalBus --------------------------------------------------------------
+
+LocalBus::LocalBus(std::size_t num_nodes, Codec codec)
+    : handlers_(num_nodes), codec_(codec) {}
+
+void LocalBus::subscribe(net::NodeId node, Handler handler) {
+  if (node >= handlers_.size()) {
+    throw std::out_of_range("LocalBus: node id out of range");
+  }
+  handlers_[node] = std::move(handler);
+}
+
+void LocalBus::post(Envelope env) {
+  if (env.dst >= handlers_.size()) {
+    throw std::out_of_range("LocalBus: destination out of range");
+  }
+  const std::uint64_t size = detail::account_delivery(env.msg);
+  if (charge_ != nullptr) {
+    charge_->bytes += size;
+    ++charge_->messages;
+  }
+  const Handler& handler = handlers_[env.dst];
+  if (!handler) return;  // no consumer: the envelope is dropped
+  ++delivered_;
+  if (codec_ == Codec::kInMemory) {
+    handler(env);
+    return;
+  }
+  const std::vector<std::uint8_t> frame = encode(env);
+  const DecodeResult result = decode(frame);
+  if (!result.ok()) {
+    // Impossible by the codec's round-trip contract (pinned by test_proto);
+    // reaching this means memory corruption or a codec bug, so fail loudly.
+    throw std::logic_error(std::string("LocalBus: round-trip decode failed: ") +
+                           to_string(result.error));
+  }
+  handler(result.envelope);
+}
+
+// ---- SimulatorBus ----------------------------------------------------------
+
+SimulatorBus::SimulatorBus(net::Simulator& sim)
+    : sim_(&sim), handlers_(sim.topology().num_nodes()) {
+  sim_->set_payload_handler([this](net::NodeId /*from*/, net::NodeId to,
+                                   std::span<const std::uint8_t> payload) {
+    const DecodeResult result = decode(payload);
+    if (!result.ok()) {
+      ++decode_failures_;
+      return;
+    }
+    const std::uint64_t size = detail::account_delivery(result.envelope.msg);
+    if (charge_ != nullptr) {
+      charge_->bytes += size;
+      ++charge_->messages;
+    }
+    if (to < handlers_.size() && handlers_[to]) {
+      ++delivered_;
+      handlers_[to](result.envelope);
+    }
+  });
+}
+
+void SimulatorBus::subscribe(net::NodeId node, Handler handler) {
+  if (node >= handlers_.size()) {
+    throw std::out_of_range("SimulatorBus: node id out of range");
+  }
+  handlers_[node] = std::move(handler);
+}
+
+void SimulatorBus::post(Envelope env) {
+  sim_->send_payload(env.src, env.dst, encode(env));
+}
+
+}  // namespace edgehd::proto

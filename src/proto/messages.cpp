@@ -1,0 +1,79 @@
+#include "messages.hpp"
+
+#include <algorithm>
+
+namespace edgehd::proto {
+
+const char* to_string(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kModelUpdate:
+      return "model_update";
+    case MsgType::kBatchUpdate:
+      return "batch_update";
+    case MsgType::kResidualMerge:
+      return "residual_merge";
+    case MsgType::kQueryEscalate:
+      return "query_escalate";
+    case MsgType::kQueryReply:
+      return "query_reply";
+    case MsgType::kHealthProbe:
+      return "health_probe";
+  }
+  return "unknown";
+}
+
+MsgType type_of(const Message& msg) noexcept {
+  return std::visit(
+      [](const auto& m) -> MsgType {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ModelUpdate>) {
+          return MsgType::kModelUpdate;
+        } else if constexpr (std::is_same_v<T, BatchUpdate>) {
+          return MsgType::kBatchUpdate;
+        } else if constexpr (std::is_same_v<T, ResidualMerge>) {
+          return MsgType::kResidualMerge;
+        } else if constexpr (std::is_same_v<T, QueryEscalate>) {
+          return MsgType::kQueryEscalate;
+        } else if constexpr (std::is_same_v<T, QueryReply>) {
+          return MsgType::kQueryReply;
+        } else {
+          return MsgType::kHealthProbe;
+        }
+      },
+      msg);
+}
+
+std::uint64_t compressed_query_wire_size(std::size_t dim,
+                                         std::size_t compression) noexcept {
+  const std::size_t m = std::max<std::size_t>(1, compression);
+  if (m == 1) return hdc::wire_bytes_bipolar(dim);
+  const std::uint32_t bits =
+      hdc::bits_for_magnitude(static_cast<std::int64_t>(m));
+  const std::uint64_t bundle = hdc::wire_bytes_accum(dim, bits);
+  return (bundle + m - 1) / m;
+}
+
+std::uint64_t wire_size(const Message& msg) noexcept {
+  return std::visit(
+      [](const auto& m) -> std::uint64_t {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ModelUpdate>) {
+          return accum_wire_size(m.accum);
+        } else if constexpr (std::is_same_v<T, BatchUpdate>) {
+          return accum_wire_size(m.accum);
+        } else if constexpr (std::is_same_v<T, ResidualMerge>) {
+          return accum_wire_size(m.residual);
+        } else if constexpr (std::is_same_v<T, QueryEscalate>) {
+          return bipolar_wire_size(m.query.size());
+        } else if constexpr (std::is_same_v<T, QueryReply>) {
+          // label + confidence + serving node/level + flags: one small
+          // control frame.
+          return 8 + 4 + 8 + 8 + 4 + 1;
+        } else {
+          return 8 + 8;  // HealthProbe: nonce + timestamp
+        }
+      },
+      msg);
+}
+
+}  // namespace edgehd::proto

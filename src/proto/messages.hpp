@@ -1,0 +1,137 @@
+// Typed message schema of the EdgeHD protocols (paper Sections IV-B/C/D).
+//
+// Everything that crosses a link in the hierarchy is one of these messages:
+//
+//   ModelUpdate    — one class hypervector shipped child -> parent during
+//                    initial training (and straggler reintegration);
+//   BatchUpdate    — one per-class batch hypervector of size B shipped
+//                    child -> parent during batch retraining;
+//   ResidualMerge  — one class residual hypervector propagated upward by the
+//                    online-updating protocol (Figure 5b);
+//   QueryEscalate  — a query hypervector escalating to an ancestor
+//                    classifier during routed inference;
+//   QueryReply     — the serving node's answer travelling back to the
+//                    query's origin;
+//   HealthProbe    — a liveness probe (transport diagnostics; carries no
+//                    model payload).
+//
+// This header also owns the *canonical byte accounting*: wire_size() is the
+// single source of truth for what a message costs on the air — the quantity
+// every CommStats total and the analytic cost model normalize against. The
+// helpers below replace the per-phase copies that used to live in
+// core/edgehd.cpp, core/cost_model.cpp and bench/bench_faults.cpp.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "hdc/hypervector.hpp"
+#include "hdc/wire.hpp"
+
+namespace edgehd::proto {
+
+/// Wire discriminator of a message (one byte in the envelope header).
+enum class MsgType : std::uint8_t {
+  kModelUpdate = 1,
+  kBatchUpdate = 2,
+  kResidualMerge = 3,
+  kQueryEscalate = 4,
+  kQueryReply = 5,
+  kHealthProbe = 6,
+};
+
+/// Human-readable message-type name ("model_update", ...); also the label
+/// used by the per-type "proto.<name>.*" metrics.
+const char* to_string(MsgType type) noexcept;
+
+/// One class hypervector moving child -> parent (initial training; also the
+/// straggler-reintegration delta, which is the same linear object).
+struct ModelUpdate {
+  std::uint32_t class_id = 0;
+  hdc::AccumHV accum;
+
+  friend bool operator==(const ModelUpdate&, const ModelUpdate&) = default;
+};
+
+/// One per-class batch hypervector (batch retraining, Section IV-B).
+struct BatchUpdate {
+  std::uint32_t class_id = 0;
+  std::uint32_t batch_id = 0;
+  hdc::AccumHV accum;
+
+  friend bool operator==(const BatchUpdate&, const BatchUpdate&) = default;
+};
+
+/// One class residual hypervector (online updating, Section IV-D).
+struct ResidualMerge {
+  std::uint32_t class_id = 0;
+  hdc::AccumHV residual;
+
+  friend bool operator==(const ResidualMerge&, const ResidualMerge&) = default;
+};
+
+/// A query hypervector escalating to an ancestor classifier (Section IV-C).
+/// The payload is the query as encoded *at the destination node* — in a real
+/// deployment the higher node re-aggregates the gathered query into its own
+/// hypervector space before searching.
+struct QueryEscalate {
+  std::uint64_t query_id = 0;
+  std::uint32_t hops = 0;  ///< escalations taken so far
+  hdc::BipolarHV query;
+
+  friend bool operator==(const QueryEscalate&, const QueryEscalate&) = default;
+};
+
+/// The serving node's verdict, returned to the query's origin.
+struct QueryReply {
+  std::uint64_t query_id = 0;
+  std::uint32_t label = 0;
+  double confidence = 0.0;
+  std::uint64_t serving_node = 0;
+  std::uint32_t serving_level = 0;
+  std::uint8_t degraded = 0;
+
+  friend bool operator==(const QueryReply&, const QueryReply&) = default;
+};
+
+/// Liveness probe (no model payload; transport diagnostics only).
+struct HealthProbe {
+  std::uint64_t nonce = 0;
+  std::uint64_t sent_at = 0;  ///< sender-side timestamp (virtual time)
+
+  friend bool operator==(const HealthProbe&, const HealthProbe&) = default;
+};
+
+using Message = std::variant<ModelUpdate, BatchUpdate, ResidualMerge,
+                             QueryEscalate, QueryReply, HealthProbe>;
+
+MsgType type_of(const Message& msg) noexcept;
+
+// ---- canonical byte accounting --------------------------------------------
+
+/// Bytes of one integer accumulator hypervector sized to its actual
+/// magnitude (the class/batch/residual payload cost).
+inline std::uint64_t accum_wire_size(
+    std::span<const std::int32_t> acc) noexcept {
+  return hdc::wire_bytes_accum(acc);
+}
+
+/// Bytes of a D-dimensional bipolar hypervector (1 bit per dimension).
+inline std::uint64_t bipolar_wire_size(std::size_t dim) noexcept {
+  return hdc::wire_bytes_bipolar(dim);
+}
+
+/// Amortized bytes of one compressed query hypervector of dimensionality
+/// `dim` under m-to-1 bundling (Section IV-C): m bipolar queries superpose
+/// into one accumulator with |entry| <= m, and the bundle's bytes are
+/// amortized over its members. m <= 1 disables compression (plain packed
+/// bits). This is the single definition shared by the accuracy engine, the
+/// analytic cost model and the fault benches.
+std::uint64_t compressed_query_wire_size(std::size_t dim,
+                                         std::size_t compression) noexcept;
+
+/// Canonical accounting size of a message: what the paper's evaluation
+/// charges for shipping it (payload only — envelope framing excluded).
+std::uint64_t wire_size(const Message& msg) noexcept;
+
+}  // namespace edgehd::proto

@@ -1,0 +1,338 @@
+#include "node_runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace edgehd::proto {
+
+using hdc::AccumHV;
+
+void NodeRuntime::init(net::NodeId id, const net::Topology& topology,
+                       std::size_t dim, std::size_t num_classes) {
+  id_ = id;
+  topology_ = &topology;
+  dim_ = dim;
+  num_classes_ = num_classes;
+  if (topology.is_leaf(id)) {
+    role_ = Role::kLeaf;
+  } else if (id == topology.root()) {
+    role_ = Role::kCentral;
+  } else {
+    role_ = Role::kGateway;
+  }
+}
+
+void NodeRuntime::install_leaf_encoder(std::unique_ptr<hdc::Encoder> enc) {
+  leaf_encoder_ = std::move(enc);
+}
+
+void NodeRuntime::install_aggregator(std::unique_ptr<hier::HierEncoder> agg) {
+  aggregator_ = std::move(agg);
+}
+
+void NodeRuntime::install_classifier(std::unique_ptr<hdc::HDClassifier> clf) {
+  classifier_ = std::move(clf);
+}
+
+const hdc::HDClassifier& NodeRuntime::classifier() const {
+  if (classifier_ == nullptr) {
+    throw std::invalid_argument("NodeRuntime: node hosts no classifier");
+  }
+  return *classifier_;
+}
+
+hdc::HDClassifier& NodeRuntime::classifier() {
+  if (classifier_ == nullptr) {
+    throw std::invalid_argument("NodeRuntime: node hosts no classifier");
+  }
+  return *classifier_;
+}
+
+const hdc::Encoder& NodeRuntime::leaf_encoder() const {
+  if (leaf_encoder_ == nullptr) {
+    throw std::invalid_argument("NodeRuntime: node hosts no leaf encoder");
+  }
+  return *leaf_encoder_;
+}
+
+const hier::HierEncoder& NodeRuntime::aggregator() const {
+  if (aggregator_ == nullptr) {
+    throw std::invalid_argument("NodeRuntime: node hosts no aggregator");
+  }
+  return *aggregator_;
+}
+
+hdc::Prediction NodeRuntime::predict(
+    std::span<const std::int8_t> query) const {
+  return classifier().predict(query);
+}
+
+// ---- envelope consumption ---------------------------------------------------
+
+std::size_t NodeRuntime::child_index(net::NodeId child) const {
+  const auto& kids = topology_->children(id_);
+  const auto it = std::find(kids.begin(), kids.end(), child);
+  if (it == kids.end()) {
+    throw std::logic_error("NodeRuntime: envelope from a non-child node " +
+                           std::to_string(child));
+  }
+  return static_cast<std::size_t>(it - kids.begin());
+}
+
+std::size_t NodeRuntime::child_dim(std::size_t child_idx) const {
+  return aggregator().child_dims()[child_idx];
+}
+
+void NodeRuntime::require_phase(Phase expected, const char* what) const {
+  if (phase_ != expected) {
+    throw std::logic_error(std::string("NodeRuntime: ") + what +
+                           " delivered outside its protocol phase");
+  }
+}
+
+void NodeRuntime::on_envelope(const Envelope& env) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ModelUpdate>) {
+          if (phase_ != Phase::kInitialTraining &&
+              phase_ != Phase::kReintegration) {
+            require_phase(Phase::kInitialTraining, "ModelUpdate");
+          }
+          if (m.class_id >= num_classes_) {
+            throw std::logic_error("NodeRuntime: ModelUpdate class id out of "
+                                   "range");
+          }
+          inbox_[child_index(env.src)][m.class_id] = m.accum;
+        } else if constexpr (std::is_same_v<T, BatchUpdate>) {
+          require_phase(Phase::kBatchRetraining, "BatchUpdate");
+          if (m.class_id >= num_classes_) {
+            throw std::logic_error("NodeRuntime: BatchUpdate class id out of "
+                                   "range");
+          }
+          auto& slot = batch_inbox_[child_index(env.src)][m.class_id];
+          if (m.batch_id >= slot.size()) {
+            throw std::logic_error("NodeRuntime: BatchUpdate batch id out of "
+                                   "range");
+          }
+          slot[m.batch_id] = m.accum;
+        } else if constexpr (std::is_same_v<T, ResidualMerge>) {
+          require_phase(Phase::kResidualPropagation, "ResidualMerge");
+          if (m.class_id >= num_classes_) {
+            throw std::logic_error("NodeRuntime: ResidualMerge class id out "
+                                   "of range");
+          }
+          inbox_[child_index(env.src)][m.class_id] = m.residual;
+          residual_any_child_ = true;
+        } else if constexpr (std::is_same_v<T, HealthProbe>) {
+          ++probes_received_;
+        } else {
+          // QueryEscalate / QueryReply: query walks are handled reentrantly
+          // by routing.hpp; a copy arriving over a transport bus is only
+          // observed.
+          ++queries_received_;
+        }
+      },
+      env.msg);
+}
+
+hdc::AccumHV NodeRuntime::aggregate_inbox(std::size_t c) const {
+  const auto& kids = topology_->children(id_);
+  std::vector<AccumHV> slots(kids.size());
+  for (std::size_t ci = 0; ci < kids.size(); ++ci) {
+    slots[ci] = inbox_[ci][c].empty() ? AccumHV(child_dim(ci), 0)
+                                      : inbox_[ci][c];
+  }
+  return aggregator().aggregate_accum(slots);
+}
+
+// ---- initial training -------------------------------------------------------
+
+void NodeRuntime::begin_initial_training() {
+  phase_ = Phase::kInitialTraining;
+  own_accums_.clear();
+  if (role_ != Role::kLeaf) {
+    inbox_.assign(topology_->children(id_).size(),
+                  std::vector<AccumHV>(num_classes_));
+  }
+}
+
+const std::vector<AccumHV>& NodeRuntime::finish_initial_training(
+    std::span<const hdc::BipolarHV> samples,
+    std::span<const std::size_t> labels) {
+  require_phase(Phase::kInitialTraining, "finish_initial_training");
+  own_accums_.assign(num_classes_, AccumHV(dim_, 0));
+  if (role_ == Role::kLeaf) {
+    for (std::size_t s = 0; s < samples.size(); ++s) {
+      hdc::bundle_into(own_accums_[labels[s]], samples[s]);
+    }
+  } else {
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      own_accums_[c] = aggregate_inbox(c);
+    }
+  }
+  if (classifier_ != nullptr) {
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      classifier_->set_class_accumulator(c, own_accums_[c]);
+    }
+  }
+  inbox_.clear();
+  phase_ = Phase::kIdle;
+  return own_accums_;
+}
+
+// ---- batch retraining -------------------------------------------------------
+
+void NodeRuntime::begin_batch_retraining(const ClassBatches& batches) {
+  phase_ = Phase::kBatchRetraining;
+  batches_ = &batches;
+  own_batches_.clear();
+  if (role_ != Role::kLeaf) {
+    batch_inbox_.assign(topology_->children(id_).size(), {});
+    for (auto& per_child : batch_inbox_) {
+      per_child.resize(num_classes_);
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        per_child[c].resize(batches[c].size());
+      }
+    }
+  }
+}
+
+const std::vector<std::vector<AccumHV>>& NodeRuntime::finish_batch_retraining(
+    std::span<const hdc::BipolarHV> samples,
+    std::span<const std::size_t> labels) {
+  require_phase(Phase::kBatchRetraining, "finish_batch_retraining");
+  const ClassBatches& batches = *batches_;
+  own_batches_.assign(num_classes_, {});
+  if (role_ == Role::kLeaf) {
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      for (const auto& batch : batches[c]) {
+        AccumHV acc(dim_, 0);
+        for (std::size_t s : batch) hdc::bundle_into(acc, samples[s]);
+        own_batches_[c].push_back(std::move(acc));
+      }
+    }
+  } else {
+    const auto& kids = topology_->children(id_);
+    std::vector<AccumHV> slots(kids.size());
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      for (std::size_t b = 0; b < batches[c].size(); ++b) {
+        for (std::size_t ci = 0; ci < kids.size(); ++ci) {
+          slots[ci] = batch_inbox_[ci][c][b].empty()
+                          ? AccumHV(child_dim(ci), 0)
+                          : batch_inbox_[ci][c][b];
+        }
+        own_batches_[c].push_back(aggregator().aggregate_accum(slots));
+      }
+    }
+  }
+
+  if (classifier_ != nullptr) {
+    if (role_ == Role::kLeaf) {
+      // End nodes retrain on their own per-sample encodings; batching only
+      // matters for what crosses the network. Serial pass — bit-identity
+      // with the protocol's reference behaviour is part of the contract.
+      classifier_->retrain(samples, labels);
+    } else {
+      std::vector<hdc::BipolarHV> hvs;
+      std::vector<std::size_t> batch_labels;
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        for (const auto& acc : own_batches_[c]) {
+          hvs.push_back(hdc::binarize(acc));
+          batch_labels.push_back(c);
+        }
+      }
+      classifier_->retrain(hvs, batch_labels);
+    }
+  }
+  batch_inbox_.clear();
+  batches_ = nullptr;
+  phase_ = Phase::kIdle;
+  return own_batches_;
+}
+
+// ---- residual propagation ---------------------------------------------------
+
+void NodeRuntime::begin_residual_propagation() {
+  phase_ = Phase::kResidualPropagation;
+  residual_any_child_ = false;
+  if (role_ != Role::kLeaf) {
+    inbox_.assign(topology_->children(id_).size(),
+                  std::vector<AccumHV>(num_classes_));
+  }
+}
+
+std::vector<AccumHV> NodeRuntime::finish_residual_propagation() {
+  require_phase(Phase::kResidualPropagation, "finish_residual_propagation");
+  std::vector<AccumHV> total(num_classes_, AccumHV(dim_, 0));
+  if (residual_any_child_) {
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      total[c] = aggregate_inbox(c);
+    }
+  }
+  if (classifier_ != nullptr) {
+    auto own = classifier_->take_residuals();
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      hdc::accumulate(total[c], own[c]);
+    }
+    // Figure 5b step (2): update this node's model with everything known
+    // here — its own residuals plus the children's, re-encoded.
+    bool zero = true;
+    for (const auto& a : total) {
+      for (std::int32_t v : a) {
+        if (v != 0) {
+          zero = false;
+          break;
+        }
+      }
+      if (!zero) break;
+    }
+    if (!zero) classifier_->apply_external_residuals(total);
+  }
+  inbox_.clear();
+  phase_ = Phase::kIdle;
+  return total;
+}
+
+// ---- straggler reintegration ------------------------------------------------
+
+void NodeRuntime::begin_reintegration() {
+  phase_ = Phase::kReintegration;
+  inbox_.assign(topology_->children(id_).size(),
+                std::vector<AccumHV>(num_classes_));
+}
+
+std::vector<AccumHV> NodeRuntime::finish_reintegration(net::NodeId child) {
+  require_phase(Phase::kReintegration, "finish_reintegration");
+  const std::size_t ci = child_index(child);
+  const auto& kids = topology_->children(id_);
+  // Lift the delta through this node's aggregator: zeros in every slot but
+  // the reintegrating child's. The hierarchical encoding is linear (up to
+  // its integer rescale), so adding the lifted delta to the class
+  // accumulators is what aggregating the full contribution would have
+  // produced.
+  std::vector<AccumHV> slots(kids.size());
+  std::vector<AccumHV> delta(num_classes_);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    for (std::size_t cj = 0; cj < kids.size(); ++cj) {
+      slots[cj] = cj == ci && !inbox_[ci][c].empty()
+                      ? inbox_[ci][c]
+                      : AccumHV(child_dim(cj), 0);
+    }
+    delta[c] = aggregator().aggregate_accum(slots);
+  }
+  if (classifier_ != nullptr) {
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      AccumHV acc = classifier_->class_accumulator(c);
+      hdc::accumulate(acc, delta[c]);
+      classifier_->set_class_accumulator(c, std::move(acc));
+    }
+  }
+  inbox_.clear();
+  phase_ = Phase::kIdle;
+  return delta;
+}
+
+}  // namespace edgehd::proto

@@ -1,0 +1,193 @@
+// Per-node protocol state machine.
+//
+// A NodeRuntime is one hierarchy node as the protocols see it: its role
+// (leaf / gateway / central), its hypervector space (dim + encoder handles),
+// its classifier (when its level hosts one), and its protocol inboxes. It
+// advances by consuming delivered envelopes — on_envelope() files each
+// message into the inbox of the phase the node is in — and by the phase
+// transitions a session drives:
+//
+//        begin_<phase>()          on_envelope(...)        finish_<phase>()
+//   Idle ───────────────▶ Phase ───────────────▶ Phase ───────────────▶ Idle
+//
+// begin_* clears the phase inboxes and arms the state machine;
+// on_envelope() accepts exactly the message types the phase expects (a
+// model-bearing message outside its phase is a protocol violation and
+// throws); finish_* folds own work and inbox contributions together,
+// updates the local model, and returns what the session may ship upward.
+// The session — not the runtime — owns topology-wide decisions: who posts,
+// who parks as a straggler, and in what order nodes close their phase
+// (see sessions.hpp).
+//
+// Query traffic (QueryEscalate / QueryReply) deliberately does not flow
+// through on_envelope: a query walk is reentrant per-query state handled by
+// routing.hpp so batched inference can fan out across threads. A query
+// envelope arriving here (e.g. over a SimulatorBus) is only counted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "envelope.hpp"
+#include "hdc/classifier.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/hypervector.hpp"
+#include "hier/hier_encoder.hpp"
+#include "net/topology.hpp"
+
+namespace edgehd::proto {
+
+/// Per-class sample batches: [class][batch] -> encoded-sample indices. Built
+/// once per retraining session and shared by every node so batch
+/// hypervectors line up across the hierarchy.
+using ClassBatches = std::vector<std::vector<std::vector<std::size_t>>>;
+
+class NodeRuntime {
+ public:
+  /// Where the node sits in the hierarchy (paper Figure 1's three tiers).
+  enum class Role : std::uint8_t {
+    kLeaf,     ///< end node: encodes raw features
+    kGateway,  ///< internal node: aggregates children
+    kCentral,  ///< the root
+  };
+
+  /// Which protocol exchange the node is currently part of.
+  enum class Phase : std::uint8_t {
+    kIdle,
+    kInitialTraining,
+    kBatchRetraining,
+    kResidualPropagation,
+    kReintegration,
+  };
+
+  NodeRuntime() = default;
+
+  /// Binds the runtime to its place in the hierarchy. The topology must
+  /// outlive the runtime.
+  void init(net::NodeId id, const net::Topology& topology, std::size_t dim,
+            std::size_t num_classes);
+
+  // ---- identity -----------------------------------------------------------
+
+  net::NodeId id() const noexcept { return id_; }
+  Role role() const noexcept { return role_; }
+  Phase phase() const noexcept { return phase_; }
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t num_classes() const noexcept { return num_classes_; }
+
+  /// Leaf only: index of the dataset feature partition this node senses.
+  std::size_t partition() const noexcept { return partition_; }
+  void set_partition(std::size_t p) noexcept { partition_ = p; }
+
+  // ---- model handles (installed by the facade at construction) ------------
+
+  void install_leaf_encoder(std::unique_ptr<hdc::Encoder> enc);
+  void install_aggregator(std::unique_ptr<hier::HierEncoder> agg);
+  void install_classifier(std::unique_ptr<hdc::HDClassifier> clf);
+
+  bool has_classifier() const noexcept { return classifier_ != nullptr; }
+  const hdc::HDClassifier& classifier() const;
+  hdc::HDClassifier& classifier();
+  const hdc::Encoder& leaf_encoder() const;
+  const hier::HierEncoder& aggregator() const;
+
+  /// Classifier prediction on an encoded query. Const and thread-safe once
+  /// the classifier cache is warm (HDClassifier::warm_cache).
+  hdc::Prediction predict(std::span<const std::int8_t> query) const;
+
+  // ---- envelope consumption -----------------------------------------------
+
+  /// Consumes one delivered envelope. Model-bearing messages must arrive in
+  /// their phase (ModelUpdate in initial training or reintegration,
+  /// BatchUpdate in batch retraining, ResidualMerge in residual propagation)
+  /// and from a topological child — anything else throws std::logic_error.
+  /// Query/probe messages are counted and dropped.
+  void on_envelope(const Envelope& env);
+
+  std::uint64_t probes_received() const noexcept { return probes_received_; }
+  std::uint64_t queries_received() const noexcept { return queries_received_; }
+
+  // ---- initial training (Section IV-B) ------------------------------------
+
+  void begin_initial_training();
+
+  /// Closes the phase: a leaf bundles its encoded samples per class; a
+  /// gateway/central node aggregates the inbox (absent children contribute
+  /// zeros). Installs the result into the classifier when one is hosted and
+  /// returns the node's k class accumulators (what ships upward).
+  const std::vector<hdc::AccumHV>& finish_initial_training(
+      std::span<const hdc::BipolarHV> samples,
+      std::span<const std::size_t> labels);
+
+  // ---- batch retraining (Section IV-B) ------------------------------------
+
+  /// `batches` must outlive the phase (the session owns it).
+  void begin_batch_retraining(const ClassBatches& batches);
+
+  /// Closes the phase: builds/aggregates the per-(class, batch)
+  /// hypervectors, then retrains the hosted classifier — a leaf on its own
+  /// per-sample encodings, an internal node on the binarized batch
+  /// hypervectors in (class asc, batch asc) order. Returns the node's batch
+  /// accumulators, [class][batch].
+  const std::vector<std::vector<hdc::AccumHV>>& finish_batch_retraining(
+      std::span<const hdc::BipolarHV> samples,
+      std::span<const std::size_t> labels);
+
+  // ---- residual propagation (Section IV-D, Figure 5b) ---------------------
+
+  void begin_residual_propagation();
+
+  /// Closes the phase: aggregates children's delivered residuals (only if at
+  /// least one arrived), folds in this node's own queued residuals, applies
+  /// the combined bundle to the local model, and returns it as this round's
+  /// upward shipment (all-zero when there is nothing to report).
+  std::vector<hdc::AccumHV> finish_residual_propagation();
+
+  // ---- straggler reintegration --------------------------------------------
+
+  void begin_reintegration();
+
+  /// Closes one reintegration hop: lifts the delta delivered by `child`
+  /// through this node's aggregator (zeros in every other child slot), folds
+  /// the lifted delta into the hosted classifier's class accumulators, and
+  /// returns it for the next hop up. Exact by linearity of the hierarchical
+  /// encoding.
+  std::vector<hdc::AccumHV> finish_reintegration(net::NodeId child);
+
+ private:
+  std::size_t child_index(net::NodeId child) const;
+  std::size_t child_dim(std::size_t child_idx) const;
+  /// Aggregates one class across the child inbox, zeros where absent.
+  hdc::AccumHV aggregate_inbox(std::size_t c) const;
+  void require_phase(Phase expected, const char* what) const;
+
+  net::NodeId id_ = net::kNoNode;
+  const net::Topology* topology_ = nullptr;
+  Role role_ = Role::kLeaf;
+  Phase phase_ = Phase::kIdle;
+  std::size_t dim_ = 0;
+  std::size_t num_classes_ = 0;
+  std::size_t partition_ = 0;
+
+  std::unique_ptr<hdc::Encoder> leaf_encoder_;     // leaves only
+  std::unique_ptr<hier::HierEncoder> aggregator_;  // internal only
+  std::unique_ptr<hdc::HDClassifier> classifier_;  // level >= classify_min_level
+
+  // ---- phase workspaces ----------------------------------------------------
+  /// Class-accumulator inbox, [child][class]; an empty AccumHV marks an
+  /// absent contribution (initial training, residuals, reintegration).
+  std::vector<std::vector<hdc::AccumHV>> inbox_;
+  /// Batch inbox, [child][class][batch]; empty = absent.
+  std::vector<std::vector<std::vector<hdc::AccumHV>>> batch_inbox_;
+  const ClassBatches* batches_ = nullptr;  ///< session-owned, retraining only
+  bool residual_any_child_ = false;        ///< any ResidualMerge delivered?
+  std::vector<hdc::AccumHV> own_accums_;   ///< finish_initial_training result
+  std::vector<std::vector<hdc::AccumHV>> own_batches_;  ///< [class][batch]
+
+  std::uint64_t probes_received_ = 0;
+  std::uint64_t queries_received_ = 0;
+};
+
+}  // namespace edgehd::proto

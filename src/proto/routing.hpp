@@ -1,0 +1,80 @@
+// Routed inference (Section IV-C) as per-query message walks.
+//
+// A query is answered at the lowest node whose softmax confidence clears the
+// threshold; otherwise it escalates to the nearest ancestor hosting a
+// classifier, carried as a QueryEscalate envelope whose payload is the query
+// hypervector *as encoded at the destination node*. The serving node's
+// verdict travels back as a QueryReply. Unlike the training sessions, query
+// walks do not go through a Bus: every walk is reentrant per-query state, so
+// batched inference can fan queries across threads against const
+// NodeRuntimes (warm the classifier caches first).
+//
+// Byte accounting: the paper charges a served query the amortized cost of
+// *gathering* its hypervector at the serving node (m-to-1 compressed on
+// every hop), not the escalation envelopes — query_gather_bytes /
+// gather_bytes_masked are that canonical accounting. The per-envelope
+// "proto.query_escalate.*" / "proto.query_reply.*" metrics observe the
+// control traffic separately.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "hdc/hypervector.hpp"
+#include "net/fault.hpp"
+#include "net/topology.hpp"
+#include "node_runtime.hpp"
+#include "obs/metrics.hpp"
+#include "types.hpp"
+
+namespace edgehd::proto {
+
+/// Read-only view of the hierarchy for query walks, plus the routing policy
+/// knobs of SystemConfig and the facade-owned escalation counter.
+struct RoutingContext {
+  const net::Topology* topology = nullptr;
+  std::span<const NodeRuntime> nodes;  ///< indexed by NodeId
+  const net::HealthMask* health = nullptr;  ///< may be empty
+  bool degraded = false;
+  double confidence_threshold = 0.75;
+  std::size_t compression = 1;  ///< m, query hypervectors per bundle
+  bool serve_degraded = true;   ///< FailoverPolicy::serve_degraded
+  std::size_t max_retries = 5;  ///< FailoverPolicy::max_retries
+  /// "core.routed.escalations" handle; incremented once per escalation hop.
+  const obs::Counter* escalations = nullptr;
+
+  bool node_up(net::NodeId id) const noexcept;
+  bool link_up(net::NodeId child) const noexcept;
+  bool child_delivers(net::NodeId child) const noexcept;
+  /// Any contribution missing anywhere in `id`'s subtree?
+  bool subtree_degraded(net::NodeId id) const;
+};
+
+/// Amortized bytes to gather one query hypervector at node `id` from its
+/// subtree's leaves, with m-to-1 compression on every hop.
+std::uint64_t query_gather_bytes(const RoutingContext& ctx, net::NodeId id);
+
+/// Query-gather accounting over the reachable subtree only, with expected
+/// retransmission bytes on lossy links (reliable transport, retry cap
+/// max_retries).
+void gather_bytes_masked(const RoutingContext& ctx, net::NodeId id,
+                         std::uint64_t& bytes, std::uint64_t& retry_bytes);
+
+/// Fault-free escalation walk over the per-node encodings `hvs` (indexed by
+/// NodeId). Emits "core.predict"/"core.escalate" trace instants under
+/// `trace_span`. Does not record the query-level counters — the facade owns
+/// those.
+RoutedResult route_query(const RoutingContext& ctx,
+                         std::span<const hdc::BipolarHV> hvs,
+                         net::NodeId start, std::uint64_t query_id,
+                         std::uint64_t trace_span);
+
+/// Escalation walk under a health mask: hop-by-hop reachability checks; a
+/// dead hop strands the query at the deepest reachable classifier (served
+/// degraded) or reports it unserved under the fail-fast policy. `hvs` must
+/// be the masked encodings (unreachable contributions silenced).
+RoutedResult route_query_degraded(const RoutingContext& ctx,
+                                  std::span<const hdc::BipolarHV> hvs,
+                                  net::NodeId start, std::uint64_t query_id);
+
+}  // namespace edgehd::proto

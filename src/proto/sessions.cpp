@@ -1,0 +1,239 @@
+#include "sessions.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace edgehd::proto {
+
+using hdc::AccumHV;
+using net::NodeId;
+
+bool SessionContext::node_up(NodeId id) const noexcept {
+  return !degraded || health->node_up(id);
+}
+
+bool SessionContext::link_up(NodeId child) const noexcept {
+  return !degraded || health->link_up(child);
+}
+
+bool SessionContext::child_delivers(NodeId child) const noexcept {
+  return node_up(child) && link_up(child);
+}
+
+bool SessionContext::parked(NodeId id) const {
+  return degraded && id != topology->root() &&
+         (!link_up(id) || !node_up(topology->parent(id)));
+}
+
+std::vector<NodeId> SessionContext::bottom_up_order() const {
+  std::vector<NodeId> order;
+  order.reserve(topology->num_nodes());
+  for (std::size_t level = 1; level <= topology->depth(); ++level) {
+    for (NodeId id : topology->nodes_at_level(level)) order.push_back(id);
+  }
+  return order;
+}
+
+namespace {
+
+/// Attaches a CommStats sink to the bus for one session.
+class ChargeScope {
+ public:
+  ChargeScope(Bus& bus, CommStats& sink) : bus_(&bus) {
+    bus_->set_charge(&sink);
+  }
+  ~ChargeScope() { bus_->set_charge(nullptr); }
+  ChargeScope(const ChargeScope&) = delete;
+  ChargeScope& operator=(const ChargeScope&) = delete;
+
+ private:
+  Bus* bus_;
+};
+
+bool is_zero(const std::vector<AccumHV>& accums) {
+  for (const auto& a : accums) {
+    for (std::int32_t v : a) {
+      if (v != 0) return false;
+    }
+  }
+  return true;
+}
+
+/// Leaf rows of the training data for `id`; internal nodes get empty spans.
+std::span<const hdc::BipolarHV> leaf_samples(const SessionContext& ctx,
+                                             const TrainData& data,
+                                             NodeId id) {
+  if (!ctx.topology->is_leaf(id)) return {};
+  return (*data.encoded)[id];
+}
+
+void post_class_set(const SessionContext& ctx, NodeId src,
+                    const std::vector<AccumHV>& accums) {
+  const NodeId dst = ctx.topology->parent(src);
+  for (std::size_t c = 0; c < accums.size(); ++c) {
+    ctx.bus->post(Envelope{
+        kProtoVersion, src, dst,
+        ModelUpdate{static_cast<std::uint32_t>(c), accums[c]}});
+  }
+}
+
+}  // namespace
+
+CommStats run_initial_training(const SessionContext& ctx,
+                               const TrainData& data) {
+  CommStats comm;
+  const ChargeScope charge(*ctx.bus, comm);
+  ctx.stragglers->clear();
+
+  const auto order = ctx.bottom_up_order();
+  for (NodeId id : order) {
+    if (ctx.node_up(id)) ctx.nodes[id].begin_initial_training();
+  }
+  for (NodeId id : order) {
+    if (!ctx.node_up(id)) continue;
+    const auto& accums = ctx.nodes[id].finish_initial_training(
+        leaf_samples(ctx, data, id), data.labels);
+    if (ctx.parked(id)) {
+      // Cut off from the parent: park the contribution for
+      // run_reintegration once the path is back up.
+      (*ctx.pending_contrib)[id] = accums;
+      ctx.stragglers->push_back(id);
+    } else if (id != ctx.topology->root()) {
+      // Ship the k class hypervectors (models, not data). Not parked means
+      // the uplink and the parent are both up, so every post delivers —
+      // the bus charge equals what crossed live links.
+      post_class_set(ctx, id, accums);
+    }
+  }
+  return comm;
+}
+
+CommStats run_batch_retraining(const SessionContext& ctx,
+                               const TrainData& data) {
+  CommStats comm;
+  const ChargeScope charge(*ctx.bus, comm);
+
+  // Per-class batches over the encoded-sample index space; the same sample
+  // partition is used at every node so batch hypervectors line up across the
+  // hierarchy (each physical observation is sensed by every leaf).
+  ClassBatches batches(ctx.num_classes);
+  {
+    std::vector<std::vector<std::size_t>> by_class(ctx.num_classes);
+    for (std::size_t s = 0; s < data.labels.size(); ++s) {
+      by_class[data.labels[s]].push_back(s);
+    }
+    for (std::size_t c = 0; c < ctx.num_classes; ++c) {
+      for (std::size_t start = 0; start < by_class[c].size();
+           start += ctx.batch_size) {
+        const std::size_t end =
+            std::min(start + ctx.batch_size, by_class[c].size());
+        batches[c].emplace_back(by_class[c].begin() + start,
+                                by_class[c].begin() + end);
+      }
+    }
+  }
+
+  auto note_straggler = [&ctx](NodeId id) {
+    auto& list = *ctx.stragglers;
+    if (std::find(list.begin(), list.end(), id) == list.end()) {
+      list.push_back(id);
+    }
+  };
+
+  const auto order = ctx.bottom_up_order();
+  for (NodeId id : order) {
+    if (ctx.node_up(id)) ctx.nodes[id].begin_batch_retraining(batches);
+  }
+  for (NodeId id : order) {
+    if (!ctx.node_up(id)) continue;
+    const auto& nb = ctx.nodes[id].finish_batch_retraining(
+        leaf_samples(ctx, data, id), data.labels);
+    if (ctx.parked(id)) {
+      // Perceptron updates are not linear, so there is nothing exact to
+      // park — recovery re-syncs via a fresh retrain; just record it.
+      note_straggler(id);
+    } else if (id != ctx.topology->root()) {
+      const NodeId dst = ctx.topology->parent(id);
+      for (std::size_t c = 0; c < ctx.num_classes; ++c) {
+        for (std::size_t b = 0; b < nb[c].size(); ++b) {
+          ctx.bus->post(
+              Envelope{kProtoVersion, id, dst,
+                       BatchUpdate{static_cast<std::uint32_t>(c),
+                                   static_cast<std::uint32_t>(b), nb[c][b]}});
+        }
+      }
+    }
+  }
+  return comm;
+}
+
+CommStats run_residual_propagation(const SessionContext& ctx) {
+  CommStats comm;
+  const ChargeScope charge(*ctx.bus, comm);
+
+  const auto order = ctx.bottom_up_order();
+  for (NodeId id : order) {
+    // A crashed node neither applies nor ships anything; its own residuals
+    // stay queued inside its classifier until a later round finds it up.
+    if (ctx.node_up(id)) ctx.nodes[id].begin_residual_propagation();
+  }
+  for (NodeId id : order) {
+    if (!ctx.node_up(id)) continue;
+    std::vector<AccumHV> ship = ctx.nodes[id].finish_residual_propagation();
+    // What ships upward: this round's bundle plus anything held back by an
+    // earlier round whose uplink was down.
+    auto& pending = (*ctx.pending_residuals)[id];
+    if (!pending.empty()) {
+      for (std::size_t c = 0; c < ctx.num_classes; ++c) {
+        hdc::accumulate(ship[c], pending[c]);
+      }
+      pending.clear();
+    }
+    if (is_zero(ship)) continue;  // nothing to report upward
+    if (ctx.parked(id)) {
+      pending = std::move(ship);
+    } else if (id != ctx.topology->root()) {
+      const NodeId dst = ctx.topology->parent(id);
+      for (std::size_t c = 0; c < ctx.num_classes; ++c) {
+        ctx.bus->post(Envelope{
+            kProtoVersion, id, dst,
+            ResidualMerge{static_cast<std::uint32_t>(c), ship[c]}});
+      }
+    }
+  }
+  return comm;
+}
+
+CommStats run_reintegration(const SessionContext& ctx) {
+  CommStats comm;
+  const ChargeScope charge(*ctx.bus, comm);
+  const NodeId root = ctx.topology->root();
+
+  for (NodeId id : ctx.bottom_up_order()) {
+    auto& parked_contrib = (*ctx.pending_contrib)[id];
+    if (parked_contrib.empty()) continue;
+    // Still cut off? The contribution stays pending for a later call.
+    if (ctx.degraded && !ctx.health->reachable_up(*ctx.topology, id, root)) {
+      continue;
+    }
+    std::vector<AccumHV> cur = std::move(parked_contrib);
+    parked_contrib.clear();
+    NodeId child = id;
+    while (child != root) {
+      const NodeId parent = ctx.topology->parent(child);
+      NodeRuntime& prt = ctx.nodes[parent];
+      prt.begin_reintegration();
+      // Ship the delta one hop up (k class hypervectors, like training);
+      // the parent lifts it through its aggregator and folds it into its
+      // model.
+      post_class_set(ctx, child, cur);
+      cur = prt.finish_reintegration(child);
+      child = parent;
+    }
+    auto& list = *ctx.stragglers;
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  }
+  return comm;
+}
+
+}  // namespace edgehd::proto

@@ -1,0 +1,94 @@
+// Protocol sessions: the event loops that drive EdgeHD's training-side
+// protocols as envelope exchanges between NodeRuntimes.
+//
+// A session walks the hierarchy bottom-up (leaves first — the deterministic
+// delivery order of the paper's synchronized rounds): it arms every live
+// node's phase, then closes each node in order. Closing a node yields what
+// that node may ship; the session applies the topology-wide rules — a child
+// posts its messages to its parent iff the child, its uplink and the parent
+// are all up; a cut-off child parks its contribution as a straggler — and
+// posts through the Bus, whose synchronous delivery files each message into
+// the parent's inbox before the parent closes. All byte/message accounting
+// happens in the Bus (canonical wire_size per posted envelope), which is
+// what keeps the per-phase CommStats totals identical to the paper's
+// charging scheme: a message is charged exactly when it would have crossed
+// a live link.
+//
+// Sessions require a synchronous bus (LocalBus): every post must be
+// delivered before the parent's finish_* runs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bus.hpp"
+#include "net/fault.hpp"
+#include "net/topology.hpp"
+#include "node_runtime.hpp"
+#include "types.hpp"
+
+namespace edgehd::proto {
+
+/// Everything a protocol session needs: the hierarchy, the bus, the health
+/// snapshot, and the cross-phase state (parked contributions/residuals and
+/// the straggler list) owned by the facade.
+struct SessionContext {
+  const net::Topology* topology = nullptr;
+  std::span<NodeRuntime> nodes;  ///< indexed by NodeId
+  Bus* bus = nullptr;
+  const net::HealthMask* health = nullptr;  ///< may be empty
+  bool degraded = false;  ///< health installed and not all-healthy
+  std::size_t num_classes = 0;
+  std::size_t batch_size = 1;  ///< B, retraining batch size
+
+  /// Per-node class-hypervector contributions parked by initial training
+  /// (indexed by node; empty = nothing pending).
+  std::vector<std::vector<hdc::AccumHV>>* pending_contrib = nullptr;
+  /// Residual bundles held back while the uplink was down.
+  std::vector<std::vector<hdc::AccumHV>>* pending_residuals = nullptr;
+  /// Nodes whose contribution could not reach their parent, deepest-first.
+  std::vector<net::NodeId>* stragglers = nullptr;
+
+  bool node_up(net::NodeId id) const noexcept;
+  bool link_up(net::NodeId child) const noexcept;
+  bool child_delivers(net::NodeId child) const noexcept;
+  /// A live node cut off from its parent parks this round's shipment.
+  bool parked(net::NodeId id) const;
+  /// Bottom-up node order (leaves first).
+  std::vector<net::NodeId> bottom_up_order() const;
+};
+
+/// The facade's memoized per-node sample encodings for a training pass.
+struct TrainData {
+  /// encoded[node][sample]; only leaf rows are consumed by sessions.
+  const std::vector<std::vector<hdc::BipolarHV>>* encoded = nullptr;
+  std::span<const std::size_t> labels;  ///< per encoded sample
+};
+
+/// Initial training (Section IV-B): leaves bundle local class hypervectors,
+/// each live node ships its k class accumulators upward as ModelUpdate
+/// envelopes, parents aggregate what arrived. Clears and rebuilds the
+/// straggler list. Returns the phase's network charge.
+CommStats run_initial_training(const SessionContext& ctx,
+                               const TrainData& data);
+
+/// Batch retraining (Section IV-B): per-class batch hypervectors of size B
+/// travel up as BatchUpdate envelopes and drive perceptron retraining at
+/// every level. Appends (deduplicated) to the straggler list.
+CommStats run_batch_retraining(const SessionContext& ctx,
+                               const TrainData& data);
+
+/// Online-update residual propagation (Section IV-D, Figure 5b): each node
+/// folds its children's delivered residuals into its model and ships the
+/// combined bundle up as ResidualMerge envelopes; a node whose uplink is
+/// down holds its bundle in pending_residuals for a later round.
+CommStats run_residual_propagation(const SessionContext& ctx);
+
+/// Straggler reintegration: every parked contribution whose path to the
+/// root is back up is shipped hop by hop as ModelUpdate envelopes, each hop
+/// lifting the delta through the parent's aggregator and folding it into
+/// the parent's model (exact by linearity).
+CommStats run_reintegration(const SessionContext& ctx);
+
+}  // namespace edgehd::proto

@@ -1,0 +1,61 @@
+// Shared protocol-layer value types.
+//
+// The proto layer gives EdgeHD's four protocols (initial training, batch
+// retraining, routed inference, online updating) a message identity: every
+// quantity a protocol places on the network travels as a typed envelope
+// (messages.hpp / envelope.hpp), and every phase reports what it shipped
+// through the CommStats accounting defined here. These types used to live in
+// src/core; the core facade re-exports them so its public API is unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "net/topology.hpp"
+
+namespace edgehd::proto {
+
+/// Bytes/messages a protocol phase placed on the network. The byte totals
+/// are the paper-comparable quantity (canonical payload sizes, see
+/// messages.hpp::wire_size); envelope framing is implementation detail and
+/// is never charged here.
+struct CommStats {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+
+  CommStats& operator+=(const CommStats& o) noexcept {
+    bytes += o.bytes;
+    messages += o.messages;
+    return *this;
+  }
+
+  friend bool operator==(const CommStats&, const CommStats&) noexcept =
+      default;
+};
+
+inline CommStats operator+(CommStats a, const CommStats& b) noexcept {
+  a += b;
+  return a;
+}
+
+/// Outcome of one routed inference. `node == net::kNoNode` after the call
+/// means the query could not be served at all (origin crashed, or nothing
+/// reachable hosts a classifier and the failover policy forbids a degraded
+/// answer).
+struct RoutedResult {
+  std::size_t label = 0;
+  net::NodeId node = net::kNoNode;  ///< node that served the prediction
+  std::size_t level = 0;
+  double confidence = 0.0;
+  std::uint64_t bytes = 0;  ///< query-gathering bytes (compression amortized)
+  /// True when the answer came off the normal path: escalation was cut
+  /// short by a crash/outage, or the serving node aggregated with child
+  /// contributions missing.
+  bool degraded = false;
+  /// Expected retransmission bytes on lossy links beyond `bytes` (reliable
+  /// transport with the configured retry cap; zero on loss-free links).
+  std::uint64_t retry_bytes = 0;
+
+  bool served() const noexcept { return node != net::kNoNode; }
+};
+
+}  // namespace edgehd::proto

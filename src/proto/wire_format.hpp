@@ -1,0 +1,104 @@
+// Bounds-checked little-endian byte cursors for the envelope codec.
+//
+// Every multi-byte integer on the EdgeHD wire is little-endian. ByteWriter
+// appends to a caller-owned buffer; ByteReader consumes a read-only span and
+// reports underflow through its return values instead of ever reading out of
+// bounds — the decode path must be total (truncated or corrupt input yields
+// a typed error, never UB).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace edgehd::proto {
+
+/// Appends little-endian primitives to a byte buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void bytes(std::span<const std::uint8_t> b) {
+    out_->insert(out_->end(), b.begin(), b.end());
+  }
+
+  std::size_t size() const noexcept { return out_->size(); }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+/// Consumes little-endian primitives from a span; every read is bounds
+/// checked and returns false on underflow (leaving the output untouched).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> buf) : buf_(buf) {}
+
+  std::size_t remaining() const noexcept { return buf_.size() - pos_; }
+  bool empty() const noexcept { return remaining() == 0; }
+
+  bool u8(std::uint8_t& v) noexcept {
+    if (remaining() < 1) return false;
+    v = buf_[pos_++];
+    return true;
+  }
+
+  bool u32(std::uint32_t& v) noexcept {
+    if (remaining() < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(buf_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) noexcept {
+    if (remaining() < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(buf_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool f64(double& v) noexcept {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  /// Takes the next `n` bytes as a subspan without copying.
+  bool bytes(std::size_t n, std::span<const std::uint8_t>& out) noexcept {
+    if (remaining() < n) return false;
+    out = buf_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace edgehd::proto

@@ -1,0 +1,426 @@
+// Unit tests for the protocol layer (src/proto): typed messages, versioned
+// envelopes with strict bounds-checked decode, canonical byte accounting,
+// the delivery buses, and the NodeRuntime phase state machine.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "hdc/random.hpp"
+#include "hdc/wire.hpp"
+#include "net/medium.hpp"
+#include "net/simulator.hpp"
+#include "net/topology.hpp"
+#include "proto/bus.hpp"
+#include "proto/envelope.hpp"
+#include "proto/messages.hpp"
+#include "proto/node_runtime.hpp"
+#include "proto/types.hpp"
+
+namespace {
+
+using namespace edgehd;
+using proto::DecodeError;
+using proto::Envelope;
+using proto::Message;
+using proto::MsgType;
+
+hdc::AccumHV random_accum(std::size_t dim, std::int32_t magnitude,
+                          std::uint64_t seed) {
+  hdc::Rng rng(seed);
+  hdc::AccumHV acc(dim);
+  for (auto& v : acc) {
+    v = static_cast<std::int32_t>(rng.index(2 * magnitude + 1)) - magnitude;
+  }
+  return acc;
+}
+
+hdc::BipolarHV random_bipolar(std::size_t dim, std::uint64_t seed) {
+  hdc::Rng rng(seed);
+  hdc::BipolarHV hv(dim);
+  for (auto& v : hv) v = rng.bernoulli(0.5) ? 1 : -1;
+  return hv;
+}
+
+/// One representative envelope per message type, with payload sizes that do
+/// not divide evenly into bytes (to exercise the bit-packing tails).
+std::vector<Envelope> corpus() {
+  std::vector<Envelope> out;
+  out.push_back({proto::kProtoVersion, 3, 1,
+                 proto::ModelUpdate{2, random_accum(101, 500, 11)}});
+  out.push_back({proto::kProtoVersion, 4, 2,
+                 proto::BatchUpdate{1, 7, random_accum(67, 32, 12)}});
+  out.push_back({proto::kProtoVersion, 5, 2,
+                 proto::ResidualMerge{0, random_accum(129, 3, 13)}});
+  out.push_back({proto::kProtoVersion, 1, 0,
+                 proto::QueryEscalate{42, 2, random_bipolar(203, 14)}});
+  out.push_back({proto::kProtoVersion, 0, 6,
+                 proto::QueryReply{42, 3, 0.875, 0, 3, 1}});
+  out.push_back(
+      {proto::kProtoVersion, 2, 0, proto::HealthProbe{0xdeadbeef, 17}});
+  return out;
+}
+
+// ---- CommStats -------------------------------------------------------------
+
+TEST(CommStats, PlusEqualsAccumulatesBothFields) {
+  proto::CommStats a{100, 3};
+  const proto::CommStats b{23, 2};
+  a += b;
+  EXPECT_EQ(a.bytes, 123u);
+  EXPECT_EQ(a.messages, 5u);
+  a += proto::CommStats{};
+  EXPECT_EQ(a, (proto::CommStats{123, 5}));
+  EXPECT_EQ(b + b, (proto::CommStats{46, 4}));
+}
+
+// ---- canonical byte accounting ---------------------------------------------
+
+TEST(ProtoWireSize, ModelMessagesChargeAccumBytes) {
+  const auto acc = random_accum(100, 75, 1);
+  EXPECT_EQ(proto::wire_size(proto::ModelUpdate{0, acc}),
+            hdc::wire_bytes_accum(acc));
+  EXPECT_EQ(proto::wire_size(proto::BatchUpdate{0, 0, acc}),
+            hdc::wire_bytes_accum(acc));
+  EXPECT_EQ(proto::wire_size(proto::ResidualMerge{0, acc}),
+            hdc::wire_bytes_accum(acc));
+}
+
+TEST(ProtoWireSize, QueryMessagesChargeBipolarAndFixedReply) {
+  EXPECT_EQ(proto::wire_size(proto::QueryEscalate{0, 0, random_bipolar(777, 2)}),
+            hdc::wire_bytes_bipolar(777));
+  // query id + label + confidence + serving node + level + degraded flag.
+  EXPECT_EQ(proto::wire_size(proto::QueryReply{}), 8u + 4 + 8 + 8 + 4 + 1);
+  EXPECT_EQ(proto::wire_size(proto::HealthProbe{}), 16u);
+}
+
+TEST(ProtoWireSize, CompressedQueryMatchesPaperFormula) {
+  // m <= 1: plain packed bits.
+  EXPECT_EQ(proto::compressed_query_wire_size(4000, 0),
+            hdc::wire_bytes_bipolar(4000));
+  EXPECT_EQ(proto::compressed_query_wire_size(4000, 1),
+            hdc::wire_bytes_bipolar(4000));
+  // m-to-1 bundling: entries grow to |v| <= m, bytes amortize over m members.
+  for (const std::size_t m : {2u, 8u, 32u}) {
+    const auto bits = hdc::bits_for_magnitude(static_cast<std::int64_t>(m));
+    const auto expect = (hdc::wire_bytes_accum(4000, bits) + m - 1) / m;
+    EXPECT_EQ(proto::compressed_query_wire_size(4000, m), expect);
+  }
+  // The formula's crossover: 2-to-1 bundling costs *more* than separate
+  // packed queries (3-bit entries amortized over 2), break-even at m = 4,
+  // and a win beyond — matching the paper's preference for larger m.
+  EXPECT_GT(proto::compressed_query_wire_size(4000, 2),
+            hdc::wire_bytes_bipolar(4000));
+  EXPECT_EQ(proto::compressed_query_wire_size(4000, 4),
+            hdc::wire_bytes_bipolar(4000));
+  for (std::size_t m = 8; m <= 64; m *= 2) {
+    EXPECT_LT(proto::compressed_query_wire_size(4000, m),
+              hdc::wire_bytes_bipolar(4000));
+  }
+}
+
+TEST(ProtoMessages, TypeNamesAreStable) {
+  EXPECT_STREQ(proto::to_string(MsgType::kModelUpdate), "model_update");
+  EXPECT_STREQ(proto::to_string(MsgType::kBatchUpdate), "batch_update");
+  EXPECT_STREQ(proto::to_string(MsgType::kResidualMerge), "residual_merge");
+  EXPECT_STREQ(proto::to_string(MsgType::kQueryEscalate), "query_escalate");
+  EXPECT_STREQ(proto::to_string(MsgType::kQueryReply), "query_reply");
+  EXPECT_STREQ(proto::to_string(MsgType::kHealthProbe), "health_probe");
+}
+
+// ---- envelope round trips --------------------------------------------------
+
+TEST(Envelope, EveryMessageTypeRoundTrips) {
+  for (const Envelope& env : corpus()) {
+    const auto buf = proto::encode(env);
+    ASSERT_GE(buf.size(), proto::kHeaderSize);
+    EXPECT_EQ(buf[0], 'E');
+    EXPECT_EQ(buf[1], 'P');
+    const auto decoded = proto::decode(buf);
+    ASSERT_TRUE(decoded.ok())
+        << proto::to_string(decoded.error) << " for type "
+        << proto::to_string(proto::type_of(env.msg));
+    EXPECT_EQ(decoded.envelope.version, env.version);
+    EXPECT_EQ(decoded.envelope.src, env.src);
+    EXPECT_EQ(decoded.envelope.dst, env.dst);
+    EXPECT_EQ(decoded.envelope.msg, env.msg);
+  }
+}
+
+TEST(Envelope, AccumRoundTripsAcrossMagnitudesAndOddDims) {
+  // Property sweep: width selection (2..33 bits), sign extension, and the
+  // packed tail must all be exact for any dim/magnitude combination.
+  for (const std::size_t dim : {1u, 7u, 8u, 63u, 200u}) {
+    for (const std::int32_t mag :
+         {1, 2, 3, 200, 100'000, std::numeric_limits<std::int32_t>::max() - 1}) {
+      const Envelope env{proto::kProtoVersion, 1, 0,
+                         proto::ModelUpdate{
+                             0, random_accum(dim, mag, 31 * dim + mag)}};
+      const auto decoded = proto::decode(proto::encode(env));
+      ASSERT_TRUE(decoded.ok()) << "dim=" << dim << " mag=" << mag;
+      EXPECT_EQ(decoded.envelope.msg, env.msg);
+    }
+  }
+}
+
+TEST(Envelope, BipolarRoundTripsAtOddDims) {
+  for (const std::size_t dim : {1u, 8u, 9u, 127u, 4000u}) {
+    const Envelope env{proto::kProtoVersion, 2, 0,
+                       proto::QueryEscalate{9, 1, random_bipolar(dim, dim)}};
+    const auto decoded = proto::decode(proto::encode(env));
+    ASSERT_TRUE(decoded.ok()) << "dim=" << dim;
+    EXPECT_EQ(decoded.envelope.msg, env.msg);
+  }
+}
+
+// ---- typed rejections ------------------------------------------------------
+
+TEST(EnvelopeReject, TruncatedHeader) {
+  const auto buf = proto::encode(corpus().front());
+  for (std::size_t len = 0; len < proto::kHeaderSize; ++len) {
+    const auto r = proto::decode(std::span(buf.data(), len));
+    EXPECT_EQ(r.error, DecodeError::kTruncatedHeader) << "len=" << len;
+  }
+}
+
+TEST(EnvelopeReject, BadMagic) {
+  auto buf = proto::encode(corpus().front());
+  buf[1] = 'Q';
+  EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadMagic);
+}
+
+TEST(EnvelopeReject, UnknownVersionFailsClosed) {
+  auto buf = proto::encode(corpus().front());
+  buf[2] = proto::kProtoVersion + 1;
+  EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadVersion);
+  buf[2] = 0;
+  EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadVersion);
+}
+
+TEST(EnvelopeReject, UnknownTypeByte) {
+  auto buf = proto::encode(corpus().front());
+  buf[3] = 0;
+  EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadType);
+  buf[3] = 7;
+  EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadType);
+}
+
+TEST(EnvelopeReject, PayloadLengthMismatch) {
+  // Header claims more payload than the buffer carries: truncated.
+  auto buf = proto::encode(corpus().front());
+  buf.resize(buf.size() - 1);
+  EXPECT_EQ(proto::decode(buf).error, DecodeError::kTruncatedPayload);
+  // Buffer carries more than the header claims: length mismatch.
+  auto padded = proto::encode(corpus().front());
+  padded.push_back(0);
+  EXPECT_EQ(proto::decode(padded).error, DecodeError::kLengthMismatch);
+}
+
+TEST(EnvelopeReject, CorruptAccumWidth) {
+  // ModelUpdate payload: u32 class_id, then u32 dim + u8 bits. Forcing the
+  // width byte outside [2, 33] must fail as corrupt, not crash.
+  auto buf = proto::encode(corpus().front());
+  const std::size_t bits_at = proto::kHeaderSize + 4 + 4;
+  for (const std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{1},
+                                 std::uint8_t{34}, std::uint8_t{255}}) {
+    buf[bits_at] = bad;
+    EXPECT_EQ(proto::decode(buf).error, DecodeError::kCorruptPayload);
+  }
+}
+
+TEST(EnvelopeReject, HugeDimCannotDriveAllocation) {
+  // A corrupt dim field far beyond kMaxWireDim must be rejected before any
+  // allocation is sized from it.
+  auto buf = proto::encode(corpus().front());
+  const std::size_t dim_at = proto::kHeaderSize + 4;
+  for (int i = 0; i < 4; ++i) buf[dim_at + i] = 0xFF;
+  EXPECT_EQ(proto::decode(buf).error, DecodeError::kCorruptPayload);
+}
+
+TEST(EnvelopeReject, NonCanonicalPadBits) {
+  // The final byte's pad bits must be zero; flip one and the strict decoder
+  // refuses (canonical form keeps encode(decode(x)) == x).
+  const Envelope env{proto::kProtoVersion, 1, 0,
+                     proto::ModelUpdate{0, random_accum(3, 2, 5)}};
+  auto buf = proto::encode(env);
+  buf.back() |= 0x80;
+  EXPECT_EQ(proto::decode(buf).error, DecodeError::kCorruptPayload);
+}
+
+// ---- corpus-driven corruption sweep ----------------------------------------
+
+TEST(EnvelopeSweep, EveryTruncationFailsTyped) {
+  for (const Envelope& env : corpus()) {
+    const auto buf = proto::encode(env);
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+      const auto r = proto::decode(std::span(buf.data(), len));
+      EXPECT_NE(r.error, DecodeError::kNone)
+          << proto::to_string(proto::type_of(env.msg)) << " len=" << len;
+    }
+  }
+}
+
+TEST(EnvelopeSweep, SingleByteFlipsNeverCrash) {
+  // Flipping any single bit anywhere must yield either a typed error or a
+  // well-formed envelope (payload bytes carry no checksum, so some flips
+  // decode to different-but-valid values; re-encoding may then pick a
+  // narrower canonical width) — never UB or an unbounded allocation.
+  // ASan/UBSan builds make this a memory-safety proof.
+  for (const Envelope& env : corpus()) {
+    const auto clean = proto::encode(env);
+    for (std::size_t at = 0; at < clean.size(); ++at) {
+      for (int bit = 0; bit < 8; ++bit) {
+        auto buf = clean;
+        buf[at] ^= static_cast<std::uint8_t>(1u << bit);
+        const auto r = proto::decode(buf);
+        if (r.ok()) {
+          // Whatever decoded must re-encode to a decodable canonical frame.
+          EXPECT_TRUE(proto::decode(proto::encode(r.envelope)).ok());
+        }
+      }
+    }
+  }
+}
+
+TEST(EnvelopeSweep, RandomGarbageNeverCrashes) {
+  hdc::Rng rng(2026);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> buf(rng.index(96));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.index(256));
+    // Bias some rounds toward a valid prefix so decode reaches the payload
+    // parsers instead of bouncing off the magic check.
+    if (buf.size() >= 4 && round % 2 == 0) {
+      buf[0] = 'E';
+      buf[1] = 'P';
+      buf[2] = proto::kProtoVersion;
+      buf[3] = static_cast<std::uint8_t>(1 + round % 6);
+    }
+    const auto r = proto::decode(buf);
+    if (r.ok()) {
+      EXPECT_TRUE(proto::decode(proto::encode(r.envelope)).ok());
+    }
+  }
+}
+
+// ---- buses -----------------------------------------------------------------
+
+TEST(LocalBus, DeliversThroughRealCodecAndChargesWireSize) {
+  proto::LocalBus bus(4, proto::LocalBus::Codec::kEncoded);
+  std::vector<Envelope> seen;
+  bus.subscribe(2, [&](const Envelope& env) { seen.push_back(env); });
+
+  proto::CommStats stats;
+  bus.set_charge(&stats);
+  const Envelope env{proto::kProtoVersion, 0, 2,
+                     proto::ModelUpdate{1, random_accum(50, 20, 3)}};
+  bus.post(env);
+  bus.set_charge(nullptr);
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].msg, env.msg);  // survived the encode/decode round trip
+  EXPECT_EQ(seen[0].src, 0u);
+  EXPECT_EQ(bus.delivered(), 1u);
+  // The sink is charged the canonical payload accounting, not the framed
+  // envelope bytes.
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.bytes, proto::wire_size(env.msg));
+
+  // Uncharged post still delivers but leaves the detached sink alone.
+  bus.post(env);
+  EXPECT_EQ(bus.delivered(), 2u);
+  EXPECT_EQ(stats.messages, 1u);
+}
+
+TEST(SimulatorBus, DeliversOverTheEventSimulator) {
+  const auto topo = net::Topology::paper_tree(4);
+  net::Simulator sim(topo, net::medium(net::MediumKind::kWired1G));
+  proto::SimulatorBus bus(sim);
+
+  const net::NodeId leaf = topo.leaves().front();
+  const net::NodeId parent = topo.parent(leaf);
+  std::vector<Envelope> seen;
+  bus.subscribe(parent, [&](const Envelope& env) { seen.push_back(env); });
+
+  proto::CommStats stats;
+  bus.set_charge(&stats);
+  const Envelope env{proto::kProtoVersion, leaf, parent,
+                     proto::ResidualMerge{3, random_accum(80, 7, 4)}};
+  bus.post(env);
+  EXPECT_TRUE(seen.empty());  // nothing lands until the simulator runs
+  sim.run();
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].msg, env.msg);
+  EXPECT_EQ(bus.delivered(), 1u);
+  EXPECT_EQ(bus.decode_failures(), 0u);
+  EXPECT_EQ(stats, (proto::CommStats{proto::wire_size(env.msg), 1}));
+  // The simulator charged the framed bytes on the link (header + payload
+  // prefixes), strictly more than the canonical accounting.
+  EXPECT_GT(sim.total_bytes_transferred(), stats.bytes);
+}
+
+// ---- NodeRuntime state machine ---------------------------------------------
+
+TEST(NodeRuntime, ModelBearingMessagesRequireTheirPhase) {
+  const auto topo = net::Topology::paper_tree(4);
+  const net::NodeId gw = topo.parent(topo.leaves().front());
+  proto::NodeRuntime rt;
+  rt.init(gw, topo, /*dim=*/32, /*num_classes=*/2);
+  EXPECT_EQ(rt.role(), proto::NodeRuntime::Role::kGateway);
+  EXPECT_EQ(rt.phase(), proto::NodeRuntime::Phase::kIdle);
+
+  const net::NodeId child = topo.children(gw).front();
+  const Envelope update{proto::kProtoVersion, child, gw,
+                        proto::ModelUpdate{0, hdc::AccumHV(32, 1)}};
+  // Outside its phase: protocol violation.
+  EXPECT_THROW(rt.on_envelope(update), std::logic_error);
+
+  rt.begin_initial_training();
+  EXPECT_EQ(rt.phase(), proto::NodeRuntime::Phase::kInitialTraining);
+  EXPECT_NO_THROW(rt.on_envelope(update));
+  // Wrong phase for a batch message even while training.
+  const Envelope batch{proto::kProtoVersion, child, gw,
+                       proto::BatchUpdate{0, 0, hdc::AccumHV(32, 1)}};
+  EXPECT_THROW(rt.on_envelope(batch), std::logic_error);
+}
+
+TEST(NodeRuntime, RejectsNonChildSendersAndBadClassIds) {
+  const auto topo = net::Topology::paper_tree(4);
+  const auto leaves = topo.leaves();
+  const net::NodeId gw = topo.parent(leaves.front());
+  proto::NodeRuntime rt;
+  rt.init(gw, topo, 32, 2);
+  rt.begin_initial_training();
+
+  // A leaf under the *other* gateway is not our child.
+  const net::NodeId stranger = leaves.back();
+  ASSERT_NE(topo.parent(stranger), gw);
+  EXPECT_THROW(rt.on_envelope({proto::kProtoVersion, stranger, gw,
+                               proto::ModelUpdate{0, hdc::AccumHV(32, 1)}}),
+               std::logic_error);
+  // Out-of-range class id.
+  const net::NodeId child = topo.children(gw).front();
+  EXPECT_THROW(rt.on_envelope({proto::kProtoVersion, child, gw,
+                               proto::ModelUpdate{9, hdc::AccumHV(32, 1)}}),
+               std::logic_error);
+}
+
+TEST(NodeRuntime, ProbesAndQueriesAreCountedNotFiled) {
+  const auto topo = net::Topology::paper_tree(4);
+  const net::NodeId gw = topo.parent(topo.leaves().front());
+  proto::NodeRuntime rt;
+  rt.init(gw, topo, 32, 2);
+  const net::NodeId child = topo.children(gw).front();
+  // Probes and queries are phase-free: fine even while idle.
+  rt.on_envelope(
+      {proto::kProtoVersion, child, gw, proto::HealthProbe{1, 2}});
+  rt.on_envelope({proto::kProtoVersion, child, gw,
+                  proto::QueryEscalate{1, 1, random_bipolar(32, 6)}});
+  rt.on_envelope({proto::kProtoVersion, child, gw, proto::QueryReply{}});
+  EXPECT_EQ(rt.probes_received(), 1u);
+  EXPECT_EQ(rt.queries_received(), 2u);
+  EXPECT_EQ(rt.phase(), proto::NodeRuntime::Phase::kIdle);
+}
+
+}  // namespace
