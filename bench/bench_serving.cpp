@@ -1,0 +1,237 @@
+// Serving-plane bench (this PR's acceptance bar): dynamic micro-batching
+// must deliver >= 2x the service throughput of batch-size-1 serving on the
+// same seeded workload at exactly equal accuracy (decisions are
+// bit-identical; only the dispatch pattern changes). Service throughput is
+// served / virtual-time makespan under the ServeConfig cost model
+// (batch_overhead amortizes across coalesced queries), so the gate is
+// deterministic across machines; the wall-clock GEMM-coalescing speedup of
+// the kernel plane is measured and reported alongside. Also exercises
+// overload shedding against a bounded queue and bursty ON/OFF arrivals, and
+// reports virtual-time latency quantiles + SLO violations per scenario.
+// Writes BENCH_serving.json. `--smoke` runs a small instance for CI.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/edgehd.hpp"
+#include "data/dataset.hpp"
+#include "net/medium.hpp"
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "serve/engine.hpp"
+
+namespace {
+
+using namespace edgehd;
+using net::kMillisecond;
+
+struct Scenario {
+  std::string name;
+  double wall_s = 0.0;
+  double qps = 0.0;          ///< wall-clock kernel throughput
+  double virtual_qps = 0.0;  ///< service throughput in virtual time
+  serve::ServeReport report;
+  double accuracy = 0.0;
+};
+
+Scenario run_scenario(const std::string& name, const core::EdgeHdSystem& sys,
+                      const serve::ServeConfig& cfg,
+                      const serve::LoadSpec& load) {
+  Scenario s;
+  s.name = name;
+  auto engine = sys.serve_start(cfg);
+  const auto begin = std::chrono::steady_clock::now();
+  s.report = engine->run(load);
+  s.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  s.qps = static_cast<double>(s.report.served) / s.wall_s;
+  s.virtual_qps = s.report.makespan <= 0
+                      ? 0.0
+                      : static_cast<double>(s.report.served) /
+                            (static_cast<double>(s.report.makespan) / 1e9);
+  s.accuracy = s.report.served == 0
+                   ? 0.0
+                   : static_cast<double>(s.report.correct) /
+                         static_cast<double>(s.report.served);
+  return s;
+}
+
+void print_scenario(const Scenario& s) {
+  const auto& r = s.report;
+  std::printf(
+      "  %-22s  wall %6.2fs  %9.0f q/s wall  %9.0f q/s virtual  "
+      "served %llu/%llu  shed %llu+%llu  acc %.4f\n",
+      s.name.c_str(), s.wall_s, s.qps, s.virtual_qps,
+      static_cast<unsigned long long>(r.served),
+      static_cast<unsigned long long>(r.submitted),
+      static_cast<unsigned long long>(r.shed_admission),
+      static_cast<unsigned long long>(r.shed_escalated), s.accuracy);
+  std::printf(
+      "  %-22s  virtual p50 %.2fms  p95 %.2fms  p99 %.2fms  slo-viol %llu  "
+      "hops %llu  batches %llu\n",
+      "", r.p50_latency_ns / 1e6, r.p95_latency_ns / 1e6,
+      r.p99_latency_ns / 1e6, static_cast<unsigned long long>(r.slo_violations),
+      static_cast<unsigned long long>(r.escalation_hops),
+      static_cast<unsigned long long>(r.batches));
+}
+
+void json_scenario(std::FILE* f, const Scenario& s, const char* trail) {
+  const auto& r = s.report;
+  std::fprintf(
+      f,
+      "    \"%s\": {\"wall_s\": %.4f, \"wall_qps\": %.1f, "
+      "\"virtual_qps\": %.1f, \"submitted\": %llu, "
+      "\"served\": %llu, \"served_degraded\": %llu, \"unserved\": %llu, "
+      "\"shed_admission\": %llu, \"shed_escalated\": %llu, "
+      "\"escalation_hops\": %llu, \"batches\": %llu, \"accuracy\": %.6f, "
+      "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, "
+      "\"mean_ms\": %.4f, \"slo_violations\": %llu, \"makespan_ms\": %.2f, "
+      "\"reply_hash\": \"%llx\"}%s\n",
+      s.name.c_str(), s.wall_s, s.qps, s.virtual_qps,
+      static_cast<unsigned long long>(r.submitted),
+      static_cast<unsigned long long>(r.served),
+      static_cast<unsigned long long>(r.served_degraded),
+      static_cast<unsigned long long>(r.unserved),
+      static_cast<unsigned long long>(r.shed_admission),
+      static_cast<unsigned long long>(r.shed_escalated),
+      static_cast<unsigned long long>(r.escalation_hops),
+      static_cast<unsigned long long>(r.batches), s.accuracy,
+      r.p50_latency_ns / 1e6, r.p95_latency_ns / 1e6, r.p99_latency_ns / 1e6,
+      r.mean_latency_ns / 1e6, static_cast<unsigned long long>(r.slo_violations),
+      static_cast<double>(r.makespan) / 1e6,
+      static_cast<unsigned long long>(r.reply_hash), trail);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::uint64_t n_coalesce = smoke ? 5'000 : 1'000'000;
+  const std::uint64_t n_stress = smoke ? 3'000 : 100'000;
+
+  // Wide per-leaf feature slices make the projection GEMV the dominant
+  // per-query cost, which is exactly what micro-batching amortizes (the
+  // gemm_f32 kernel shares each weight load across coalesced samples).
+  // Well-separated classes keep the escalation rate low, so the comparison
+  // measures leaf-plane coalescing rather than the (identical in both legs)
+  // per-query escalation encodes.
+  auto ds = data::make_synthetic("serving", 4096, 3, {1024, 1024, 1024, 1024},
+                                 1200, 400, 123, 6.0F, 0.2F, 0.0F);
+  data::zscore_normalize(ds);
+  core::SystemConfig syscfg;
+  syscfg.total_dim = 1024;
+  syscfg.batch_size = 8;
+  syscfg.confidence_threshold = 0.5;
+  syscfg.leaf_encoder = hdc::EncoderKind::kRbfDense;  // GEMM-amortized batches
+  core::EdgeHdSystem sys(ds, net::Topology::paper_tree(4), syscfg);
+  sys.train();
+  const auto leaves = sys.topology().leaves();
+  const std::vector<net::NodeId> origins(leaves.begin(), leaves.end());
+
+  std::printf("bench_serving: %s  queries=%llu  workers=%zu  dim=%zu\n",
+              smoke ? "smoke" : "full",
+              static_cast<unsigned long long>(n_coalesce), sys.worker_count(),
+              syscfg.total_dim);
+
+  // ---- A: coalescing (the acceptance bar) ---------------------------------
+  // Same seeded workload through batch-size-1 serving and micro-batched
+  // serving; queues deep enough that nothing sheds, so decisions — and
+  // accuracy — are identical and only kernel dispatch changes.
+  serve::ServeConfig single;
+  single.queue_depth = 1u << 20;
+  single.max_batch = 1;
+  single.record_replies = false;
+  serve::ServeConfig batched = single;
+  batched.max_batch = 32;
+
+  const auto load =
+      serve::LoadSpec::poisson(origins, 25'000.0, n_coalesce, 71);
+  const Scenario a1 = run_scenario("single(b=1)", sys, single, load);
+  const Scenario a2 = run_scenario("batched(b=32)", sys, batched, load);
+  print_scenario(a1);
+  print_scenario(a2);
+  // Service throughput (virtual time, both legs saturated by the same
+  // arrival trace) is the serving plane's own throughput metric — it is
+  // deterministic across machines, which a gating bench needs. The
+  // wall-clock kernel speedup (GEMM coalescing) is reported alongside.
+  const double speedup = a2.virtual_qps / a1.virtual_qps;
+  const double wall_speedup = a2.qps / a1.qps;
+  const bool acc_equal = a1.report.correct == a2.report.correct &&
+                         a1.report.served == a2.report.served;
+  const bool pass = speedup >= 2.0 && acc_equal;
+  std::printf(
+      "acceptance: micro-batched vs batch-1 service throughput %.2fx "
+      "(>= 2x), kernel wall-clock %.2fx, accuracy equal: %s -> %s\n",
+      speedup, wall_speedup, acc_equal ? "yes" : "NO", pass ? "PASS" : "FAIL");
+
+  // ---- B: overload against a bounded queue --------------------------------
+  serve::ServeConfig bounded;
+  bounded.queue_depth = 64;
+  bounded.max_batch = 32;
+  bounded.per_query_cost = 200 * net::kMicrosecond;
+  bounded.slo = 10 * kMillisecond;
+  bounded.record_replies = false;
+  const Scenario b = run_scenario(
+      "overload", sys, bounded,
+      serve::LoadSpec::poisson(origins, 60'000.0, n_stress, 72));
+  print_scenario(b);
+
+  // ---- C: bursty ON/OFF ----------------------------------------------------
+  serve::ServeConfig burst_cfg = bounded;
+  burst_cfg.queue_depth = 256;
+  const Scenario c = run_scenario(
+      "bursty", sys, burst_cfg,
+      serve::LoadSpec::bursty(origins, 80'000.0, 20 * kMillisecond,
+                              80 * kMillisecond, n_stress, 73));
+  print_scenario(c);
+
+  // ---- confidence quantiles (obs::Histogram::summary backfill) ------------
+  obs::HistogramSummary conf;
+  if constexpr (obs::kEnabled) {
+    conf = obs::MetricsRegistry::global()
+               .find_histogram("core.routed.confidence")
+               .summary();
+    std::printf(
+        "routed confidence: n=%llu  p50 %.3f  p90 %.3f  p95 %.3f  p99 %.3f\n",
+        static_cast<unsigned long long>(conf.count), conf.p50, conf.p90,
+        conf.p95, conf.p99);
+  }
+
+  std::FILE* f = std::fopen("BENCH_serving.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"mode\": \"%s\",\n  \"queries\": %llu,\n",
+                 smoke ? "smoke" : "full",
+                 static_cast<unsigned long long>(n_coalesce));
+    std::fprintf(f, "  \"workers\": %zu,\n  \"scenarios\": {\n",
+                 sys.worker_count());
+    json_scenario(f, a1, ",");
+    json_scenario(f, a2, ",");
+    json_scenario(f, b, ",");
+    json_scenario(f, c, "");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f,
+                 "  \"confidence\": {\"count\": %llu, \"p50\": %.4f, "
+                 "\"p90\": %.4f, \"p95\": %.4f, \"p99\": %.4f},\n",
+                 static_cast<unsigned long long>(conf.count), conf.p50,
+                 conf.p90, conf.p95, conf.p99);
+    std::fprintf(f,
+                 "  \"coalescing_speedup\": %.3f,\n"
+                 "  \"kernel_wall_speedup\": %.3f,\n"
+                 "  \"accuracy_equal\": %s,\n"
+                 "  \"coalescing_speedup_ok\": %s\n}\n",
+                 speedup, wall_speedup, acc_equal ? "true" : "false",
+                 pass ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_serving.json\n");
+  }
+  // The gated ratio is virtual-time service throughput, deterministic for a
+  // fixed (seed, config) — so the bar holds in smoke mode too.
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// Serving: drive the query-serving plane (src/serve, DESIGN.md section 10)
+// with a seeded open-loop trace. Queries arrive at the leaves from per-node
+// Poisson processes, wait in bounded admission queues, and are drained in
+// dynamic micro-batches through the packed kernels; low-confidence queries
+// escalate asynchronously while their leaf keeps serving. Everything below
+// runs in virtual time, so the printed numbers are deterministic for a
+// fixed seed — across runs AND across worker counts — and the build pins
+// them (Serving.OutputPinned) the same way the quickstart output is pinned.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/serving
+#include <cstdio>
+
+#include "core/edgehd.hpp"
+#include "data/dataset.hpp"
+#include "net/fault.hpp"
+#include "net/medium.hpp"
+#include "net/topology.hpp"
+#include "serve/config.hpp"
+#include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
+
+int main() {
+  using namespace edgehd;
+  using net::kMillisecond;
+
+  // 1. A small smart-building deployment: 4 end nodes -> 2 gateways -> 1
+  //    central node, trained on a 40-feature synthetic workload.
+  auto ds = data::make_synthetic("serving-example", 40, 3, {10, 10, 10, 10},
+                                 /*train_size=*/900, /*test_size=*/250,
+                                 /*seed=*/91, /*class_separation=*/3.8F,
+                                 /*observation_noise=*/0.5F,
+                                 /*xor_fraction=*/0.5F);
+  data::zscore_normalize(ds);
+  core::SystemConfig cfg;
+  cfg.total_dim = 1600;
+  cfg.confidence_threshold = 0.6;
+  core::EdgeHdSystem system(ds, net::Topology::paper_tree(4), cfg);
+  system.train();
+
+  // 2. An open-loop trace: every leaf receives a 2 kHz Poisson query stream,
+  //    8000 queries in total. The engine coalesces queued queries into
+  //    micro-batches (flush at max_batch or after max_wait, whichever first).
+  const std::vector<net::NodeId> leaves = system.topology().leaves();
+  const auto load = serve::LoadSpec::poisson(
+      {leaves.begin(), leaves.end()}, /*rate_hz=*/2000.0,
+      /*num_queries=*/8000, /*seed=*/7);
+  serve::ServeConfig scfg;
+  scfg.queue_depth = 512;
+  scfg.max_batch = 16;
+  scfg.slo = 25 * kMillisecond;
+  scfg.record_replies = false;
+  const serve::ServeReport r = system.serve_run(scfg, load);
+  std::printf("served:                  %llu of %llu submitted\n",
+              static_cast<unsigned long long>(r.served),
+              static_cast<unsigned long long>(r.submitted));
+  std::printf("escalation hops:         %llu\n",
+              static_cast<unsigned long long>(r.escalation_hops));
+  std::printf("micro-batches:           %llu\n",
+              static_cast<unsigned long long>(r.batches));
+  std::printf("accuracy:                %.1f%%\n",
+              100.0 * static_cast<double>(r.correct) /
+                  static_cast<double>(r.served));
+  std::printf("latency p50/p95/p99:     %.2f / %.2f / %.2f ms (virtual)\n",
+              static_cast<double>(r.p50_latency_ns) / 1e6,
+              static_cast<double>(r.p95_latency_ns) / 1e6,
+              static_cast<double>(r.p99_latency_ns) / 1e6);
+  std::printf("SLO (25 ms) violations:  %llu\n",
+              static_cast<unsigned long long>(r.slo_violations));
+
+  // 3. The same trace with a gateway outage window: queries whose escalation
+  //    target is unreachable are answered at the best node reached so far
+  //    (served degraded) instead of being dropped.
+  net::FaultPlan plan;
+  plan.crash(/*node=*/4, /*from=*/200 * kMillisecond,  // gateway of leaves 0,1
+             /*until=*/600 * kMillisecond);
+  const serve::ServeReport f = system.serve_run(scfg, load, plan);
+  std::printf("with gateway outage:     %llu served (%llu degraded), "
+              "%llu unserved\n",
+              static_cast<unsigned long long>(f.served),
+              static_cast<unsigned long long>(f.served_degraded),
+              static_cast<unsigned long long>(f.unserved));
+  return 0;
+}

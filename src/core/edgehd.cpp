@@ -302,9 +302,20 @@ std::vector<BipolarHV> EdgeHdSystem::encode_all(
 
 std::vector<BipolarHV> EdgeHdSystem::encode_all_masked(
     std::span<const float> x) const {
+  return encode_all_masked(x, health_);
+}
+
+std::vector<BipolarHV> EdgeHdSystem::encode_all_masked(
+    std::span<const float> x, const net::HealthMask& mask) const {
   if (x.size() != ds_.num_features) {
     throw std::invalid_argument("EdgeHdSystem: feature count mismatch");
   }
+  const auto up = [&mask](NodeId id) {
+    return mask.empty() || mask.node_up(id);
+  };
+  const auto delivers = [&mask, &up](NodeId child) {
+    return up(child) && (mask.empty() || mask.link_up(child));
+  };
   // Like encode_all, but a child whose contribution cannot reach its parent
   // is replaced by silence (all-zero components — the same "no signal"
   // convention as the Figure-12 erasure model). Crashed nodes emit silence
@@ -313,7 +324,7 @@ std::vector<BipolarHV> EdgeHdSystem::encode_all_masked(
   std::vector<BipolarHV> hvs(topology_.num_nodes());
   for (NodeId id : bottom_up_order()) {
     const proto::NodeRuntime& rt = nodes_[id];
-    if (!node_up(id)) {
+    if (!up(id)) {
       hvs[id] = BipolarHV(rt.dim(), 0);
       continue;
     }
@@ -325,7 +336,7 @@ std::vector<BipolarHV> EdgeHdSystem::encode_all_masked(
       const auto& kids = topology_.children(id);
       std::vector<BipolarHV> child_hvs(kids.size());
       for (std::size_t c = 0; c < kids.size(); ++c) {
-        child_hvs[c] = child_delivers(kids[c])
+        child_hvs[c] = delivers(kids[c])
                            ? hvs[kids[c]]
                            : BipolarHV(nodes_[kids[c]].dim(), 0);
       }
@@ -522,6 +533,69 @@ std::vector<RoutedResult> EdgeHdSystem::infer_routed_batch(
     const obs::TraceSuppress no_trace;
     return infer_routed(xs[i], start);
   });
+}
+
+// ---- query serving (src/serve) ---------------------------------------------
+
+std::unique_ptr<serve::Engine> EdgeHdSystem::serve_start(
+    const serve::ServeConfig& cfg) const {
+  // Batched prediction inside the engine's service loop hits the packed
+  // classifier caches from pool threads; warm them all up front.
+  for (const proto::NodeRuntime& rt : nodes_) {
+    if (rt.has_classifier()) rt.classifier().warm_cache();
+  }
+  serve::Bindings b;
+  b.ctx = routing_context();
+  b.pool = pool_.get();
+  b.num_samples = ds_.test_size();
+  b.labels = ds_.test_y;
+  b.encode_leaf_batch = [this](NodeId leaf,
+                               std::span<const std::uint64_t> samples) {
+    const proto::NodeRuntime& rt = nodes_[leaf];
+    const std::size_t offset = ds_.partition_offset(rt.partition());
+    const std::size_t len = ds_.partitions[rt.partition()];
+    std::vector<std::vector<float>> slices(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const auto& x = ds_.test_x[samples[i]];
+      slices[i].assign(x.begin() + static_cast<std::ptrdiff_t>(offset),
+                       x.begin() + static_cast<std::ptrdiff_t>(offset + len));
+    }
+    return rt.leaf_encoder().encode_batch(slices, *pool_);
+  };
+  b.encode_all = [this](std::uint64_t sample) {
+    return encode_all(ds_.test_x[sample]);
+  };
+  b.encode_all_masked = [this](std::uint64_t sample,
+                               const net::HealthMask& mask) {
+    return encode_all_masked(ds_.test_x[sample], mask);
+  };
+  const CoreObs& o = CoreObs::get();
+  b.routed_queries = o.routed_queries;
+  b.routed_degraded = o.routed_degraded;
+  b.routed_unserved = o.routed_unserved;
+  b.routed_bytes = o.routed_bytes;
+  b.routed_retry_bytes = o.routed_retry_bytes;
+  b.routed_confidence = o.confidence;
+  b.node_serves = node_serves_;
+  return std::make_unique<serve::Engine>(cfg, std::move(b));
+}
+
+serve::ServeReport EdgeHdSystem::serve_run(const serve::ServeConfig& cfg,
+                                           const serve::LoadSpec& load) const {
+  return serve_start(cfg)->run(load);
+}
+
+serve::ServeReport EdgeHdSystem::serve_run(const serve::ServeConfig& cfg,
+                                           const serve::LoadSpec& load,
+                                           const net::FaultPlan& plan) const {
+  auto engine = serve_start(cfg);
+  engine->set_fault_plan(plan);
+  return engine->run(load);
+}
+
+serve::ServeReport EdgeHdSystem::serve_run(
+    const serve::ServeConfig& cfg, const serve::ClosedLoopSpec& load) const {
+  return serve_start(cfg)->run(load);
 }
 
 // ---- online learning -------------------------------------------------------

@@ -45,6 +45,7 @@
 #include "proto/sessions.hpp"
 #include "proto/types.hpp"
 #include "runtime/thread_pool.hpp"
+#include "serve/engine.hpp"
 
 namespace edgehd::core {
 
@@ -192,6 +193,31 @@ class EdgeHdSystem {
   /// subtree's leaves, with m-to-1 compression on every hop.
   std::uint64_t query_gather_bytes(net::NodeId id) const;
 
+  // ---- query serving (src/serve, DESIGN.md §10) ----------------------------
+
+  /// Builds a serving engine over this deployment: per-node bounded
+  /// admission queues, dynamic micro-batching through the packed kernels,
+  /// async escalation sessions. The query pool is the dataset's test split
+  /// (`sample` indices passed to Engine::submit / drawn by a load generator
+  /// index it). Classifier caches are warmed here so batch prediction is
+  /// thread-safe. The engine borrows this system — keep the system alive and
+  /// unmodified while the engine runs. Faults come from the engine's own
+  /// FaultPlan (Engine::set_fault_plan), not from set_health: the serving
+  /// plane re-snapshots health as virtual time advances.
+  std::unique_ptr<serve::Engine> serve_start(
+      const serve::ServeConfig& cfg) const;
+
+  /// Convenience: serve one open-loop generated workload to completion.
+  serve::ServeReport serve_run(const serve::ServeConfig& cfg,
+                               const serve::LoadSpec& load) const;
+  /// Open loop under a fault timeline.
+  serve::ServeReport serve_run(const serve::ServeConfig& cfg,
+                               const serve::LoadSpec& load,
+                               const net::FaultPlan& plan) const;
+  /// Closed loop (think-time clients).
+  serve::ServeReport serve_run(const serve::ServeConfig& cfg,
+                               const serve::ClosedLoopSpec& load) const;
+
   // ---- online learning ------------------------------------------------------
 
   /// Serves one online sample: routed inference from `start`, then negative
@@ -271,8 +297,12 @@ class EdgeHdSystem {
   bool child_delivers(net::NodeId child) const noexcept;
 
   /// encode_all with unreachable child contributions zeroed (the transport
-  /// analogue of the Figure-12 dimension erasure).
+  /// analogue of the Figure-12 dimension erasure), under the installed mask.
   std::vector<hdc::BipolarHV> encode_all_masked(std::span<const float> x) const;
+  /// Same, under an explicit mask (the serving plane re-snapshots health per
+  /// virtual time, so it cannot use the installed member mask).
+  std::vector<hdc::BipolarHV> encode_all_masked(
+      std::span<const float> x, const net::HealthMask& mask) const;
 
   RoutedResult infer_routed_degraded(std::span<const float> x,
                                      net::NodeId start) const;

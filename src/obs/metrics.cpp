@@ -206,6 +206,64 @@ std::uint64_t Histogram::sum() const {
                         static_cast<std::uint32_t>(def_->bounds.size()) + 1);
 }
 
+namespace {
+
+/// Shared quantile engine over one consistent (bounds, counts) snapshot.
+double quantile_from(const std::vector<double>& bounds,
+                     const std::vector<std::uint64_t>& counts, double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double prev = cum;
+    cum += static_cast<double>(counts[b]);
+    if (cum >= rank && counts[b] > 0) {
+      if (b == bounds.size()) {
+        // Overflow bucket: the histogram cannot see past its last bound.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double hi = bounds[b];
+      const double lo = b == 0 ? std::min(0.0, hi) : bounds[b - 1];
+      return lo + (hi - lo) * ((rank - prev) / static_cast<double>(counts[b]));
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace
+
+double Histogram::quantile(double q) const {
+  if constexpr (!kEnabled) return 0.0;
+  if (reg_ == nullptr) return 0.0;
+  return quantile_from(def_->bounds, counts(), q);
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  if constexpr (!kEnabled) return s;
+  if (reg_ == nullptr) return s;
+  std::vector<std::uint64_t> snapshot;
+  {
+    std::lock_guard<std::mutex> lk(reg_->mu_);
+    snapshot.resize(def_->bounds.size() + 1);
+    for (std::size_t b = 0; b < snapshot.size(); ++b) {
+      snapshot[b] =
+          reg_->sum_slot(def_->first_slot + static_cast<std::uint32_t>(b));
+    }
+    s.sum = reg_->sum_slot(def_->first_slot +
+                           static_cast<std::uint32_t>(def_->bounds.size()) + 1);
+  }
+  for (const std::uint64_t c : snapshot) s.count += c;
+  s.p50 = quantile_from(def_->bounds, snapshot, 0.50);
+  s.p90 = quantile_from(def_->bounds, snapshot, 0.90);
+  s.p95 = quantile_from(def_->bounds, snapshot, 0.95);
+  s.p99 = quantile_from(def_->bounds, snapshot, 0.99);
+  return s;
+}
+
 std::vector<std::uint64_t> Histogram::counts() const {
   if constexpr (!kEnabled) return {};
   if (reg_ == nullptr) return {};
@@ -233,6 +291,14 @@ double MetricsRegistry::gauge_value(const std::string& name) const {
   auto it = names_.find(name);
   if (it == names_.end() || it->second.first != 'g') return 0.0;
   return gauges_[it->second.second].value.load(std::memory_order_relaxed);
+}
+
+Histogram MetricsRegistry::find_histogram(const std::string& name) {
+  if constexpr (!kEnabled) return {};
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = names_.find(name);
+  if (it == names_.end() || it->second.first != 'h') return {};
+  return Histogram(this, &hists_[it->second.second]);
 }
 
 std::string MetricsRegistry::label(const std::string& key) const {

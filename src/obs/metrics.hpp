@@ -94,6 +94,17 @@ class Gauge {
   std::atomic<double>* cell_ = nullptr;
 };
 
+/// Point summary of a histogram's state (count, integer sum and the standard
+/// latency quantiles), exported in one consistent snapshot.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
 /// Fixed-bucket histogram handle. observe(v) increments the bucket of the
 /// first bound >= v (or the overflow bucket) and adds llround(v) to the
 /// integer sum — all shard-local, all exact.
@@ -104,6 +115,18 @@ class Histogram {
   std::uint64_t count() const;             ///< total observations
   std::uint64_t sum() const;               ///< sum of llround(v)
   std::vector<std::uint64_t> counts() const;  ///< per-bucket (bounds + overflow)
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// bucket holding the target rank: bucket [lo, hi] with c observations and
+  /// k of the target's rank inside it reports lo + (hi - lo) * k / c. The
+  /// first bucket interpolates from 0 (or from its own bound when that is
+  /// negative); ranks landing in the overflow bucket report the last bound
+  /// (the histogram cannot see past it). Empty histograms report 0.
+  double quantile(double q) const;
+
+  /// count/sum/p50/p90/p95/p99 from one locked snapshot of the buckets, so
+  /// the quantiles are mutually consistent even under concurrent writers.
+  HistogramSummary summary() const;
 
  private:
   friend class MetricsRegistry;
@@ -140,6 +163,12 @@ class MetricsRegistry {
   std::uint64_t counter_value(const std::string& name) const;
   double gauge_value(const std::string& name) const;
   std::string label(const std::string& key) const;
+
+  /// Handle to an already-registered histogram (for readers that did not
+  /// intern it themselves, e.g. benches reporting quantiles of histograms
+  /// owned by the core). Returns an empty no-op handle when the name is
+  /// absent or registered as another kind.
+  Histogram find_histogram(const std::string& name);
 
   /// Stable-ordered JSON (keys sorted, fixed number formatting): identical
   /// state serializes to identical bytes. include_volatile=false drops every

@@ -62,16 +62,28 @@ void gather_bytes_masked(const RoutingContext& ctx, NodeId id,
   }
 }
 
-namespace {
-
-/// Nearest ancestor of `current` hosting a classifier (the root if none
-/// closer does; the root itself may lack one, which the caller checks).
 NodeId classifier_ancestor(const RoutingContext& ctx, NodeId current) {
   NodeId next = ctx.topology->parent(current);
   while (next != ctx.topology->root() && !ctx.nodes[next].has_classifier()) {
     next = ctx.topology->parent(next);
   }
   return next;
+}
+
+NodeId reachable_classifier_ancestor(const RoutingContext& ctx,
+                                     NodeId current) {
+  NodeId next = current;
+  do {
+    if (!ctx.link_up(next)) return net::kNoNode;
+    next = ctx.topology->parent(next);
+    if (!ctx.node_up(next)) return net::kNoNode;
+  } while (next != ctx.topology->root() && !ctx.nodes[next].has_classifier());
+  return next;
+}
+
+void account_escalation(const hdc::BipolarHV& query, std::uint64_t query_id,
+                        std::uint32_t hops) {
+  detail::account_delivery(QueryEscalate{query_id, hops, query});
 }
 
 void account_reply(const RoutedResult& result, std::uint64_t query_id) {
@@ -81,8 +93,6 @@ void account_reply(const RoutedResult& result, std::uint64_t query_id) {
                  static_cast<std::uint32_t>(result.level),
                  static_cast<std::uint8_t>(result.degraded ? 1 : 0)});
 }
-
-}  // namespace
 
 RoutedResult route_query(const RoutingContext& ctx,
                          std::span<const hdc::BipolarHV> hvs, NodeId start,
@@ -109,10 +119,9 @@ RoutedResult route_query(const RoutingContext& ctx,
     // The query ships as a typed envelope payload, encoded for the
     // destination's hypervector space; the ancestor predicts on what the
     // message carries.
-    const Message msg = QueryEscalate{query_id, ++hops, hvs[next]};
-    detail::account_delivery(msg);
+    account_escalation(hvs[next], query_id, ++hops);
     current = next;
-    pred = ctx.nodes[current].predict(std::get<QueryEscalate>(msg).query);
+    pred = ctx.nodes[current].predict(hvs[current]);
   }
   result.bytes = query_gather_bytes(ctx, result.node);
   account_reply(result, query_id);
@@ -141,30 +150,16 @@ RoutedResult route_query_degraded(const RoutingContext& ctx,
     if (confident || current == ctx.topology->root()) break;
     // Walk hop by hop toward the nearest reachable ancestor hosting a
     // classifier; a dead hop anywhere on the way strands the query here.
-    NodeId next = current;
-    bool blocked = false;
-    do {
-      if (!ctx.link_up(next)) {
-        blocked = true;
-        break;
-      }
-      next = ctx.topology->parent(next);
-      if (!ctx.node_up(next)) {
-        blocked = true;
-        break;
-      }
-    } while (next != ctx.topology->root() &&
-             !ctx.nodes[next].has_classifier());
-    if (blocked) {
+    const NodeId next = reachable_classifier_ancestor(ctx, current);
+    if (next == net::kNoNode) {
       cut = true;
       break;
     }
     if (!ctx.nodes[next].has_classifier()) break;
     ctx.escalations->inc();
-    const Message msg = QueryEscalate{query_id, ++hops, hvs[next]};
-    detail::account_delivery(msg);
+    account_escalation(hvs[next], query_id, ++hops);
     current = next;
-    pred = ctx.nodes[current].predict(std::get<QueryEscalate>(msg).query);
+    pred = ctx.nodes[current].predict(hvs[current]);
   }
   if (cut && !ctx.serve_degraded) {
     RoutedResult unserved;

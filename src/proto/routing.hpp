@@ -54,6 +54,35 @@ struct RoutingContext {
 /// subtree's leaves, with m-to-1 compression on every hop.
 std::uint64_t query_gather_bytes(const RoutingContext& ctx, net::NodeId id);
 
+// ---- escalation hop resolution (shared by the synchronous walks below and
+// ---- the async serving plane in src/serve) --------------------------------
+
+/// Nearest ancestor of `current` hosting a classifier, ignoring faults (the
+/// root if none closer does; the root itself may lack one, which the caller
+/// checks with has_classifier()).
+net::NodeId classifier_ancestor(const RoutingContext& ctx, net::NodeId current);
+
+/// Hop-by-hop walk under the health mask toward the nearest reachable
+/// ancestor hosting a classifier. A dead uplink or node anywhere on the way
+/// blocks the walk and returns net::kNoNode — the caller serves degraded at
+/// `current` (or reports the query unserved under the fail-fast policy).
+/// With no degradation installed this reduces exactly to
+/// classifier_ancestor.
+net::NodeId reachable_classifier_ancestor(const RoutingContext& ctx,
+                                          net::NodeId current);
+
+/// Accounts one QueryEscalate envelope carrying `query` (the per-type
+/// "proto.query_escalate.*" counters). One call per escalation hop — the
+/// same charge route_query makes, exposed so async escalation sessions
+/// account identically.
+void account_escalation(const hdc::BipolarHV& query, std::uint64_t query_id,
+                        std::uint32_t hops);
+
+/// Accounts the QueryReply envelope for a served result (the
+/// "proto.query_reply.*" counters). Unserved results are never accounted —
+/// no reply crosses the network.
+void account_reply(const RoutedResult& result, std::uint64_t query_id);
+
 /// Query-gather accounting over the reachable subtree only, with expected
 /// retransmission bytes on lossy links (reliable transport, retry cap
 /// max_retries).

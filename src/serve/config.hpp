@@ -1,0 +1,56 @@
+// Query-serving plane configuration (DESIGN.md §10).
+//
+// The serving plane runs routed inference as an online service in virtual
+// time: queries arrive at leaves, wait in a bounded admission queue, and are
+// drained in micro-batches through the packed predict_batch kernels. All
+// latencies below are virtual-time costs charged by the deterministic event
+// loop (src/serve/engine.hpp) — they model the service, they are never
+// measured from the wall clock, so every latency metric is bit-stable for a
+// fixed (seed, config, plan) regardless of worker count or machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/medium.hpp"
+
+namespace edgehd::serve {
+
+/// Knobs of the per-node admission + micro-batching service.
+struct ServeConfig {
+  // ---- admission -----------------------------------------------------------
+  /// Bounded per-node queue depth; an arrival that finds the queue full is
+  /// shed (load shedding, counted in ServeReport::shed_admission). Shed
+  /// queries never enter the routed-inference accounting.
+  std::size_t queue_depth = 256;
+
+  // ---- micro-batching ------------------------------------------------------
+  /// Flush the queue into one predict_batch call once this many queries wait.
+  std::size_t max_batch = 32;
+  /// ... or once the oldest queued query has waited this long (the deadline
+  /// flush that bounds tail latency under trickle load).
+  net::SimTime max_wait = 1 * net::kMillisecond;
+
+  // ---- virtual service-time model ------------------------------------------
+  /// Fixed cost of dispatching one batch (kernel launch, cache warm).
+  net::SimTime batch_overhead = 150 * net::kMicrosecond;
+  /// Marginal cost per query in a batch.
+  net::SimTime per_query_cost = 40 * net::kMicrosecond;
+  /// One-way virtual latency of an escalation hop (leaf→gateway or
+  /// gateway→central). Replies ride the same links, so a query served after
+  /// h hops pays h * escalate_latency extra before its reply lands.
+  net::SimTime escalate_latency = 2 * net::kMillisecond;
+
+  // ---- SLO -----------------------------------------------------------------
+  /// Per-query latency objective (arrival → reply, virtual time). Queries
+  /// finishing later count toward ServeReport::slo_violations.
+  net::SimTime slo = 20 * net::kMillisecond;
+
+  // ---- reporting -----------------------------------------------------------
+  /// Keep the per-query Reply log (sample, label, latency, …) in the report.
+  /// Multi-million-query benches turn this off and rely on the aggregate
+  /// counters + reply_hash, which are always maintained.
+  bool record_replies = true;
+};
+
+}  // namespace edgehd::serve

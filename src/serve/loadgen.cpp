@@ -1,0 +1,126 @@
+#include "loadgen.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace edgehd::serve {
+
+namespace {
+
+/// Uniform double in (0, 1] from the raw engine: 53 mantissa bits, never
+/// exactly 0 so -log is always finite. Drawn from the raw engine rather than
+/// std::exponential_distribution so the stream is identical across standard
+/// library implementations.
+double unit_open(std::mt19937_64& eng) {
+  return (static_cast<double>(eng() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+/// Exponential draw with the given mean, rounded to whole virtual ns.
+net::SimTime exp_draw(std::mt19937_64& eng, double mean_ns) {
+  const double d = -std::log(unit_open(eng)) * mean_ns;
+  return static_cast<net::SimTime>(std::llround(d)) + 1;  // never zero
+}
+
+double rate_to_mean_ns(double rate_hz) {
+  if (rate_hz <= 0.0) {
+    throw std::invalid_argument("LoadGenerator: rate must be positive");
+  }
+  return static_cast<double>(net::kSecond) / rate_hz;
+}
+
+}  // namespace
+
+LoadSpec LoadSpec::poisson(const std::vector<net::NodeId>& leaves,
+                           double rate_hz_per_origin,
+                           std::uint64_t num_queries, std::uint64_t seed) {
+  LoadSpec spec;
+  spec.num_queries = num_queries;
+  spec.seed = seed;
+  for (net::NodeId leaf : leaves) {
+    OriginSpec o;
+    o.origin = leaf;
+    o.process = Process::kPoisson;
+    o.rate_hz = rate_hz_per_origin;
+    spec.origins.push_back(o);
+  }
+  return spec;
+}
+
+LoadSpec LoadSpec::bursty(const std::vector<net::NodeId>& leaves,
+                          double burst_rate_hz, net::SimTime mean_on,
+                          net::SimTime mean_off, std::uint64_t num_queries,
+                          std::uint64_t seed) {
+  LoadSpec spec;
+  spec.num_queries = num_queries;
+  spec.seed = seed;
+  for (net::NodeId leaf : leaves) {
+    OriginSpec o;
+    o.origin = leaf;
+    o.process = Process::kOnOff;
+    o.burst_rate_hz = burst_rate_hz;
+    o.rate_hz = burst_rate_hz;
+    o.mean_on = mean_on;
+    o.mean_off = mean_off;
+    spec.origins.push_back(o);
+  }
+  return spec;
+}
+
+LoadGenerator::Stream::Stream(const OriginSpec& s, std::uint64_t seed_,
+                              std::uint64_t index)
+    : spec(s), rng(hdc::derive_seed(seed_, index)) {}
+
+void LoadGenerator::Stream::advance(std::uint64_t num_samples) {
+  auto& eng = rng.engine();
+  if (spec.process == Process::kPoisson) {
+    next_at += exp_draw(eng, rate_to_mean_ns(spec.rate_hz));
+  } else {
+    const double burst =
+        spec.burst_rate_hz > 0.0 ? spec.burst_rate_hz : spec.rate_hz;
+    net::SimTime t = next_at + exp_draw(eng, rate_to_mean_ns(burst));
+    // Skip over OFF periods: when the tentative firing time falls past the
+    // current ON window, jump to the start of the next ON window and retry
+    // from there. ON/OFF lengths come from the same per-origin stream, so
+    // the whole trajectory is one deterministic sequence of draws.
+    while (t > on_until) {
+      const net::SimTime off =
+          exp_draw(eng, static_cast<double>(spec.mean_off));
+      const net::SimTime on = exp_draw(eng, static_cast<double>(spec.mean_on));
+      const net::SimTime next_on_start = on_until + off;
+      on_until = next_on_start + on;
+      t = next_on_start + exp_draw(eng, rate_to_mean_ns(burst));
+    }
+    next_at = t;
+  }
+  next_sample = rng.index(num_samples);
+}
+
+LoadGenerator::LoadGenerator(const LoadSpec& spec, std::uint64_t num_samples)
+    : quota_(spec.num_queries), num_samples_(num_samples) {
+  if (num_samples == 0) {
+    throw std::invalid_argument("LoadGenerator: empty query pool");
+  }
+  streams_.reserve(spec.origins.size());
+  for (std::size_t i = 0; i < spec.origins.size(); ++i) {
+    streams_.emplace_back(spec.origins[i], spec.seed, i);
+    streams_.back().advance(num_samples_);
+  }
+}
+
+bool LoadGenerator::next(Arrival& out) {
+  if (generated_ >= quota_ || streams_.empty()) return false;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < streams_.size(); ++i) {
+    if (streams_[i].next_at < streams_[best].next_at) best = i;
+  }
+  Stream& s = streams_[best];
+  out.at = s.next_at;
+  out.origin = s.spec.origin;
+  out.sample = s.next_sample;
+  s.advance(num_samples_);
+  ++generated_;
+  return true;
+}
+
+}  // namespace edgehd::serve

@@ -1,0 +1,98 @@
+// Seeded open-loop load generator for the serving plane.
+//
+// Generates per-origin arrival streams in virtual time: Poisson (exponential
+// inter-arrivals at a constant rate) or bursty ON/OFF (a two-state Markov
+// process that fires at a high rate during exponentially-long ON periods and
+// is silent during OFF periods — the classic model of sensor duty cycles).
+// Each origin owns an independent hdc::Rng stream derived from (seed,
+// origin), so the trace for a fixed LoadSpec is bit-identical regardless of
+// the order the engine interleaves origins, and adding an origin never
+// perturbs the others' arrivals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hdc/random.hpp"
+#include "net/medium.hpp"
+#include "net/topology.hpp"
+
+namespace edgehd::serve {
+
+/// Arrival processes the generator can drive per origin.
+enum class Process : std::uint8_t {
+  kPoisson,  ///< constant-rate exponential inter-arrivals
+  kOnOff,    ///< bursty: ON periods at burst_rate_hz, silent OFF periods
+};
+
+/// One origin's (leaf's) workload description.
+struct OriginSpec {
+  net::NodeId origin = 0;
+  Process process = Process::kPoisson;
+  double rate_hz = 1000.0;  ///< Poisson rate, or mean rate target for ON/OFF
+  /// ON/OFF only: mean lengths of the ON and OFF periods and the rate fired
+  /// while ON. A spec with burst_rate_hz <= 0 fires at rate_hz while ON.
+  net::SimTime mean_on = 20 * net::kMillisecond;
+  net::SimTime mean_off = 80 * net::kMillisecond;
+  double burst_rate_hz = 0.0;
+};
+
+/// Whole-workload description: per-origin streams plus the shared quota.
+struct LoadSpec {
+  std::vector<OriginSpec> origins;
+  /// Total queries across all origins; the generator stops handing out
+  /// arrivals once the quota is reached (pull order decides which origins'
+  /// tails are cut, and the engine pulls in global time order, so the served
+  /// set is deterministic).
+  std::uint64_t num_queries = 10'000;
+  std::uint64_t seed = 1;
+
+  /// Convenience: `leaves.size()` Poisson origins at a uniform rate.
+  static LoadSpec poisson(const std::vector<net::NodeId>& leaves,
+                          double rate_hz_per_origin, std::uint64_t num_queries,
+                          std::uint64_t seed);
+  /// Convenience: uniform bursty ON/OFF origins.
+  static LoadSpec bursty(const std::vector<net::NodeId>& leaves,
+                         double burst_rate_hz, net::SimTime mean_on,
+                         net::SimTime mean_off, std::uint64_t num_queries,
+                         std::uint64_t seed);
+};
+
+/// One generated arrival: when, where, and which sample of the query pool.
+struct Arrival {
+  net::SimTime at = 0;
+  net::NodeId origin = 0;
+  std::uint64_t sample = 0;  ///< index into the engine's query pool
+};
+
+/// Pull-based generator: next() returns arrivals in global virtual-time
+/// order (ties broken by origin index) until the quota is exhausted.
+class LoadGenerator {
+ public:
+  /// `num_samples` is the size of the query pool arrivals draw from
+  /// (uniformly, from the per-origin stream).
+  LoadGenerator(const LoadSpec& spec, std::uint64_t num_samples);
+
+  /// Produces the next arrival; false once the quota is spent.
+  bool next(Arrival& out);
+
+  std::uint64_t generated() const noexcept { return generated_; }
+
+ private:
+  struct Stream {
+    OriginSpec spec;
+    hdc::Rng rng;
+    net::SimTime next_at = 0;
+    std::uint64_t next_sample = 0;
+    net::SimTime on_until = 0;  ///< ON/OFF: end of the current ON period
+    Stream(const OriginSpec& s, std::uint64_t seed_, std::uint64_t index);
+    void advance(std::uint64_t num_samples);
+  };
+
+  std::vector<Stream> streams_;
+  std::uint64_t quota_ = 0;
+  std::uint64_t generated_ = 0;
+  std::uint64_t num_samples_ = 0;
+};
+
+}  // namespace edgehd::serve

@@ -1,0 +1,65 @@
+// Bounded admission queue of one serving node.
+//
+// Plain FIFO bookkeeping, deliberately free of any engine coupling so the
+// shed/peak-depth semantics are unit-testable on their own: try_push sheds
+// when the queue is at capacity, pop_front hands back the oldest entry, and
+// the queue remembers its high-water mark and shed count for the report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "net/medium.hpp"
+
+namespace edgehd::serve {
+
+/// One queued query: which in-flight query slot it belongs to and when it
+/// joined the queue (the deadline flush keys off the oldest `enqueued`).
+struct QueueEntry {
+  std::uint64_t slot = 0;
+  net::SimTime enqueued = 0;
+};
+
+class AdmissionQueue {
+ public:
+  AdmissionQueue() = default;
+  explicit AdmissionQueue(std::size_t depth) : depth_(depth) {}
+
+  /// Admits the entry unless the queue is full; a full queue sheds it (the
+  /// entry is dropped, shed() advances) and returns false.
+  bool try_push(QueueEntry e) {
+    if (entries_.size() >= depth_) {
+      ++shed_;
+      return false;
+    }
+    entries_.push_back(e);
+    if (entries_.size() > peak_) peak_ = entries_.size();
+    return true;
+  }
+
+  QueueEntry pop_front() {
+    QueueEntry e = entries_.front();
+    entries_.pop_front();
+    return e;
+  }
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+  /// Arrival time of the oldest queued entry (undefined when empty).
+  net::SimTime oldest_enqueued() const noexcept {
+    return entries_.front().enqueued;
+  }
+
+  std::uint64_t shed() const noexcept { return shed_; }
+  std::size_t peak() const noexcept { return peak_; }
+
+ private:
+  std::size_t depth_ = 256;
+  std::deque<QueueEntry> entries_;
+  std::uint64_t shed_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace edgehd::serve

@@ -84,6 +84,57 @@ TEST(MetricsRegistry, HistogramBucketsAndExactSum) {
   EXPECT_EQ(counts[2], 1u);
 }
 
+TEST(MetricsRegistry, HistogramQuantileInterpolatesInsideBuckets) {
+  SKIP_IF_OBS_OFF();
+  obs::MetricsRegistry reg;
+  const obs::Histogram h = reg.histogram("q", {10.0, 20.0, 40.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty -> 0
+  // 10 observations in [0,10], 10 in (10,20].
+  for (int i = 0; i < 10; ++i) h.observe(5.0);
+  for (int i = 0; i < 10; ++i) h.observe(15.0);
+  // Median rank (10 of 20) lands exactly at the top of bucket 0.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  // Rank 15 of 20 is halfway through bucket 1: 10 + 10 * (5/10).
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 15.0);
+  // Rank 5 of 20 is halfway through bucket 0, interpolated from 0.
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);
+  // q clamps to [0, 1]; q=1 is the end of the last occupied bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), 20.0);
+  // Ranks landing in the overflow bucket report the last finite bound.
+  h.observe(1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);
+}
+
+TEST(MetricsRegistry, HistogramSummaryIsConsistentSnapshot) {
+  SKIP_IF_OBS_OFF();
+  obs::MetricsRegistry reg;
+  const obs::Histogram h = reg.histogram("s", {100.0, 200.0, 400.0});
+  for (int i = 0; i < 90; ++i) h.observe(50.0);
+  for (int i = 0; i < 10; ++i) h.observe(150.0);
+  const obs::HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 90u * 50u + 10u * 150u);
+  EXPECT_DOUBLE_EQ(s.p50, h.quantile(0.50));
+  EXPECT_DOUBLE_EQ(s.p90, h.quantile(0.90));
+  EXPECT_DOUBLE_EQ(s.p95, h.quantile(0.95));
+  EXPECT_DOUBLE_EQ(s.p99, h.quantile(0.99));
+  EXPECT_GT(s.p95, s.p50);
+}
+
+TEST(MetricsRegistry, FindHistogramResolvesKindAndAbsence) {
+  SKIP_IF_OBS_OFF();
+  obs::MetricsRegistry reg;
+  const obs::Histogram h = reg.histogram("found", {1.0, 2.0});
+  h.observe(1.5);
+  reg.counter("not-a-histogram");
+  obs::Histogram found = reg.find_histogram("found");
+  EXPECT_EQ(found.count(), 1u);
+  found.observe(0.5);  // same underlying buckets as the interned handle
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(reg.find_histogram("absent").count(), 0u);
+  EXPECT_EQ(reg.find_histogram("not-a-histogram").count(), 0u);
+}
+
 TEST(MetricsRegistry, HistogramRejectsUnsortedBounds) {
   SKIP_IF_OBS_OFF();
   obs::MetricsRegistry reg;
