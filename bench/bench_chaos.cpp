@@ -1,0 +1,331 @@
+// Churn bench (this PR's acceptance bar): serving availability under node
+// churn with the heartbeat failure detector vs the health oracle, on the
+// Figure-12 hierarchical scenario. Sweeps churn rate x heartbeat period;
+// for each cell reports availability (served / submitted), the failover
+// counters, and the detector-plane quality numbers — detection latency
+// p50/p99 and the false-suspicion rate — computed from the detector's own
+// deterministic suspicion timeline over the same plan. The gate: at the
+// default heartbeat period the detector leg must keep >= 95% of the oracle
+// leg's availability at every churn rate. Everything is virtual-time and a
+// pure function of (seed, plan, config), so the gate is deterministic
+// across machines and worker counts. Writes BENCH_chaos.json. `--smoke`
+// runs a small instance for CI.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/edgehd.hpp"
+#include "net/detector.hpp"
+#include "net/fault.hpp"
+#include "net/medium.hpp"
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "serve/engine.hpp"
+
+namespace {
+
+using namespace edgehd;
+using net::kMillisecond;
+using net::SimTime;
+
+constexpr SimTime kDownTime = 80 * kMillisecond;  ///< per-crash outage
+constexpr SimTime kDefaultHeartbeatMs = 20;
+
+/// Deterministic churn schedule: one crash every 1/rate seconds, victim
+/// drawn by a stateless hash of (seed, index) over the non-root nodes.
+/// Windows may overlap across nodes — that is the point of a churn sweep.
+net::FaultPlan churn_plan(std::uint64_t seed, const net::Topology& topo,
+                          double rate_hz, SimTime horizon) {
+  net::FaultPlan plan(seed);
+  if (rate_hz <= 0.0) return plan;
+  std::vector<net::NodeId> victims;
+  for (net::NodeId id = 0; id < topo.num_nodes(); ++id) {
+    if (id != topo.root()) victims.push_back(id);
+  }
+  const auto period = static_cast<SimTime>(1e9 / rate_hz);
+  std::uint64_t i = 0;
+  for (SimTime t = period; t < horizon; t += period, ++i) {
+    const net::NodeId v = victims[net::detail::mix64(seed ^ (i + 1)) %
+                                  victims.size()];
+    plan.crash(v, t, t + kDownTime);
+  }
+  return plan;
+}
+
+/// Detector-plane quality for one (plan, heartbeat period) cell, from a
+/// standalone detector run: the suspicion timeline is a pure function of
+/// (plan, config), so this is exactly what the serve engine's embedded
+/// detector observes from heartbeats (query evidence adds reports on top
+/// but never changes the heartbeat timeline).
+struct DetectorQuality {
+  std::uint64_t suspicions = 0;
+  std::uint64_t false_suspicions = 0;
+  double false_rate = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  std::uint64_t probes_sent = 0;
+};
+
+DetectorQuality probe_quality(const net::Topology& topo,
+                              const net::FaultPlan& plan,
+                              SimTime heartbeat_period, SimTime horizon) {
+  net::DetectorConfig dc;
+  dc.enabled = true;
+  dc.heartbeat_period = heartbeat_period;
+  net::FailureDetector det(topo, plan, dc);
+  det.advance(horizon);
+
+  DetectorQuality q;
+  q.suspicions = det.suspicions();
+  q.false_suspicions = det.false_suspicions();
+  q.false_rate = q.suspicions == 0
+                     ? 0.0
+                     : static_cast<double>(q.false_suspicions) /
+                           static_cast<double>(q.suspicions);
+  q.probes_sent = det.probes_sent();
+
+  // True-detection latency: suspicion raised while the target really was
+  // crashed, measured from the onset of the covering crash window.
+  std::vector<double> lat_ms;
+  for (const auto& ev : det.events()) {
+    if (!ev.suspected) continue;
+    SimTime onset = -1;
+    for (const auto& w : plan.crashes()) {
+      if (w.node == ev.target && ev.at >= w.from && ev.at < w.until) {
+        onset = std::max(onset, w.from);
+      }
+    }
+    if (onset >= 0) lat_ms.push_back(static_cast<double>(ev.at - onset) / 1e6);
+  }
+  std::sort(lat_ms.begin(), lat_ms.end());
+  auto quant = [&lat_ms](double p) {
+    if (lat_ms.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(lat_ms.size() - 1) + 0.5);
+    return lat_ms[std::min(idx, lat_ms.size() - 1)];
+  };
+  q.latency_p50_ms = quant(0.50);
+  q.latency_p99_ms = quant(0.99);
+  return q;
+}
+
+struct Cell {
+  std::string name;
+  serve::ServeReport report;
+  double availability = 0.0;
+};
+
+Cell run_cell(const std::string& name, const core::EdgeHdSystem& sys,
+              const serve::ServeConfig& scfg, const net::FaultPlan& plan,
+              const serve::LoadSpec& load) {
+  Cell c;
+  c.name = name;
+  auto engine = sys.serve_start(scfg);
+  engine->set_fault_plan(plan);
+  c.report = engine->run(load);
+  c.availability = c.report.submitted == 0
+                       ? 0.0
+                       : static_cast<double>(c.report.served) /
+                             static_cast<double>(c.report.submitted);
+  return c;
+}
+
+void print_cell(const Cell& c) {
+  const auto& r = c.report;
+  std::printf(
+      "  %-28s  avail %.4f  served %llu/%llu  degraded %llu  unserved %llu  "
+      "fo-retry %llu  fo-reroute %llu  fo-exhaust %llu\n",
+      c.name.c_str(), c.availability,
+      static_cast<unsigned long long>(r.served),
+      static_cast<unsigned long long>(r.submitted),
+      static_cast<unsigned long long>(r.served_degraded),
+      static_cast<unsigned long long>(r.unserved),
+      static_cast<unsigned long long>(r.failover_retries),
+      static_cast<unsigned long long>(r.failover_reroutes),
+      static_cast<unsigned long long>(r.failover_exhausted));
+}
+
+void json_cell(std::FILE* f, const char* key, const Cell& c,
+               const char* trail) {
+  const auto& r = c.report;
+  std::fprintf(
+      f,
+      "        \"%s\": {\"availability\": %.6f, \"submitted\": %llu, "
+      "\"served\": %llu, \"served_degraded\": %llu, \"unserved\": %llu, "
+      "\"failover_retries\": %llu, \"failover_reroutes\": %llu, "
+      "\"failover_exhausted\": %llu, \"p99_ms\": %.4f, "
+      "\"makespan_ms\": %.2f}%s\n",
+      key, c.availability, static_cast<unsigned long long>(r.submitted),
+      static_cast<unsigned long long>(r.served),
+      static_cast<unsigned long long>(r.served_degraded),
+      static_cast<unsigned long long>(r.unserved),
+      static_cast<unsigned long long>(r.failover_retries),
+      static_cast<unsigned long long>(r.failover_reroutes),
+      static_cast<unsigned long long>(r.failover_exhausted),
+      r.p99_latency_ns / 1e6, static_cast<double>(r.makespan) / 1e6, trail);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const auto id = data::hierarchical_ids().front();
+  auto setup = smoke ? bench::hier_setup(id, 400, 120) : bench::hier_setup(id);
+
+  const std::vector<double> churn_rates =
+      smoke ? std::vector<double>{5.0, 20.0}
+            : std::vector<double>{2.0, 10.0, 50.0};
+  const std::vector<SimTime> heartbeat_ms = {10, kDefaultHeartbeatMs, 40};
+
+  // Arrival span sized so several crash windows land inside it.
+  const auto leaves = setup.topo.leaves();
+  const double rate_hz_per_origin = 400.0;
+  const double span_s = smoke ? 0.3 : 0.8;
+  const auto num_queries = static_cast<std::uint64_t>(
+      span_s * rate_hz_per_origin * static_cast<double>(leaves.size()));
+  const SimTime horizon =
+      static_cast<SimTime>(span_s * 1.5e9) + 200 * kMillisecond;
+  const auto load = serve::LoadSpec::poisson(
+      std::vector<net::NodeId>(leaves.begin(), leaves.end()),
+      rate_hz_per_origin, num_queries, 41);
+
+  std::printf("bench_chaos: %s  dataset=%s  queries=%llu  leaves=%zu\n",
+              smoke ? "smoke" : "full", setup.ds.name.c_str(),
+              static_cast<unsigned long long>(num_queries), leaves.size());
+
+  // One trained system per detector setting. Training runs on a benign
+  // plan, where detector beliefs match the oracle bit-exactly, so every
+  // system holds the same model; only the serving-plane liveness machinery
+  // differs between legs.
+  core::EdgeHdSystem oracle_sys(setup.ds, setup.topo, setup.cfg);
+  oracle_sys.train();
+  std::vector<std::unique_ptr<core::EdgeHdSystem>> det_sys;
+  for (const SimTime hb : heartbeat_ms) {
+    auto cfg = setup.cfg;
+    cfg.detector.enabled = true;
+    cfg.detector.heartbeat_period = hb * kMillisecond;
+    det_sys.push_back(
+        std::make_unique<core::EdgeHdSystem>(setup.ds, setup.topo, cfg));
+    det_sys.back()->train();
+  }
+
+  serve::ServeConfig scfg;
+  scfg.failover_retries = 8;
+
+  struct Row {
+    double churn_hz = 0.0;
+    Cell oracle;
+    std::vector<Cell> detector;                ///< by heartbeat period
+    std::vector<DetectorQuality> quality;      ///< by heartbeat period
+  };
+  std::vector<Row> rows;
+  bool gate_ok = true;
+
+  for (const double churn : churn_rates) {
+    const auto plan = churn_plan(/*seed=*/77, setup.topo, churn, horizon);
+    Row row;
+    row.churn_hz = churn;
+    std::printf("churn %.0f crashes/s (%zu windows of %lld ms):\n", churn,
+                plan.crashes().size(),
+                static_cast<long long>(kDownTime / kMillisecond));
+    row.oracle = run_cell("oracle", oracle_sys, scfg, plan, load);
+    print_cell(row.oracle);
+    for (std::size_t h = 0; h < heartbeat_ms.size(); ++h) {
+      const std::string name =
+          "detector(hb=" + std::to_string(heartbeat_ms[h]) + "ms)";
+      row.detector.push_back(run_cell(name, *det_sys[h], scfg, plan, load));
+      print_cell(row.detector.back());
+      row.quality.push_back(probe_quality(
+          setup.topo, plan, heartbeat_ms[h] * kMillisecond, horizon));
+      const auto& q = row.quality.back();
+      std::printf(
+          "  %-28s  detect p50 %.1fms  p99 %.1fms  false-rate %.3f "
+          "(%llu/%llu)  probes %llu\n",
+          "", q.latency_p50_ms, q.latency_p99_ms, q.false_rate,
+          static_cast<unsigned long long>(q.false_suspicions),
+          static_cast<unsigned long long>(q.suspicions),
+          static_cast<unsigned long long>(q.probes_sent));
+      if (heartbeat_ms[h] == kDefaultHeartbeatMs) {
+        const bool ok = row.detector.back().availability >=
+                        0.95 * row.oracle.availability;
+        if (!ok) gate_ok = false;
+        std::printf(
+            "  gate @ hb=%lldms: detector %.4f vs 0.95 x oracle %.4f -> %s\n",
+            static_cast<long long>(kDefaultHeartbeatMs),
+            row.detector.back().availability, row.oracle.availability,
+            ok ? "ok" : "FAIL");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  obs::HistogramSummary lat;
+  if constexpr (obs::kEnabled) {
+    lat = obs::MetricsRegistry::global()
+              .find_histogram("net.detector.latency_ns")
+              .summary();
+  }
+
+  std::FILE* f = std::fopen("BENCH_chaos.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n  \"mode\": \"%s\",\n  \"dataset\": \"%s\",\n"
+                 "  \"queries\": %llu,\n  \"down_ms\": %lld,\n"
+                 "  \"default_heartbeat_ms\": %lld,\n  \"sweep\": [\n",
+                 smoke ? "smoke" : "full", setup.ds.name.c_str(),
+                 static_cast<unsigned long long>(num_queries),
+                 static_cast<long long>(kDownTime / kMillisecond),
+                 static_cast<long long>(kDefaultHeartbeatMs));
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const Row& row = rows[r];
+      std::fprintf(f, "    {\"churn_hz\": %.1f,\n      \"cells\": {\n",
+                   row.churn_hz);
+      json_cell(f, "oracle", row.oracle, ",");
+      for (std::size_t h = 0; h < heartbeat_ms.size(); ++h) {
+        const std::string key =
+            "hb" + std::to_string(heartbeat_ms[h]) + "ms";
+        json_cell(f, key.c_str(), row.detector[h],
+                  h + 1 < heartbeat_ms.size() ? "," : "");
+      }
+      std::fprintf(f, "      },\n      \"detector_quality\": {\n");
+      for (std::size_t h = 0; h < heartbeat_ms.size(); ++h) {
+        const auto& q = row.quality[h];
+        std::fprintf(
+            f,
+            "        \"hb%lldms\": {\"latency_p50_ms\": %.3f, "
+            "\"latency_p99_ms\": %.3f, \"false_suspicion_rate\": %.4f, "
+            "\"suspicions\": %llu, \"probes_sent\": %llu}%s\n",
+            static_cast<long long>(heartbeat_ms[h]), q.latency_p50_ms,
+            q.latency_p99_ms, q.false_rate,
+            static_cast<unsigned long long>(q.suspicions),
+            static_cast<unsigned long long>(q.probes_sent),
+            h + 1 < heartbeat_ms.size() ? "," : "");
+      }
+      std::fprintf(f, "      }\n    }%s\n",
+                   r + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"latency_histogram\": {\"count\": %llu, \"p50_ms\": "
+                 "%.3f, \"p99_ms\": %.3f},\n",
+                 static_cast<unsigned long long>(lat.count), lat.p50 / 1e6,
+                 lat.p99 / 1e6);
+    std::fprintf(f, "  \"availability_gate_ok\": %s\n}\n",
+                 gate_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_chaos.json\n");
+  }
+
+  std::printf("acceptance: detector availability >= 0.95 x oracle at "
+              "hb=%lldms for every churn rate -> %s\n",
+              static_cast<long long>(kDefaultHeartbeatMs),
+              gate_ok ? "PASS" : "FAIL");
+  return gate_ok ? 0 : 1;
+}

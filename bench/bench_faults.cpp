@@ -6,6 +6,7 @@
 // Emits one JSON document on stdout so the sweep is scriptable.
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <vector>
 
@@ -47,7 +48,8 @@ void ship_query(Simulator& sim, const core::EdgeHdSystem& sys, NodeId from,
           return;
         }
         ship_query(sim, sys, next, dest, std::move(done));
-      });
+      },
+      sys.config().reliable);  // retry policy comes from SystemConfig
 }
 
 /// Deterministic crash pick: node `id` fails under `rate` and `seed`.
@@ -59,11 +61,22 @@ bool crashes(NodeId id, double rate, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  const double fail_rates[] = {0.0, 0.1, 0.25, 0.5};
-  const double loss_rates[] = {0.0, 0.1, 0.3, 0.5};
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  // --smoke shrinks the sweep to a CI-sized corner of the grid; the full
+  // run keeps the paper-scale sweep.
+  std::vector<double> fail_rates = {0.0, 0.1, 0.25, 0.5};
+  std::vector<double> loss_rates = {0.0, 0.1, 0.3, 0.5};
+  std::size_t max_queries = 200;
+  if (smoke) {
+    fail_rates = {0.0, 0.25};
+    loss_rates = {0.0, 0.3};
+    max_queries = 60;
+  }
   const std::uint64_t plan_seed = 2023;
-  const std::size_t max_queries = 200;
   const SimTime interval = 50 * net::kMillisecond;
 
   const auto id = data::hierarchical_ids().front();

@@ -35,6 +35,7 @@ struct CoreObs {
   obs::Counter retrain_bytes, retrain_messages;
   obs::Counter residual_bytes, residual_messages;
   obs::Counter reintegrate_bytes, reintegrate_messages;
+  obs::Counter rejoin_bytes, rejoin_messages;
 
   static const CoreObs& get() {
     static const CoreObs o = [] {
@@ -60,6 +61,8 @@ struct CoreObs {
         c.residual_messages = reg.counter("core.residual.messages");
         c.reintegrate_bytes = reg.counter("core.reintegrate.bytes");
         c.reintegrate_messages = reg.counter("core.reintegrate.messages");
+        c.rejoin_bytes = reg.counter("core.rejoin.bytes");
+        c.rejoin_messages = reg.counter("core.rejoin.messages");
       }
       return c;
     }();
@@ -183,7 +186,8 @@ proto::SessionContext EdgeHdSystem::session_context() {
   ctx.nodes = nodes_;
   ctx.bus = bus_.get();
   ctx.health = &health_;
-  ctx.degraded = degraded_;
+  ctx.suspicion = detector_ ? &detector_->view() : nullptr;
+  ctx.degraded = effective_degraded();
   ctx.num_classes = ds_.num_classes;
   ctx.batch_size = config_.batch_size;
   ctx.pending_contrib = &pending_contrib_;
@@ -197,7 +201,8 @@ proto::RoutingContext EdgeHdSystem::routing_context() const {
   ctx.topology = &topology_;
   ctx.nodes = nodes_;
   ctx.health = &health_;
-  ctx.degraded = degraded_;
+  ctx.suspicion = detector_ ? &detector_->view() : nullptr;
+  ctx.degraded = effective_degraded();
   ctx.confidence_threshold = config_.confidence_threshold;
   ctx.compression = config_.compression;
   ctx.serve_degraded = config_.failover.serve_degraded;
@@ -248,11 +253,37 @@ void EdgeHdSystem::set_health(net::HealthMask mask) {
 void EdgeHdSystem::set_fault_plan(const net::FaultPlan& plan,
                                   net::SimTime at) {
   set_health(net::HealthMask::snapshot(plan, topology_.num_nodes(), at));
+  plan_ = plan;
+  has_plan_ = true;
+  if (config_.detector.enabled) {
+    net::DetectorConfig dcfg = config_.detector;
+    // Account each probe at its true wire size (the extended HealthProbe:
+    // nonce, sent_at, incarnation, suspicion gossip).
+    dcfg.probe_bytes = proto::wire_size(proto::HealthProbe{});
+    detector_ = std::make_unique<net::FailureDetector>(topology_, plan_, dcfg);
+    // Every delivered probe rides the LocalBus as a real HealthProbe
+    // envelope. No session charge scope is attached here, so detection
+    // traffic never touches the per-phase CommStats — it is accounted in
+    // net.detector.* (and the proto.health_probe.* type counters).
+    detector_->set_probe_sink([this](
+        const net::FailureDetector::ProbeDelivery& d) {
+      bus_->post(proto::Envelope{
+          proto::kProtoVersion, d.from, d.to,
+          proto::HealthProbe{d.nonce, static_cast<std::uint64_t>(d.at),
+                             d.incarnation, d.suspects}});
+    });
+    // Analytic (non-event-driven) callers consult the detector right after
+    // installing the plan, so give it a detection horizon: beliefs converge
+    // to the plan's state at `at` before the first protocol runs.
+    detector_->advance(at + dcfg.warmup);
+  }
 }
 
 void EdgeHdSystem::clear_health() {
   health_ = {};
   degraded_ = false;
+  detector_.reset();
+  has_plan_ = false;
 }
 
 bool EdgeHdSystem::node_up(NodeId id) const noexcept {
@@ -265,6 +296,42 @@ bool EdgeHdSystem::link_up(NodeId child) const noexcept {
 
 bool EdgeHdSystem::child_delivers(NodeId child) const noexcept {
   return node_up(child) && link_up(child);
+}
+
+bool EdgeHdSystem::effective_degraded() const noexcept {
+  return degraded_ || (detector_ && !detector_->view().all_healthy());
+}
+
+void EdgeHdSystem::advance_detector(net::SimTime now) {
+  if (detector_) detector_->advance(now);
+}
+
+CommStats EdgeHdSystem::rejoin_node(NodeId node,
+                                    std::optional<std::uint64_t> incarnation) {
+  if (encoded_train_.empty()) {
+    throw std::logic_error("EdgeHdSystem: rejoin_node before any training");
+  }
+  std::uint64_t inc;
+  if (incarnation.has_value()) {
+    inc = *incarnation;
+  } else if (detector_) {
+    inc = detector_->view().incarnation(node);
+  } else {
+    throw std::invalid_argument(
+        "EdgeHdSystem: rejoin_node needs an explicit incarnation without a "
+        "detector");
+  }
+  const CommStats comm =
+      proto::run_rejoin(session_context(), train_data(), node, inc);
+  CoreObs::get().rejoin_bytes.inc(comm.bytes);
+  CoreObs::get().rejoin_messages.inc(comm.messages);
+  return comm;
+}
+
+CommStats EdgeHdSystem::announce_leave(NodeId node, bool planned) {
+  const std::uint64_t inc =
+      detector_ ? detector_->view().incarnation(node) : 0;
+  return proto::announce_leave(session_context(), node, inc, planned);
 }
 
 std::vector<NodeId> EdgeHdSystem::bottom_up_order() const {
@@ -483,7 +550,7 @@ RoutedResult EdgeHdSystem::infer_routed(std::span<const float> x,
   if (!has_classifier(start)) {
     throw std::invalid_argument("EdgeHdSystem: start node hosts no classifier");
   }
-  if (degraded_) {
+  if (effective_degraded()) {
     RoutedResult result = infer_routed_degraded(x, start);
     record_routed(result);
     if (result.served()) node_serves_[result.node].inc();
@@ -546,6 +613,7 @@ std::unique_ptr<serve::Engine> EdgeHdSystem::serve_start(
   }
   serve::Bindings b;
   b.ctx = routing_context();
+  b.detector = config_.detector;
   b.pool = pool_.get();
   b.num_samples = ds_.test_size();
   b.labels = ds_.test_y;

@@ -36,7 +36,9 @@
 #include "hdc/encoder.hpp"
 #include "hier/dim_allocation.hpp"
 #include "hier/hier_encoder.hpp"
+#include "net/detector.hpp"
 #include "net/fault.hpp"
+#include "net/simulator.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "proto/bus.hpp"
@@ -97,6 +99,17 @@ struct SystemConfig {
   std::size_t num_threads = 0;
   /// Degraded-operation policy for routed inference under faults.
   FailoverPolicy failover;
+  /// Heartbeat failure detection (DESIGN.md §11). Off by default: faults are
+  /// then judged by the oracle HealthMask exactly as before. When enabled,
+  /// set_fault_plan builds a FailureDetector and every protocol decision
+  /// (routing, sessions, serving) runs on its earned SuspicionView; the
+  /// oracle survives only as world simulation (a dead origin cannot query).
+  net::DetectorConfig detector;
+  /// Reliable-transport retry policy for simulator-backed deployments of
+  /// this system (net::Simulator::send_reliable). The retry-byte accounting
+  /// in routed inference assumes failover.max_retries matches
+  /// reliable.max_retries (both default to 5).
+  net::ReliableConfig reliable;
 };
 
 /// Bytes/messages a protocol phase placed on the network. Re-exported from
@@ -248,8 +261,36 @@ class EdgeHdSystem {
 
   const net::HealthMask& health() const noexcept { return health_; }
 
-  /// True when the installed mask actually degrades something.
-  bool degraded_mode() const noexcept { return degraded_; }
+  /// True when the installed mask actually degrades something — or, in
+  /// detector mode, when the detector currently suspects something.
+  bool degraded_mode() const noexcept { return effective_degraded(); }
+
+  // ---- failure detection & churn membership (DESIGN.md §11) ----------------
+
+  /// The failure detector built by set_fault_plan when
+  /// SystemConfig::detector.enabled; nullptr otherwise. Its SuspicionView is
+  /// what every protocol consults in detector mode.
+  const net::FailureDetector* detector() const noexcept {
+    return detector_.get();
+  }
+
+  /// Advances the detector's virtual time (processing every heartbeat round
+  /// up to `now`). No-op without a detector.
+  void advance_detector(net::SimTime now);
+
+  /// Churn membership: re-syncs `node` after it was declared dead and came
+  /// back (proto::run_rejoin — NodeJoin announcements, StateSync rebuild
+  /// from the children's checkpoints, hop-by-hop lift to the root). The
+  /// incarnation defaults to the detector's believed generation of the node
+  /// (callers without a detector pass it explicitly). Exact for the linear
+  /// phases; perceptron retraining state is re-synced by the next retraining
+  /// round. Requires a prior training pass.
+  CommStats rejoin_node(net::NodeId node,
+                        std::optional<std::uint64_t> incarnation = {});
+
+  /// Posts a NodeLeave announcement from `node` to its parent. Bookkeeping
+  /// only — detection of the actual departure stays with the detector.
+  CommStats announce_leave(net::NodeId node, bool planned);
 
   /// Nodes whose training-time contribution could not reach their parent
   /// under the current mask (recorded by the latest train_initial /
@@ -292,6 +333,8 @@ class EdgeHdSystem {
   // ---- health helpers (true when no mask is installed) ---------------------
   bool node_up(net::NodeId id) const noexcept;
   bool link_up(net::NodeId child) const noexcept;
+  /// Oracle mask degrades something, or the detector suspects something.
+  bool effective_degraded() const noexcept;
   /// A child's contribution reaches its parent iff the child and its uplink
   /// are both up (the parent's own liveness is the caller's context).
   bool child_delivers(net::NodeId child) const noexcept;
@@ -356,6 +399,13 @@ class EdgeHdSystem {
   // ---- degraded-operation state --------------------------------------------
   net::HealthMask health_;   ///< empty = all healthy
   bool degraded_ = false;    ///< mask installed and not all-healthy
+  /// The installed fault plan (stable storage for the detector's lifetime).
+  net::FaultPlan plan_;
+  bool has_plan_ = false;
+  /// Built by set_fault_plan in detector mode; probes ride the LocalBus as
+  /// real HealthProbe envelopes (outside any session's charge scope, so the
+  /// per-phase CommStats totals never see detection traffic).
+  std::unique_ptr<net::FailureDetector> detector_;
   std::vector<net::NodeId> stragglers_;
   /// Per-node class-hypervector contributions computed during train_initial
   /// but not yet delivered upstream (indexed by node; empty = nothing

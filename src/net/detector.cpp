@@ -1,0 +1,372 @@
+#include "detector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace edgehd::net {
+
+namespace {
+
+/// High-bit offset keeping the detector's per-link Bernoulli attempt indices
+/// disjoint from the data plane's (the Simulator counts from 0).
+constexpr std::uint64_t kProbeAttemptBase = std::uint64_t{1} << 63;
+
+struct DetObs {
+  obs::Counter probes_sent;
+  obs::Counter probes_delivered;
+  obs::Counter probes_dropped;
+  obs::Counter bytes;
+  obs::Counter suspicions;
+  obs::Counter false_suspicions;
+  obs::Counter refutations;
+  obs::Counter rejoins;
+  obs::Counter reports;
+  obs::Histogram latency_ns;
+};
+
+/// Detector-plane metrics. All stable: the detector is a pure function of
+/// (plan, config, time). Deliberately disjoint from the per-phase CommStats
+/// and proto.* data-plane counters — detection traffic is accounted here
+/// and only here, which is what keeps the golden e2e bytes intact.
+const DetObs& det_obs() {
+  static const DetObs d = [] {
+    DetObs o;
+    if constexpr (obs::kEnabled) {
+      auto& reg = obs::MetricsRegistry::global();
+      o.probes_sent = reg.counter("net.detector.probes_sent");
+      o.probes_delivered = reg.counter("net.detector.probes_delivered");
+      o.probes_dropped = reg.counter("net.detector.probes_dropped");
+      o.bytes = reg.counter("net.detector.bytes");
+      o.suspicions = reg.counter("net.detector.suspicions");
+      o.false_suspicions = reg.counter("net.detector.false_suspicions");
+      o.refutations = reg.counter("net.detector.refutations");
+      o.rejoins = reg.counter("net.detector.rejoins");
+      o.reports = reg.counter("net.detector.reports");
+      o.latency_ns = reg.histogram(
+          "net.detector.latency_ns",
+          {1e6, 5e6, 1e7, 2e7, 5e7, 1e8, 2e8, 5e8, 1e9, 5e9});
+    }
+    return o;
+  }();
+  return d;
+}
+
+}  // namespace
+
+// ---- SuspicionView ----------------------------------------------------------
+
+SuspicionView::SuspicionView(const Topology& topo)
+    : topo_(&topo),
+      edge_suspected_(topo.num_nodes(), 0),
+      query_suspected_(topo.num_nodes(), 0),
+      link_loss_(topo.num_nodes(), 0.0),
+      incarnation_(topo.num_nodes(), 0) {}
+
+bool SuspicionView::node_up(NodeId id) const noexcept {
+  if (id >= edge_suspected_.size()) return true;
+  if (query_suspected_[id] != 0) return false;
+  if (topo_ == nullptr) return true;
+  // Believed dead only when every adjacent edge is suspected: one silent
+  // edge with a live far endpoint is indistinguishable from a link failure,
+  // so it is classified as one.
+  std::size_t adjacent = 0;
+  std::size_t suspected = 0;
+  if (id != topo_->root()) {
+    ++adjacent;
+    if (edge_suspected_[id] != 0) ++suspected;
+  }
+  for (const NodeId c : topo_->children(id)) {
+    ++adjacent;
+    if (edge_suspected_[c] != 0) ++suspected;
+  }
+  return adjacent == 0 || suspected < adjacent;
+}
+
+bool SuspicionView::all_healthy() const noexcept {
+  for (const std::uint8_t s : edge_suspected_) {
+    if (s != 0) return false;
+  }
+  for (const std::uint8_t s : query_suspected_) {
+    if (s != 0) return false;
+  }
+  for (const double p : link_loss_) {
+    if (p != 0.0) return false;
+  }
+  return true;
+}
+
+bool SuspicionView::reachable_up(const Topology& topo, NodeId id,
+                                 NodeId ancestor) const {
+  if (!node_up(id)) return false;
+  NodeId cur = id;
+  while (cur != ancestor) {
+    if (!link_up(cur)) return false;
+    const NodeId next = topo.parent(cur);
+    if (next == kNoNode) return false;
+    if (!node_up(next)) return false;
+    cur = next;
+  }
+  return true;
+}
+
+// ---- FailureDetector --------------------------------------------------------
+
+FailureDetector::FailureDetector(const Topology& topo, const FaultPlan& plan,
+                                 DetectorConfig cfg)
+    : topo_(&topo), plan_(&plan), cfg_(cfg), view_(topo) {
+  if (cfg_.heartbeat_period <= 0) {
+    throw std::invalid_argument("FailureDetector: heartbeat_period must be "
+                                "positive");
+  }
+  if (cfg_.phi_threshold < 1.0) {
+    throw std::invalid_argument("FailureDetector: phi_threshold must be "
+                                ">= 1");
+  }
+  if (cfg_.interval_ewma <= 0.0 || cfg_.interval_ewma > 1.0) {
+    throw std::invalid_argument("FailureDetector: interval_ewma must be in "
+                                "(0, 1]");
+  }
+  if (cfg_.warmup < 0) {
+    throw std::invalid_argument("FailureDetector: warmup must be >= 0");
+  }
+  const std::size_t n = topo.num_nodes();
+  up_.assign(n, EdgeState{});
+  down_.assign(n, EdgeState{});
+  for (NodeId c = 0; c < n; ++c) {
+    up_[c].mean_interval = static_cast<double>(cfg_.heartbeat_period);
+    down_[c].mean_interval = static_cast<double>(cfg_.heartbeat_period);
+  }
+  alive_.assign(n, 0);
+  for (NodeId i = 0; i < n; ++i) {
+    alive_[i] = plan.node_up(i, 0) ? 1 : 0;
+  }
+  incarnation_.assign(n, 0);
+  probe_attempt_.assign(n, 0);
+  link_sent_.assign(n, 0);
+  link_lost_.assign(n, 0);
+  next_round_ = cfg_.heartbeat_period;
+}
+
+void FailureDetector::advance(SimTime now) {
+  while (next_round_ <= now) {
+    run_round(next_round_);
+    next_round_ += cfg_.heartbeat_period;
+  }
+  now_ = std::max(now_, now);
+}
+
+std::uint64_t FailureDetector::gossip_mask(NodeId sender) const {
+  std::uint64_t mask = 0;
+  const auto add = [&mask](NodeId target) {
+    if (target < 64) mask |= std::uint64_t{1} << target;
+  };
+  if (sender != topo_->root() && up_[sender].suspected) {
+    add(topo_->parent(sender));
+  }
+  for (const NodeId c : topo_->children(sender)) {
+    if (down_[c].suspected) add(c);
+  }
+  for (NodeId t = 0; t < view_.query_suspected_.size(); ++t) {
+    if (view_.query_suspected_[t] != 0) add(t);
+  }
+  return mask;
+}
+
+void FailureDetector::run_round(SimTime t) {
+  const std::size_t n = topo_->num_nodes();
+
+  // 1. Physical churn pass: a reviving node reboots with a fresh incarnation
+  //    and a cleared listening state (it must not suspect the whole world
+  //    for the silence of its own downtime).
+  for (NodeId i = 0; i < n; ++i) {
+    const bool up = plan_->node_up(i, t);
+    if (up && alive_[i] == 0) {
+      ++incarnation_[i];
+      EdgeState fresh;
+      fresh.last_heard = t;
+      fresh.mean_interval = static_cast<double>(cfg_.heartbeat_period);
+      if (i != topo_->root()) up_[i] = fresh;
+      for (const NodeId c : topo_->children(i)) down_[c] = fresh;
+    }
+    alive_[i] = up ? 1 : 0;
+  }
+
+  // 2. Probe exchange, one probe per direction per tree edge, in fixed edge
+  //    order (edges named by child endpoint) — the determinism contract.
+  for (NodeId c = 0; c < n; ++c) {
+    if (c == topo_->root()) continue;
+    const NodeId p = topo_->parent(c);
+    const auto transmit = [&](NodeId from, NodeId to, EdgeState& st) {
+      if (!plan_->node_up(from, t)) return;  // dead senders are silent
+      ++probes_sent_;
+      probe_bytes_total_ += cfg_.probe_bytes;
+      ++link_sent_[c];
+      det_obs().probes_sent.inc();
+      det_obs().bytes.inc(cfg_.probe_bytes);
+      if (!plan_->link_up(c, t)) {
+        ++probes_dropped_;
+        det_obs().probes_dropped.inc();
+        return;
+      }
+      if (plan_->drop(c, kProbeAttemptBase + probe_attempt_[c]++)) {
+        ++probes_dropped_;
+        ++link_lost_[c];
+        det_obs().probes_dropped.inc();
+        return;
+      }
+      if (!plan_->node_up(to, t)) {
+        ++probes_dropped_;
+        det_obs().probes_dropped.inc();
+        return;
+      }
+      deliver(from, to, st, t);
+    };
+    transmit(c, p, down_[c]);
+    transmit(p, c, up_[c]);
+  }
+
+  // 3. Suspicion evaluation: live receivers compare the silence on each
+  //    edge against the phi threshold.
+  for (NodeId c = 0; c < n; ++c) {
+    if (c == topo_->root()) continue;
+    const NodeId p = topo_->parent(c);
+    if (plan_->node_up(p, t)) evaluate(p, c, down_[c], t, c);
+    if (plan_->node_up(c, t)) evaluate(c, p, up_[c], t, c);
+  }
+
+  rebuild_view(t);
+}
+
+void FailureDetector::deliver(NodeId from, NodeId to, EdgeState& st,
+                              SimTime t) {
+  ++probes_delivered_;
+  det_obs().probes_delivered.inc();
+  const auto interval = static_cast<double>(t - st.last_heard);
+  if (interval > 0) {
+    st.mean_interval = (1.0 - cfg_.interval_ewma) * st.mean_interval +
+                       cfg_.interval_ewma * interval;
+  }
+  st.last_heard = t;
+  if (incarnation_[from] > view_.incarnation_[from]) {
+    // The sender returned from the dead since we last heard it.
+    view_.incarnation_[from] = incarnation_[from];
+    ++rejoins_;
+    det_obs().rejoins.inc();
+  }
+  bool refuted = false;
+  if (st.suspected) {
+    st.suspected = false;
+    refuted = true;
+  }
+  if (view_.query_suspected_[from] != 0) {
+    // Any delivered probe from a query-suspected node proves it alive.
+    view_.query_suspected_[from] = 0;
+    refuted = true;
+  }
+  if (refuted) {
+    ++refutations_;
+    det_obs().refutations.inc();
+    events_.push_back({t, to, from, false, view_.incarnation_[from]});
+    obs::Tracer::global().instant("net.detector.refute", t, 0, to, from);
+  }
+  if (sink_) {
+    ProbeDelivery d;
+    d.from = from;
+    d.to = to;
+    d.at = t;
+    d.nonce = ++nonce_;
+    d.incarnation = incarnation_[from];
+    d.suspects = gossip_mask(from);
+    sink_(d);
+  }
+}
+
+void FailureDetector::evaluate(NodeId observer, NodeId target, EdgeState& st,
+                               SimTime t, NodeId edge_child) {
+  if (st.suspected) return;
+  const auto elapsed = static_cast<double>(t - st.last_heard);
+  if (elapsed <= cfg_.phi_threshold * st.mean_interval) return;
+  st.suspected = true;
+  st.suspected_since = t;
+  ++suspicions_;
+  det_obs().suspicions.inc();
+  events_.push_back({t, observer, target, true, view_.incarnation_[target]});
+  obs::Tracer::global().instant("net.detector.suspect", t, 0, observer,
+                                target);
+  const bool target_up = plan_->node_up(target, t);
+  const bool link_ok = plan_->link_up(edge_child, t);
+  if (target_up && link_ok) {
+    // Nothing is actually wrong: loss alone starved the edge.
+    ++false_suspicions_;
+    det_obs().false_suspicions.inc();
+    return;
+  }
+  // True detection: latency is measured from the onset of the most recent
+  // covering fault condition.
+  SimTime onset = 0;
+  if (!target_up) {
+    for (const auto& w : plan_->crashes()) {
+      if (w.node == target && w.from <= t && t < w.until) {
+        onset = std::max(onset, w.from);
+      }
+    }
+  }
+  if (!link_ok) {
+    for (const auto& w : plan_->outages()) {
+      if (w.child == edge_child && w.from <= t && t < w.until) {
+        onset = std::max(onset, w.from);
+      }
+    }
+  }
+  det_obs().latency_ns.observe(static_cast<double>(t - onset));
+}
+
+void FailureDetector::report_failure(NodeId observer, NodeId target,
+                                     SimTime t) {
+  det_obs().reports.inc();
+  if (target >= view_.query_suspected_.size() ||
+      view_.query_suspected_[target] != 0) {
+    return;
+  }
+  view_.query_suspected_[target] = 1;
+  ++suspicions_;
+  det_obs().suspicions.inc();
+  events_.push_back({t, observer, target, true, view_.incarnation_[target]});
+  obs::Tracer::global().instant("net.detector.suspect", t, 0, observer,
+                                target);
+  if (plan_->node_up(target, t)) {
+    ++false_suspicions_;
+    det_obs().false_suspicions.inc();
+  } else {
+    SimTime onset = 0;
+    for (const auto& w : plan_->crashes()) {
+      if (w.node == target && w.from <= t && t < w.until) {
+        onset = std::max(onset, w.from);
+      }
+    }
+    det_obs().latency_ns.observe(static_cast<double>(t - onset));
+  }
+}
+
+void FailureDetector::rebuild_view(SimTime /*t*/) {
+  const std::size_t n = topo_->num_nodes();
+  for (NodeId c = 0; c < n; ++c) {
+    if (c == topo_->root()) {
+      view_.edge_suspected_[c] = 0;
+      continue;
+    }
+    view_.edge_suspected_[c] =
+        (up_[c].suspected || down_[c].suspected) ? 1 : 0;
+    view_.link_loss_[c] =
+        link_sent_[c] == 0
+            ? 0.0
+            : std::min(0.95, static_cast<double>(link_lost_[c]) /
+                                 static_cast<double>(link_sent_[c]));
+  }
+}
+
+}  // namespace edgehd::net

@@ -1,0 +1,222 @@
+// Deterministic heartbeat failure detection (the earned-knowledge
+// replacement for the oracle HealthMask).
+//
+// Under the oracle model (PR 2) every protocol consulted a HealthMask
+// snapshotted straight from the FaultPlan — perfect, instantaneous knowledge
+// of who is alive. This module makes that knowledge *earned*: every
+// heartbeat period each node exchanges a HealthProbe with its tree
+// neighbours (parent and children), and a phi-accrual-style rule turns
+// missed probes into per-edge suspicion. Detection latency, false suspicion
+// under packet loss, and probe bytes all become observable costs, charged to
+// the net.detector.* metrics — never to the per-phase CommStats totals, so
+// an all-healthy run with the detector enabled reproduces the golden
+// end-to-end bytes exactly.
+//
+// Everything is virtual-time and seeded: probe delivery reuses the
+// FaultPlan's stateless Bernoulli draws (per-link attempt indices disjoint
+// from data traffic), rounds are processed in fixed node order, and the
+// suspicion timeline is a pure function of (plan, config) — bit-identical
+// across runs and worker counts.
+//
+// Division of labour with the FaultPlan: the plan remains the simulated
+// *physical world* (a crashed node cannot transmit, a dead origin cannot
+// issue a query); the SuspicionView built here is what the protocols are
+// allowed to *believe*. Routing, sessions and the serving plane make every
+// reachability decision from the view; the plan is only consulted where the
+// world itself must be simulated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault.hpp"
+#include "medium.hpp"
+#include "topology.hpp"
+
+namespace edgehd::net {
+
+/// Knobs of the heartbeat detector. Defaults suspect after ~3 silent
+/// periods, the classical phi-accrual operating point.
+struct DetectorConfig {
+  bool enabled = false;
+  /// Heartbeat period: every node probes its tree neighbours this often.
+  SimTime heartbeat_period = 20 * kMillisecond;
+  /// Suspect an edge once the silence exceeds this multiple of the smoothed
+  /// inter-arrival interval (phi-accrual with a fixed threshold).
+  double phi_threshold = 3.0;
+  /// EWMA weight of the newest inter-arrival interval.
+  double interval_ewma = 0.2;
+  /// How far the analytic facade advances the detector before consulting it
+  /// (the detection epoch horizon for non-event-driven callers).
+  SimTime warmup = 200 * kMillisecond;
+  /// Accounting bytes of one probe (proto::wire_size of a HealthProbe; kept
+  /// as a plain number so edgehd_net stays independent of the proto layer).
+  std::uint64_t probe_bytes = 32;
+};
+
+/// One transition of the suspicion timeline, in virtual time. The sequence
+/// of these events is the detector's determinism contract: fixed
+/// (plan, config) => bit-identical event list.
+struct SuspicionEvent {
+  SimTime at = 0;
+  NodeId observer = kNoNode;  ///< who formed or dropped the belief
+  NodeId target = kNoNode;    ///< whom the belief is about
+  bool suspected = false;     ///< true = suspicion raised, false = refuted
+  std::uint64_t incarnation = 0;  ///< target's generation as known then
+};
+
+/// The merged belief state the protocols consult instead of the oracle
+/// HealthMask. Suspicion is per tree edge (each edge named by its child
+/// endpoint); a node is believed dead only when *every* adjacent edge is
+/// suspected — one silent edge with a live far endpoint reads as a link
+/// failure, matching what the evidence can actually distinguish.
+class SuspicionView {
+ public:
+  SuspicionView() = default;
+  explicit SuspicionView(const Topology& topo);
+
+  std::size_t size() const noexcept { return edge_suspected_.size(); }
+  bool empty() const noexcept { return edge_suspected_.empty(); }
+
+  /// Believed alive. True for out-of-range ids (mirrors HealthMask).
+  bool node_up(NodeId id) const noexcept;
+  /// Uplink of `child` believed usable.
+  bool link_up(NodeId child) const noexcept {
+    return child >= edge_suspected_.size() || edge_suspected_[child] == 0;
+  }
+  /// Estimated Bernoulli loss on the uplink of `child` (observed probe drop
+  /// fraction while the edge was believed up).
+  double link_loss(NodeId child) const noexcept {
+    return child < link_loss_.size() ? link_loss_[child] : 0.0;
+  }
+
+  /// True when nothing is suspected and no loss has been observed — the
+  /// protocols may take their fault-free fast paths.
+  bool all_healthy() const noexcept;
+
+  /// True when `id` is believed up and every hop from `id` to `ancestor` is
+  /// believed up. Same contract as HealthMask::reachable_up.
+  bool reachable_up(const Topology& topo, NodeId id, NodeId ancestor) const;
+
+  /// Target's membership generation as currently believed (bumped by every
+  /// observed rejoin).
+  std::uint64_t incarnation(NodeId id) const noexcept {
+    return id < incarnation_.size() ? incarnation_[id] : 0;
+  }
+
+ private:
+  friend class FailureDetector;
+  const Topology* topo_ = nullptr;
+  std::vector<std::uint8_t> edge_suspected_;  ///< by child endpoint
+  std::vector<std::uint8_t> query_suspected_; ///< query-path death reports
+  std::vector<double> link_loss_;
+  std::vector<std::uint64_t> incarnation_;
+};
+
+/// Seeded, deterministic heartbeat/phi-accrual failure detector over a
+/// FaultPlan. advance(t) processes every heartbeat round with round time
+/// <= t; the resulting SuspicionView and SuspicionEvent timeline are pure
+/// functions of (plan, config, t).
+class FailureDetector {
+ public:
+  /// A delivered probe, handed to the probe sink so the owner can post the
+  /// equivalent HealthProbe envelope on a real bus.
+  struct ProbeDelivery {
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    SimTime at = 0;
+    std::uint64_t nonce = 0;
+    std::uint64_t incarnation = 0;
+    std::uint64_t suspects = 0;  ///< sender's suspicion bitmask (gossip)
+  };
+  using ProbeSink = std::function<void(const ProbeDelivery&)>;
+
+  /// Validates the config (throws std::invalid_argument on nonsense) and
+  /// initialises the all-healthy belief state at t = 0. The topology and
+  /// plan must outlive the detector.
+  FailureDetector(const Topology& topo, const FaultPlan& plan,
+                  DetectorConfig cfg);
+
+  /// Processes every heartbeat round in (last_advanced, now]. Idempotent for
+  /// non-increasing `now`.
+  void advance(SimTime now);
+
+  /// The merged belief state as of the last advance().
+  const SuspicionView& view() const noexcept { return view_; }
+
+  /// Query-path evidence: `observer` tried to use `target` at time `t` and
+  /// got nothing. Marks the target suspected immediately (and the connecting
+  /// edge when adjacent); the next delivered probe from the target refutes.
+  void report_failure(NodeId observer, NodeId target, SimTime t);
+
+  /// The full suspicion timeline since construction, in event order.
+  const std::vector<SuspicionEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Installs the callback invoked for every *delivered* probe (dropped
+  /// probes never reach a receiver, so they never reach the sink either).
+  void set_probe_sink(ProbeSink sink) { sink_ = std::move(sink); }
+
+  const DetectorConfig& config() const noexcept { return cfg_; }
+  SimTime now() const noexcept { return now_; }
+
+  // ---- detector-plane accounting (never part of CommStats) ---------------
+  std::uint64_t probes_sent() const noexcept { return probes_sent_; }
+  std::uint64_t probes_delivered() const noexcept { return probes_delivered_; }
+  std::uint64_t probes_dropped() const noexcept { return probes_dropped_; }
+  std::uint64_t probe_bytes() const noexcept { return probe_bytes_total_; }
+  std::uint64_t suspicions() const noexcept { return suspicions_; }
+  std::uint64_t false_suspicions() const noexcept { return false_suspicions_; }
+  std::uint64_t refutations() const noexcept { return refutations_; }
+  std::uint64_t rejoins() const noexcept { return rejoins_; }
+
+ private:
+  /// Receiver-side state of one directed edge (phi-accrual bookkeeping).
+  struct EdgeState {
+    SimTime last_heard = 0;
+    double mean_interval = 0.0;
+    bool suspected = false;
+    SimTime suspected_since = 0;
+  };
+
+  void run_round(SimTime t);
+  void deliver(NodeId from, NodeId to, EdgeState& st, SimTime t);
+  void evaluate(NodeId observer, NodeId target, EdgeState& st, SimTime t,
+                NodeId edge_child);
+  void rebuild_view(SimTime t);
+  std::uint64_t gossip_mask(NodeId sender) const;
+
+  const Topology* topo_;
+  const FaultPlan* plan_;
+  DetectorConfig cfg_;
+  SimTime now_ = 0;
+  SimTime next_round_ = 0;
+
+  /// up_[c]: child c listening for its parent; down_[c]: the parent
+  /// listening for child c. Edges are named by their child endpoint.
+  std::vector<EdgeState> up_;
+  std::vector<EdgeState> down_;
+  std::vector<std::uint8_t> alive_;          ///< physical liveness last round
+  std::vector<std::uint64_t> incarnation_;   ///< physical generation counters
+  std::vector<std::uint64_t> probe_attempt_; ///< per-link Bernoulli indices
+  std::vector<std::uint64_t> link_sent_;     ///< probes offered per uplink
+  std::vector<std::uint64_t> link_lost_;     ///< Bernoulli drops per uplink
+
+  SuspicionView view_;
+  std::vector<SuspicionEvent> events_;
+  std::uint64_t nonce_ = 0;
+  ProbeSink sink_;
+
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t probes_delivered_ = 0;
+  std::uint64_t probes_dropped_ = 0;
+  std::uint64_t probe_bytes_total_ = 0;
+  std::uint64_t suspicions_ = 0;
+  std::uint64_t false_suspicions_ = 0;
+  std::uint64_t refutations_ = 0;
+  std::uint64_t rejoins_ = 0;
+};
+
+}  // namespace edgehd::net

@@ -197,7 +197,7 @@ void Simulator::send_reliable(
     std::function<void(const DeliveryOutcome&)> on_outcome,
     ReliableConfig config) {
   if (config.ack_timeout <= 0 || config.backoff_factor < 1.0 ||
-      config.jitter < 0.0 || config.jitter >= 1.0) {
+      config.backoff_cap < 0 || config.jitter < 0.0 || config.jitter >= 1.0) {
     throw std::invalid_argument("Simulator: malformed ReliableConfig");
   }
   auto st = std::make_shared<ReliableState>();
@@ -255,7 +255,8 @@ void Simulator::reliable_attempt(std::shared_ptr<ReliableState> st) {
     timeout *= 1.0 - st->cfg.jitter +
                2.0 * st->cfg.jitter * detail::unit_from(word);
   }
-  const SimTime wait = std::max<SimTime>(1, std::llround(timeout));
+  SimTime wait = std::max<SimTime>(1, std::llround(timeout));
+  if (st->cfg.backoff_cap > 0) wait = std::min(wait, st->cfg.backoff_cap);
   schedule(wait, [this, st] {
     if (st->done) return;
     if (st->attempts > st->cfg.max_retries) {

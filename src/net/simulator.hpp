@@ -60,6 +60,9 @@ struct ReliableConfig {
   SimTime ack_timeout = 50 * kMillisecond;  ///< wait before first retry
   std::size_t max_retries = 5;              ///< cap: at most 1 + this attempts
   double backoff_factor = 2.0;              ///< timeout multiplier per retry
+  /// Upper bound on any single (jittered) backoff wait; 0 disables the cap,
+  /// which reproduces the pre-cap behaviour bit-for-bit.
+  SimTime backoff_cap = 0;
   /// Uniform jitter: each backoff is scaled by a factor drawn from
   /// [1 - jitter, 1 + jitter) using the plan-seeded RNG.
   double jitter = 0.1;

@@ -146,9 +146,20 @@ void write_payload(ByteWriter& w, const Message& msg) {
           w.u64(m.serving_node);
           w.u32(m.serving_level);
           w.u8(m.degraded);
-        } else {
+        } else if constexpr (std::is_same_v<T, HealthProbe>) {
           w.u64(m.nonce);
           w.u64(m.sent_at);
+          w.u64(m.incarnation);
+          w.u64(m.suspects);
+        } else if constexpr (std::is_same_v<T, NodeJoin>) {
+          w.u64(m.incarnation);
+        } else if constexpr (std::is_same_v<T, NodeLeave>) {
+          w.u64(m.incarnation);
+          w.u8(m.planned);
+        } else {
+          w.u32(m.class_id);
+          w.u64(m.incarnation);
+          write_accum(w, m.accum);
         }
       },
       msg);
@@ -197,8 +208,32 @@ bool read_payload(ByteReader& r, MsgType type, Message& out) {
     }
     case MsgType::kHealthProbe: {
       HealthProbe m;
-      if (!r.u64(m.nonce) || !r.u64(m.sent_at)) return false;
+      if (!r.u64(m.nonce) || !r.u64(m.sent_at) || !r.u64(m.incarnation) ||
+          !r.u64(m.suspects)) {
+        return false;
+      }
       out = m;
+      return true;
+    }
+    case MsgType::kNodeJoin: {
+      NodeJoin m;
+      if (!r.u64(m.incarnation)) return false;
+      out = m;
+      return true;
+    }
+    case MsgType::kNodeLeave: {
+      NodeLeave m;
+      if (!r.u64(m.incarnation) || !r.u8(m.planned)) return false;
+      out = m;
+      return true;
+    }
+    case MsgType::kStateSync: {
+      StateSync m;
+      if (!r.u32(m.class_id) || !r.u64(m.incarnation) ||
+          !read_accum(r, m.accum)) {
+        return false;
+      }
+      out = std::move(m);
       return true;
     }
   }
@@ -263,7 +298,7 @@ DecodeResult decode(std::span<const std::uint8_t> buf) {
   if (m0 != kMagic0 || m1 != kMagic1) return reject(DecodeError::kBadMagic);
   if (version != kProtoVersion) return reject(DecodeError::kBadVersion);
   if (type_byte < static_cast<std::uint8_t>(MsgType::kModelUpdate) ||
-      type_byte > static_cast<std::uint8_t>(MsgType::kHealthProbe)) {
+      type_byte > static_cast<std::uint8_t>(MsgType::kStateSync)) {
     return reject(DecodeError::kBadType);
   }
   if (payload_len > r.remaining()) {

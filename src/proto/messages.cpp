@@ -18,6 +18,12 @@ const char* to_string(MsgType type) noexcept {
       return "query_reply";
     case MsgType::kHealthProbe:
       return "health_probe";
+    case MsgType::kNodeJoin:
+      return "node_join";
+    case MsgType::kNodeLeave:
+      return "node_leave";
+    case MsgType::kStateSync:
+      return "state_sync";
   }
   return "unknown";
 }
@@ -36,8 +42,14 @@ MsgType type_of(const Message& msg) noexcept {
           return MsgType::kQueryEscalate;
         } else if constexpr (std::is_same_v<T, QueryReply>) {
           return MsgType::kQueryReply;
-        } else {
+        } else if constexpr (std::is_same_v<T, HealthProbe>) {
           return MsgType::kHealthProbe;
+        } else if constexpr (std::is_same_v<T, NodeJoin>) {
+          return MsgType::kNodeJoin;
+        } else if constexpr (std::is_same_v<T, NodeLeave>) {
+          return MsgType::kNodeLeave;
+        } else {
+          return MsgType::kStateSync;
         }
       },
       msg);
@@ -69,8 +81,17 @@ std::uint64_t wire_size(const Message& msg) noexcept {
           // label + confidence + serving node/level + flags: one small
           // control frame.
           return 8 + 4 + 8 + 8 + 4 + 1;
+        } else if constexpr (std::is_same_v<T, HealthProbe>) {
+          // nonce + timestamp + incarnation + suspicion bitmask
+          return 8 + 8 + 8 + 8;
+        } else if constexpr (std::is_same_v<T, NodeJoin>) {
+          return 8;  // incarnation
+        } else if constexpr (std::is_same_v<T, NodeLeave>) {
+          return 8 + 1;  // incarnation + planned flag
         } else {
-          return 8 + 8;  // HealthProbe: nonce + timestamp
+          // StateSync: incarnation tag + the reintegration delta (class_id
+          // is framing, same as ModelUpdate).
+          return 8 + accum_wire_size(m.accum);
         }
       },
       msg);

@@ -12,8 +12,16 @@
 //                    classifier during routed inference;
 //   QueryReply     — the serving node's answer travelling back to the
 //                    query's origin;
-//   HealthProbe    — a liveness probe (transport diagnostics; carries no
-//                    model payload).
+//   HealthProbe    — a periodic liveness heartbeat carrying the sender's
+//                    incarnation and suspicion set (the failure detector's
+//                    only input — see net/detector.hpp);
+//   NodeJoin       — a (re)joining node announcing itself with a fresh
+//                    incarnation;
+//   NodeLeave      — a node's departure being recorded (planned shutdown or
+//                    a detector's death declaration);
+//   StateSync      — one class accumulator re-synced during the rejoin
+//                    session (the reintegration delta, tagged with the
+//                    rejoiner's incarnation so stale syncs are rejected).
 //
 // This header also owns the *canonical byte accounting*: wire_size() is the
 // single source of truth for what a message costs on the air — the quantity
@@ -38,6 +46,9 @@ enum class MsgType : std::uint8_t {
   kQueryEscalate = 4,
   kQueryReply = 5,
   kHealthProbe = 6,
+  kNodeJoin = 7,
+  kNodeLeave = 8,
+  kStateSync = 9,
 };
 
 /// Human-readable message-type name ("model_update", ...); also the label
@@ -94,16 +105,53 @@ struct QueryReply {
   friend bool operator==(const QueryReply&, const QueryReply&) = default;
 };
 
-/// Liveness probe (no model payload; transport diagnostics only).
+/// Periodic liveness heartbeat. Beyond the transport diagnostics of PR 5
+/// (nonce + timestamp) it now carries the failure-detection payload: the
+/// sender's incarnation (bumped every time it returns from the dead, so a
+/// receiver can tell a rejoin from a late packet) and the sender's current
+/// suspicion set as a bitmask (node i suspected => bit i; nodes >= 64 are
+/// never gossiped — direct edge evidence still covers them).
 struct HealthProbe {
   std::uint64_t nonce = 0;
-  std::uint64_t sent_at = 0;  ///< sender-side timestamp (virtual time)
+  std::uint64_t sent_at = 0;     ///< sender-side timestamp (virtual time)
+  std::uint64_t incarnation = 0; ///< sender's membership generation
+  std::uint64_t suspects = 0;    ///< gossip: bitmask of suspected node ids
 
   friend bool operator==(const HealthProbe&, const HealthProbe&) = default;
 };
 
+/// A (re)joining node announcing itself. `incarnation` is strictly greater
+/// than any the cluster has seen from this node, which is what lets
+/// receivers discard in-flight state from its previous life.
+struct NodeJoin {
+  std::uint64_t incarnation = 0;
+
+  friend bool operator==(const NodeJoin&, const NodeJoin&) = default;
+};
+
+/// A departure record: either a planned shutdown announced by the node
+/// itself or a detector's death declaration recorded on its behalf.
+struct NodeLeave {
+  std::uint64_t incarnation = 0;
+  std::uint8_t planned = 0;  ///< 1 = graceful, 0 = declared dead
+
+  friend bool operator==(const NodeLeave&, const NodeLeave&) = default;
+};
+
+/// One class accumulator re-synced during a rejoin session. The same linear
+/// object as a ModelUpdate delta, tagged with the rejoiner's incarnation so
+/// an ancestor can reject a sync from a superseded life of the node.
+struct StateSync {
+  std::uint32_t class_id = 0;
+  std::uint64_t incarnation = 0;
+  hdc::AccumHV accum;
+
+  friend bool operator==(const StateSync&, const StateSync&) = default;
+};
+
 using Message = std::variant<ModelUpdate, BatchUpdate, ResidualMerge,
-                             QueryEscalate, QueryReply, HealthProbe>;
+                             QueryEscalate, QueryReply, HealthProbe, NodeJoin,
+                             NodeLeave, StateSync>;
 
 MsgType type_of(const Message& msg) noexcept;
 

@@ -15,6 +15,7 @@ void NodeRuntime::init(net::NodeId id, const net::Topology& topology,
   topology_ = &topology;
   dim_ = dim;
   num_classes_ = num_classes;
+  incarnations_.assign(topology.num_nodes(), 0);
   if (topology.is_leaf(id)) {
     role_ = Role::kLeaf;
   } else if (id == topology.root()) {
@@ -128,6 +129,35 @@ void NodeRuntime::on_envelope(const Envelope& env) {
           residual_any_child_ = true;
         } else if constexpr (std::is_same_v<T, HealthProbe>) {
           ++probes_received_;
+        } else if constexpr (std::is_same_v<T, NodeJoin>) {
+          // Membership announcements advance the runtime's view of the
+          // sender's generation; the session layer owns what to do about it.
+          if (env.src < incarnations_.size() &&
+              m.incarnation > incarnations_[env.src]) {
+            incarnations_[env.src] = m.incarnation;
+          }
+          ++joins_received_;
+        } else if constexpr (std::is_same_v<T, NodeLeave>) {
+          ++leaves_received_;
+        } else if constexpr (std::is_same_v<T, StateSync>) {
+          // A rejoin delta: same linear object as a ModelUpdate, but tagged
+          // with the sender's incarnation — a sync from a superseded life
+          // of the node is a protocol violation. Accepted while rebuilding
+          // (initial training) and while lifting hop by hop (reintegration).
+          if (phase_ != Phase::kInitialTraining &&
+              phase_ != Phase::kReintegration) {
+            require_phase(Phase::kReintegration, "StateSync");
+          }
+          if (m.class_id >= num_classes_) {
+            throw std::logic_error("NodeRuntime: StateSync class id out of "
+                                   "range");
+          }
+          if (env.src < incarnations_.size() &&
+              m.incarnation < incarnations_[env.src]) {
+            throw std::logic_error("NodeRuntime: StateSync from a superseded "
+                                   "incarnation");
+          }
+          inbox_[child_index(env.src)][m.class_id] = m.accum;
         } else {
           // QueryEscalate / QueryReply: query walks are handled reentrantly
           // by routing.hpp; a copy arriving over a transport bus is only
@@ -136,6 +166,17 @@ void NodeRuntime::on_envelope(const Envelope& env) {
         }
       },
       env.msg);
+}
+
+std::vector<AccumHV> NodeRuntime::checkpoint_state() const {
+  if (classifier_ != nullptr) {
+    std::vector<AccumHV> out(num_classes_);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      out[c] = classifier_->class_accumulator(c);
+    }
+    return out;
+  }
+  return own_accums_;
 }
 
 hdc::AccumHV NodeRuntime::aggregate_inbox(std::size_t c) const {

@@ -108,6 +108,18 @@ class NodeRuntime {
 
   std::uint64_t probes_received() const noexcept { return probes_received_; }
   std::uint64_t queries_received() const noexcept { return queries_received_; }
+  std::uint64_t joins_received() const noexcept { return joins_received_; }
+  std::uint64_t leaves_received() const noexcept { return leaves_received_; }
+
+  /// Highest incarnation heard from `node` via NodeJoin (0 = first life).
+  std::uint64_t known_incarnation(net::NodeId node) const noexcept {
+    return node < incarnations_.size() ? incarnations_[node] : 0;
+  }
+
+  /// The node's current class-accumulator state, for re-syncing a rejoined
+  /// parent: the hosted classifier's accumulators when one exists, else the
+  /// last initial-training shipment. Empty when the node never trained.
+  std::vector<hdc::AccumHV> checkpoint_state() const;
 
   // ---- initial training (Section IV-B) ------------------------------------
 
@@ -188,6 +200,11 @@ class NodeRuntime {
 
   std::uint64_t probes_received_ = 0;
   std::uint64_t queries_received_ = 0;
+  std::uint64_t joins_received_ = 0;
+  std::uint64_t leaves_received_ = 0;
+  /// Highest incarnation announced per node (indexed by NodeId); a
+  /// StateSync bearing a lower incarnation than recorded here is rejected.
+  std::vector<std::uint64_t> incarnations_;
 };
 
 }  // namespace edgehd::proto

@@ -11,11 +11,22 @@ namespace edgehd::proto {
 using net::NodeId;
 
 bool RoutingContext::node_up(NodeId id) const noexcept {
+  if (suspicion) return suspicion->node_up(id);
   return !degraded || health->node_up(id);
 }
 
 bool RoutingContext::link_up(NodeId child) const noexcept {
+  if (suspicion) return suspicion->link_up(child);
   return !degraded || health->link_up(child);
+}
+
+bool RoutingContext::origin_up(NodeId id) const noexcept {
+  return !health || health->node_up(id);
+}
+
+double RoutingContext::link_loss_of(NodeId child) const noexcept {
+  if (suspicion) return suspicion->link_loss(child);
+  return health ? health->link_loss(child) : 0.0;
 }
 
 bool RoutingContext::child_delivers(NodeId child) const noexcept {
@@ -50,7 +61,7 @@ void gather_bytes_masked(const RoutingContext& ctx, NodeId id,
     const std::uint64_t b =
         compressed_query_wire_size(ctx.nodes[kid].dim(), ctx.compression);
     bytes += b;
-    const double p = ctx.health->link_loss(kid);
+    const double p = ctx.link_loss_of(kid);
     if (p > 0.0) {
       // Reliable transport: the hop is charged the expected number of
       // transmissions per packet under its retry cap; everything beyond the
@@ -132,8 +143,10 @@ RoutedResult route_query_degraded(const RoutingContext& ctx,
                                   std::span<const hdc::BipolarHV> hvs,
                                   NodeId start, std::uint64_t query_id) {
   RoutedResult result;
-  if (!ctx.node_up(start)) {
-    // The query's origin is dead; nobody can even pose the question.
+  if (!ctx.origin_up(start)) {
+    // The query's origin is physically dead; nobody can even pose the
+    // question. This is world simulation, not belief — a detector cannot
+    // resurrect a crashed node by failing to suspect it.
     result.degraded = true;
     return result;
   }

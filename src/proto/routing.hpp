@@ -21,6 +21,7 @@
 #include <span>
 
 #include "hdc/hypervector.hpp"
+#include "net/detector.hpp"
 #include "net/fault.hpp"
 #include "net/topology.hpp"
 #include "node_runtime.hpp"
@@ -34,7 +35,13 @@ namespace edgehd::proto {
 struct RoutingContext {
   const net::Topology* topology = nullptr;
   std::span<const NodeRuntime> nodes;  ///< indexed by NodeId
+  /// The simulated physical world. With a detector installed this is only
+  /// consulted where the world itself matters (a dead origin cannot pose a
+  /// query); all reachability *decisions* come from `suspicion`.
   const net::HealthMask* health = nullptr;  ///< may be empty
+  /// Earned beliefs from the failure detector. When set, node_up/link_up/
+  /// link-loss decisions use this instead of the oracle mask.
+  const net::SuspicionView* suspicion = nullptr;
   bool degraded = false;
   double confidence_threshold = 0.75;
   std::size_t compression = 1;  ///< m, query hypervectors per bundle
@@ -46,6 +53,11 @@ struct RoutingContext {
   bool node_up(net::NodeId id) const noexcept;
   bool link_up(net::NodeId child) const noexcept;
   bool child_delivers(net::NodeId child) const noexcept;
+  /// Physical liveness of a query's origin (world simulation, never belief).
+  bool origin_up(net::NodeId id) const noexcept;
+  /// Loss estimate for retry accounting: observed (suspicion) when a
+  /// detector is installed, oracle otherwise.
+  double link_loss_of(net::NodeId child) const noexcept;
   /// Any contribution missing anywhere in `id`'s subtree?
   bool subtree_degraded(net::NodeId id) const;
 };

@@ -1,6 +1,7 @@
 #include "sessions.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace edgehd::proto {
@@ -9,11 +10,24 @@ using hdc::AccumHV;
 using net::NodeId;
 
 bool SessionContext::node_up(NodeId id) const noexcept {
+  if (suspicion) return suspicion->node_up(id);
   return !degraded || health->node_up(id);
 }
 
 bool SessionContext::link_up(NodeId child) const noexcept {
+  if (suspicion) return suspicion->link_up(child);
   return !degraded || health->link_up(child);
+}
+
+bool SessionContext::origin_up(NodeId id) const noexcept {
+  return !health || health->node_up(id);
+}
+
+bool SessionContext::reachable_to_root(NodeId id) const {
+  if (suspicion) {
+    return suspicion->reachable_up(*topology, id, topology->root());
+  }
+  return !degraded || health->reachable_up(*topology, id, topology->root());
 }
 
 bool SessionContext::child_delivers(NodeId child) const noexcept {
@@ -87,10 +101,10 @@ CommStats run_initial_training(const SessionContext& ctx,
 
   const auto order = ctx.bottom_up_order();
   for (NodeId id : order) {
-    if (ctx.node_up(id)) ctx.nodes[id].begin_initial_training();
+    if (ctx.origin_up(id)) ctx.nodes[id].begin_initial_training();
   }
   for (NodeId id : order) {
-    if (!ctx.node_up(id)) continue;
+    if (!ctx.origin_up(id)) continue;
     const auto& accums = ctx.nodes[id].finish_initial_training(
         leaf_samples(ctx, data, id), data.labels);
     if (ctx.parked(id)) {
@@ -142,10 +156,10 @@ CommStats run_batch_retraining(const SessionContext& ctx,
 
   const auto order = ctx.bottom_up_order();
   for (NodeId id : order) {
-    if (ctx.node_up(id)) ctx.nodes[id].begin_batch_retraining(batches);
+    if (ctx.origin_up(id)) ctx.nodes[id].begin_batch_retraining(batches);
   }
   for (NodeId id : order) {
-    if (!ctx.node_up(id)) continue;
+    if (!ctx.origin_up(id)) continue;
     const auto& nb = ctx.nodes[id].finish_batch_retraining(
         leaf_samples(ctx, data, id), data.labels);
     if (ctx.parked(id)) {
@@ -175,10 +189,10 @@ CommStats run_residual_propagation(const SessionContext& ctx) {
   for (NodeId id : order) {
     // A crashed node neither applies nor ships anything; its own residuals
     // stay queued inside its classifier until a later round finds it up.
-    if (ctx.node_up(id)) ctx.nodes[id].begin_residual_propagation();
+    if (ctx.origin_up(id)) ctx.nodes[id].begin_residual_propagation();
   }
   for (NodeId id : order) {
-    if (!ctx.node_up(id)) continue;
+    if (!ctx.origin_up(id)) continue;
     std::vector<AccumHV> ship = ctx.nodes[id].finish_residual_propagation();
     // What ships upward: this round's bundle plus anything held back by an
     // earlier round whose uplink was down.
@@ -213,9 +227,7 @@ CommStats run_reintegration(const SessionContext& ctx) {
     auto& parked_contrib = (*ctx.pending_contrib)[id];
     if (parked_contrib.empty()) continue;
     // Still cut off? The contribution stays pending for a later call.
-    if (ctx.degraded && !ctx.health->reachable_up(*ctx.topology, id, root)) {
-      continue;
-    }
+    if (!ctx.reachable_to_root(id)) continue;
     std::vector<AccumHV> cur = std::move(parked_contrib);
     parked_contrib.clear();
     NodeId child = id;
@@ -233,6 +245,101 @@ CommStats run_reintegration(const SessionContext& ctx) {
     auto& list = *ctx.stragglers;
     list.erase(std::remove(list.begin(), list.end(), id), list.end());
   }
+  return comm;
+}
+
+CommStats run_rejoin(const SessionContext& ctx, const TrainData& data,
+                     NodeId rejoined, std::uint64_t incarnation) {
+  CommStats comm;
+  const ChargeScope charge(*ctx.bus, comm);
+  const NodeId root = ctx.topology->root();
+  if (rejoined == root) {
+    throw std::invalid_argument("run_rejoin: the root cannot rejoin");
+  }
+  // Still believed down, or the path to the root is? Try again later.
+  if (!ctx.node_up(rejoined) || !ctx.reachable_to_root(rejoined)) return comm;
+
+  // 1. Announce the new generation to every ancestor, so the StateSync
+  //    envelopes below pass their incarnation checks.
+  for (NodeId anc = ctx.topology->parent(rejoined);;
+       anc = ctx.topology->parent(anc)) {
+    ctx.bus->post(
+        Envelope{kProtoVersion, rejoined, anc, NodeJoin{incarnation}});
+    if (anc == root) break;
+  }
+
+  auto unpark = [&ctx](NodeId id) {
+    (*ctx.pending_contrib)[id].clear();
+    auto& list = *ctx.stragglers;
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  };
+
+  // 2. Rebuild local state. A leaf re-bundles its own samples; an internal
+  //    node aggregates its reachable children's checkpoints, delivered as
+  //    StateSync envelopes (an unreachable child contributes zeros and stays
+  //    a straggler). Exact by determinism: the same inputs reproduce the
+  //    same accumulators the lost life computed.
+  NodeRuntime& me = ctx.nodes[rejoined];
+  me.begin_initial_training();
+  std::vector<NodeId> synced_kids;
+  if (!ctx.topology->is_leaf(rejoined)) {
+    for (NodeId kid : ctx.topology->children(rejoined)) {
+      if (!ctx.child_delivers(kid)) continue;
+      const auto state = ctx.nodes[kid].checkpoint_state();
+      if (state.empty()) continue;  // child never trained — nothing to sync
+      for (std::size_t c = 0; c < state.size(); ++c) {
+        ctx.bus->post(Envelope{
+            kProtoVersion, kid, rejoined,
+            StateSync{static_cast<std::uint32_t>(c),
+                      me.known_incarnation(kid), state[c]}});
+      }
+      synced_kids.push_back(kid);
+    }
+  }
+  me.finish_initial_training(leaf_samples(ctx, data, rejoined), data.labels);
+
+  // 3. Re-synchronize every ancestor on the path from its delivering
+  //    children's full checkpoints, one aggregation pass per hop (StateSync
+  //    envelopes, so every hop validates generations). A delta-lift through
+  //    the reintegration machinery would be cheaper on the wire, but the
+  //    projection's integer rescale truncates — aggregate(a + b) can differ
+  //    from aggregate(a) + aggregate(b) by one unit per element — so only a
+  //    full rebuild reproduces the never-failed aggregation bit-exactly.
+  for (NodeId hop = ctx.topology->parent(rejoined);;
+       hop = ctx.topology->parent(hop)) {
+    NodeRuntime& prt = ctx.nodes[hop];
+    prt.begin_initial_training();
+    for (NodeId kid : ctx.topology->children(hop)) {
+      if (!ctx.child_delivers(kid)) continue;
+      const auto state = ctx.nodes[kid].checkpoint_state();
+      if (state.empty()) continue;  // child never trained — nothing to sync
+      for (std::size_t c = 0; c < state.size(); ++c) {
+        ctx.bus->post(Envelope{
+            kProtoVersion, kid, hop,
+            StateSync{static_cast<std::uint32_t>(c),
+                      prt.known_incarnation(kid), state[c]}});
+      }
+      if (kid != rejoined) synced_kids.push_back(kid);
+    }
+    prt.finish_initial_training(leaf_samples(ctx, data, hop), data.labels);
+    if (hop == root) break;
+  }
+
+  // 4. The rebuild consumed the synced children's full state and superseded
+  //    any contribution parked by the rejoined node's previous life.
+  unpark(rejoined);
+  for (NodeId kid : synced_kids) unpark(kid);
+  return comm;
+}
+
+CommStats announce_leave(const SessionContext& ctx, NodeId node,
+                         std::uint64_t incarnation, bool planned) {
+  CommStats comm;
+  const ChargeScope charge(*ctx.bus, comm);
+  if (node == ctx.topology->root()) return comm;  // the root has no parent
+  ctx.bus->post(Envelope{
+      kProtoVersion, node, ctx.topology->parent(node),
+      NodeLeave{incarnation, static_cast<std::uint8_t>(planned ? 1 : 0)}});
   return comm;
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bus.hpp"
+#include "net/detector.hpp"
 #include "net/fault.hpp"
 #include "net/topology.hpp"
 #include "node_runtime.hpp"
@@ -37,7 +38,12 @@ struct SessionContext {
   const net::Topology* topology = nullptr;
   std::span<NodeRuntime> nodes;  ///< indexed by NodeId
   Bus* bus = nullptr;
+  /// The simulated physical world (oracle). With `suspicion` installed this
+  /// is no longer consulted for decisions.
   const net::HealthMask* health = nullptr;  ///< may be empty
+  /// Earned beliefs from the failure detector; when set, every liveness and
+  /// reachability decision below uses this instead of the oracle mask.
+  const net::SuspicionView* suspicion = nullptr;
   bool degraded = false;  ///< health installed and not all-healthy
   std::size_t num_classes = 0;
   std::size_t batch_size = 1;  ///< B, retraining batch size
@@ -52,7 +58,15 @@ struct SessionContext {
 
   bool node_up(net::NodeId id) const noexcept;
   bool link_up(net::NodeId child) const noexcept;
+  /// Physically alive (world simulation, never beliefs): local computation —
+  /// bundling, aggregation, perceptron updates — happens on the node itself,
+  /// so only the simulated world can gate it. A node everyone *believes*
+  /// dead still trains on its local data; it just cannot deliver. Identical
+  /// to node_up() on the oracle path.
+  bool origin_up(net::NodeId id) const noexcept;
   bool child_delivers(net::NodeId child) const noexcept;
+  /// Every hop from `id` to the root believed up.
+  bool reachable_to_root(net::NodeId id) const;
   /// A live node cut off from its parent parks this round's shipment.
   bool parked(net::NodeId id) const;
   /// Bottom-up node order (leaves first).
@@ -90,5 +104,29 @@ CommStats run_residual_propagation(const SessionContext& ctx);
 /// lifting the delta through the parent's aggregator and folding it into
 /// the parent's model (exact by linearity).
 CommStats run_reintegration(const SessionContext& ctx);
+
+/// Rejoin after a declared death (churn membership). The returning node
+/// announces its new incarnation to every ancestor (NodeJoin envelopes),
+/// rebuilds its class-accumulator state — a leaf re-bundles its local
+/// samples; an internal node re-syncs from its reachable children's
+/// checkpointed state, shipped as StateSync envelopes — then every
+/// ancestor on the path to the root re-aggregates from its delivering
+/// children's full checkpoints in one pass per hop. (A delta-lift would be
+/// cheaper, but the projection's integer rescale truncates, so only a full
+/// rebuild is bit-exact against the never-failed run.) Exact for the
+/// aggregation state (initial training); perceptron retraining state is
+/// NOT recovered — a later retraining round re-syncs it. Assumes the node was believed dead for the whole merge schedule, so
+/// no ancestor holds any part of its contribution. Direct children whose
+/// contributions were parked against the dead parent are unparked (the
+/// rebuild consumed their full state). No-op when the node or its path to
+/// the root is still believed down.
+CommStats run_rejoin(const SessionContext& ctx, const TrainData& data,
+                     net::NodeId rejoined, std::uint64_t incarnation);
+
+/// Posts a NodeLeave from `node` to its parent (accounted like any other
+/// envelope). Membership bookkeeping only — the detector, not this
+/// announcement, decides when the node is treated as gone.
+CommStats announce_leave(const SessionContext& ctx, net::NodeId node,
+                         std::uint64_t incarnation, bool planned);
 
 }  // namespace edgehd::proto

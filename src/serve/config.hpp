@@ -41,6 +41,17 @@ struct ServeConfig {
   /// h hops pays h * escalate_latency extra before its reply lands.
   net::SimTime escalate_latency = 2 * net::kMillisecond;
 
+  // ---- failover (detector mode only, DESIGN.md §11) ------------------------
+  /// Bounded failover budget per query: how many times an in-flight
+  /// escalation whose destination is found dead (or believed dead) may be
+  /// re-admitted for a later retry before the query settles for its deepest
+  /// verdict. Only consulted when the engine runs a failure detector
+  /// (Bindings::detector.enabled); the oracle path is untouched.
+  std::size_t failover_retries = 2;
+  /// Virtual-time wait before each failover retry (beliefs may refresh in
+  /// the meantime: a refuting probe round, an outage window closing).
+  net::SimTime failover_backoff = 4 * net::kMillisecond;
+
   // ---- SLO -----------------------------------------------------------------
   /// Per-query latency objective (arrival → reply, virtual time). Queries
   /// finishing later count toward ServeReport::slo_violations.

@@ -51,6 +51,9 @@ Engine::Engine(ServeConfig config, Bindings bindings)
     m_shed_escalated_ = reg.counter("serve.shed.escalated");
     m_batches_ = reg.counter("serve.batches");
     m_slo_violations_ = reg.counter("serve.slo_violations");
+    m_failover_retries_ = reg.counter("serve.failover.readmissions");
+    m_failover_reroutes_ = reg.counter("serve.failover.reroutes");
+    m_failover_exhausted_ = reg.counter("serve.failover.exhausted");
     // Virtual-time latency buckets, 100 us .. 1 s (deterministic, so stable).
     m_latency_ = reg.histogram(
         "serve.latency_ns",
@@ -61,8 +64,16 @@ Engine::Engine(ServeConfig config, Bindings bindings)
 }
 
 void Engine::set_fault_plan(net::FaultPlan plan) {
+  detector_.reset();
   plan_ = std::move(plan);
   mask_time_ = -1;
+  if (b_.detector.enabled) {
+    // Detector mode: routing beliefs come from probe traffic over this plan,
+    // not from the oracle mask. The mask keeps simulating the physical world
+    // (a dead node cannot serve), consulted only through origin_up().
+    detector_ = std::make_unique<net::FailureDetector>(*b_.ctx.topology,
+                                                       *plan_, b_.detector);
+  }
 }
 
 void Engine::refresh_mask(SimTime t) {
@@ -74,7 +85,18 @@ void Engine::refresh_mask(SimTime t) {
     mask_ = net::HealthMask{};
   }
   b_.ctx.health = &mask_;
-  b_.ctx.degraded = !mask_.empty() && !mask_.all_healthy();
+  if (detector_) {
+    detector_->advance(t);
+    b_.ctx.suspicion = &detector_->view();
+    // Degraded routing engages on either physical unhealth (masked encode
+    // paths must silence dead contributions) or earned suspicion (the
+    // reachability walk must consult beliefs).
+    b_.ctx.degraded = (!mask_.empty() && !mask_.all_healthy()) ||
+                      !detector_->view().all_healthy();
+  } else {
+    b_.ctx.suspicion = nullptr;
+    b_.ctx.degraded = !mask_.empty() && !mask_.all_healthy();
+  }
 }
 
 void Engine::schedule(SimTime t, Ev::Kind kind, NodeId node, std::uint64_t a,
@@ -122,7 +144,7 @@ void Engine::on_arrival(const Ev& ev) {
   refresh_mask(ev.t);
   ++report_.submitted;
   m_submitted_.inc();
-  if (!b_.ctx.node_up(ev.node)) {
+  if (!b_.ctx.origin_up(ev.node)) {
     // The origin itself is down: nobody can pose the question. Counted as a
     // routed query that went unserved, exactly like the synchronous walk.
     b_.routed_queries.inc();
@@ -184,7 +206,7 @@ void Engine::maybe_flush(NodeId node, SimTime now) {
 void Engine::on_deadline(const Ev& ev) {
   if (ev.a != nodes_[ev.node].deadline_epoch) return;  // stale timer
   refresh_mask(ev.t);
-  if (!b_.ctx.node_up(ev.node)) {
+  if (!b_.ctx.origin_up(ev.node)) {
     fail_node_queue(ev.node, ev.t);
     return;
   }
@@ -196,6 +218,11 @@ void Engine::fail_node_queue(NodeId node, SimTime now) {
   // here fails over. Queries already holding a deeper verdict fall back to
   // it (degraded); the rest are lost.
   NodeState& ns = nodes_[node];
+  if (detector_ && !ns.queue.empty() && node != b_.ctx.topology->root()) {
+    // The lost queue is hard evidence of death; feed it to the detector so
+    // later routing decisions stop steering queries at this node.
+    detector_->report_failure(b_.ctx.topology->parent(node), node, now);
+  }
   while (!ns.queue.empty()) {
     const std::uint64_t slot = ns.queue.pop_front().slot;
     if (slots_[slot].best.node != net::kNoNode && b_.ctx.serve_degraded) {
@@ -219,7 +246,7 @@ void Engine::on_service_done(const Ev& ev) {
   const std::vector<std::uint64_t> batch = ns.in_service;
   ns.in_service.clear();
   ns.busy = false;
-  if (!b_.ctx.node_up(ev.node)) {
+  if (!b_.ctx.origin_up(ev.node)) {
     // The serving node crashed while the batch was in flight. Queries that
     // already hold a verdict from a deeper node fall back to it; the rest
     // are lost.
@@ -288,7 +315,11 @@ void Engine::decide(std::uint64_t slot, SimTime now) {
   if (ctx.degraded) {
     next = proto::reachable_classifier_ancestor(ctx, current);
     if (next == net::kNoNode) {
-      // Escalation wanted to continue but a dead hop blocks the way.
+      // Escalation wanted to continue but a dead hop blocks the way. In
+      // detector mode the block is a belief that may yet be refuted (a
+      // probe round, an outage closing), so spend the failover budget
+      // before settling for the local verdict.
+      if (detector_ && try_failover(slot, now)) return;
       if (ctx.serve_degraded) {
         finalize_served(slot, now, /*cut=*/true);
       } else {
@@ -303,6 +334,13 @@ void Engine::decide(std::uint64_t slot, SimTime now) {
     finalize_served(slot, now, /*cut=*/false);
     return;
   }
+  if (q.failovers > 0 && !q.rerouted) {
+    // The query survived at least one failover wait and found a live path
+    // up again: count the reroute once per query.
+    q.rerouted = true;
+    ++report_.failover_reroutes;
+    m_failover_reroutes_.inc();
+  }
   // Async escalation session: charge the QueryEscalate envelope now, ship
   // the query one virtual hop up, and return — the local queue keeps
   // draining while this query is in flight.
@@ -313,12 +351,47 @@ void Engine::decide(std::uint64_t slot, SimTime now) {
   schedule(now + cfg_.escalate_latency, Ev::Kind::kEscalateArrive, next, slot);
 }
 
+bool Engine::try_failover(std::uint64_t slot, SimTime now) {
+  QueryState& q = slots_[slot];
+  if (q.failovers >= cfg_.failover_retries) {
+    ++report_.failover_exhausted;
+    m_failover_exhausted_.inc();
+    return false;
+  }
+  ++q.failovers;
+  ++report_.failover_retries;
+  m_failover_retries_.inc();
+  schedule(now + cfg_.failover_backoff, Ev::Kind::kFailoverRetry, q.best.node,
+           slot);
+  return true;
+}
+
+void Engine::on_failover_retry(const Ev& ev) {
+  refresh_mask(ev.t);
+  const std::uint64_t slot = ev.a;
+  if (!b_.ctx.origin_up(ev.node)) {
+    // The node holding the deepest verdict died while the query waited out
+    // its backoff: nothing is left to answer from.
+    finalize_unserved(slot, ev.t);
+    return;
+  }
+  // Re-run the routing decision with current beliefs: a refuted suspicion
+  // escalates again (counted as a reroute), a persistent one burns another
+  // retry or settles for the held verdict.
+  decide(slot, ev.t);
+}
+
 void Engine::on_escalate_arrive(const Ev& ev) {
   refresh_mask(ev.t);
   const std::uint64_t slot = ev.a;
-  if (!b_.ctx.node_up(ev.node)) {
+  if (!b_.ctx.origin_up(ev.node)) {
     // Destination died while the query was in flight — same outcome as a
-    // blocked walk.
+    // blocked walk, except in detector mode the sender learns from the
+    // failed session and may retry within the failover budget.
+    if (detector_) {
+      detector_->report_failure(slots_[slot].best.node, ev.node, ev.t);
+      if (try_failover(slot, ev.t)) return;
+    }
     if (b_.ctx.serve_degraded) {
       finalize_served(slot, ev.t, /*cut=*/true);
     } else {
@@ -483,6 +556,9 @@ void Engine::dispatch(const Ev& ev) {
       break;
     case Ev::Kind::kEscalateArrive:
       on_escalate_arrive(ev);
+      break;
+    case Ev::Kind::kFailoverRetry:
+      on_failover_retry(ev);
       break;
   }
 }

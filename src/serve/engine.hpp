@@ -30,9 +30,12 @@
 #include <span>
 #include <vector>
 
+#include <memory>
+
 #include "config.hpp"
 #include "hdc/hypervector.hpp"
 #include "loadgen.hpp"
+#include "net/detector.hpp"
 #include "net/fault.hpp"
 #include "obs/metrics.hpp"
 #include "proto/routing.hpp"
@@ -51,6 +54,11 @@ struct Bindings {
   /// as given.
   proto::RoutingContext ctx;
   runtime::ThreadPool* pool = nullptr;
+  /// Failure-detection config. When enabled and a fault plan is installed,
+  /// the engine owns a FailureDetector advanced in virtual time; reachability
+  /// decisions run on its SuspicionView (the mask stays world simulation)
+  /// and in-flight escalations fail over with bounded retries.
+  net::DetectorConfig detector;
 
   /// Size of the query pool; `sample` indices below are in [0, num_samples).
   std::uint64_t num_samples = 0;
@@ -118,6 +126,10 @@ struct ServeReport {
                                       ///< query was served at its best-so-far
                                       ///< node instead
   std::uint64_t escalation_hops = 0;
+  // ---- failover accounting (detector mode; all zero on the oracle path) ----
+  std::uint64_t failover_retries = 0;   ///< bounded re-admissions scheduled
+  std::uint64_t failover_reroutes = 0;  ///< queries that escalated after retry
+  std::uint64_t failover_exhausted = 0; ///< retry budget spent; settled local
   std::uint64_t batches = 0;
   std::uint64_t correct = 0;  ///< served with label == ground truth
   std::uint64_t slo_violations = 0;
@@ -173,7 +185,8 @@ class Engine {
       kArrival,        ///< node=origin, a=sample, b=client (or kNoClient)
       kDeadline,       ///< node, a=deadline epoch
       kServiceDone,    ///< node
-      kEscalateArrive  ///< node=destination, a=query slot
+      kEscalateArrive, ///< node=destination, a=query slot
+      kFailoverRetry   ///< node=holder of the best verdict, a=query slot
     } kind = Kind::kArrival;
     net::NodeId node = 0;
     std::uint64_t a = 0;
@@ -192,6 +205,8 @@ class Engine {
     std::uint64_t query_id = 0;
     std::uint64_t client = 0;
     std::uint32_t hops = 0;
+    std::uint32_t failovers = 0;       ///< failover retries consumed
+    bool rerouted = false;             ///< escalated again after a failover
     proto::RoutedResult best;          ///< deepest verdict so far
     std::vector<hdc::BipolarHV> hvs;   ///< cached full encodings (lazy)
   };
@@ -217,6 +232,10 @@ class Engine {
   void on_deadline(const Ev& ev);
   void on_service_done(const Ev& ev);
   void on_escalate_arrive(const Ev& ev);
+  void on_failover_retry(const Ev& ev);
+  /// Schedules a bounded failover retry for `slot`; false when the budget is
+  /// spent (the caller settles the query instead).
+  bool try_failover(std::uint64_t slot, net::SimTime now);
 
   /// Starts a batch or arms the deadline timer, per the flush policy.
   void maybe_flush(net::NodeId node, net::SimTime now);
@@ -241,6 +260,8 @@ class Engine {
   std::optional<net::FaultPlan> plan_;
   net::HealthMask mask_;
   net::SimTime mask_time_ = -1;
+  /// Owned failure detector (detector mode); advanced by refresh_mask.
+  std::unique_ptr<net::FailureDetector> detector_;
 
   std::priority_queue<Ev, std::vector<Ev>, EvLater> events_;
   std::uint64_t next_seq_ = 0;
@@ -272,6 +293,8 @@ class Engine {
   // ---- serving-plane metrics (virtual time => registered stable) -----------
   obs::Counter m_submitted_, m_shed_admission_, m_shed_escalated_, m_batches_,
       m_slo_violations_;
+  obs::Counter m_failover_retries_, m_failover_reroutes_,
+      m_failover_exhausted_;
   obs::Histogram m_latency_;
   obs::Gauge m_queue_peak_;
 };

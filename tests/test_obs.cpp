@@ -121,6 +121,48 @@ TEST(MetricsRegistry, HistogramSummaryIsConsistentSnapshot) {
   EXPECT_GT(s.p95, s.p50);
 }
 
+TEST(MetricsRegistry, HistogramQuantileAndSummaryEdgeCases) {
+  SKIP_IF_OBS_OFF();
+  obs::MetricsRegistry reg;
+  // Empty: every quantile (including the clamped extremes) and every summary
+  // field reads zero rather than dividing by a zero count.
+  const obs::Histogram empty = reg.histogram("empty", {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+  const obs::HistogramSummary es = empty.summary();
+  EXPECT_EQ(es.count, 0u);
+  EXPECT_EQ(es.sum, 0u);
+  EXPECT_DOUBLE_EQ(es.p50, 0.0);
+  EXPECT_DOUBLE_EQ(es.p99, 0.0);
+
+  // Single sample: all quantiles interpolate inside the one occupied bucket,
+  // so every q maps into (bucket_lo, bucket_hi].
+  const obs::Histogram one = reg.histogram("one", {10.0, 20.0});
+  one.observe(15.0);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(one.quantile(q), 10.0) << "q=" << q;
+    EXPECT_LE(one.quantile(q), 20.0) << "q=" << q;
+  }
+  const obs::HistogramSummary os = one.summary();
+  EXPECT_EQ(os.count, 1u);
+  EXPECT_EQ(os.sum, 15u);
+  EXPECT_DOUBLE_EQ(os.p50, one.quantile(0.5));
+
+  // All observations in one bucket: the quantile spread stays inside that
+  // bucket's bounds and the summary is internally ordered.
+  const obs::Histogram packed = reg.histogram("packed", {10.0, 20.0, 40.0});
+  for (int i = 0; i < 100; ++i) packed.observe(12.0);
+  EXPECT_GT(packed.quantile(0.01), 10.0);
+  EXPECT_DOUBLE_EQ(packed.quantile(1.0), 20.0);
+  const obs::HistogramSummary ps = packed.summary();
+  EXPECT_EQ(ps.count, 100u);
+  EXPECT_LE(ps.p50, ps.p90);
+  EXPECT_LE(ps.p90, ps.p95);
+  EXPECT_LE(ps.p95, ps.p99);
+  EXPECT_LE(ps.p99, 20.0);
+}
+
 TEST(MetricsRegistry, FindHistogramResolvesKindAndAbsence) {
   SKIP_IF_OBS_OFF();
   obs::MetricsRegistry reg;

@@ -57,8 +57,12 @@ std::vector<Envelope> corpus() {
                  proto::QueryEscalate{42, 2, random_bipolar(203, 14)}});
   out.push_back({proto::kProtoVersion, 0, 6,
                  proto::QueryReply{42, 3, 0.875, 0, 3, 1}});
-  out.push_back(
-      {proto::kProtoVersion, 2, 0, proto::HealthProbe{0xdeadbeef, 17}});
+  out.push_back({proto::kProtoVersion, 2, 0,
+                 proto::HealthProbe{0xdeadbeef, 17, 3, 0b10110}});
+  out.push_back({proto::kProtoVersion, 6, 2, proto::NodeJoin{4}});
+  out.push_back({proto::kProtoVersion, 6, 2, proto::NodeLeave{4, 1}});
+  out.push_back({proto::kProtoVersion, 6, 2,
+                 proto::StateSync{1, 4, random_accum(93, 12, 15)}});
   return out;
 }
 
@@ -92,7 +96,18 @@ TEST(ProtoWireSize, QueryMessagesChargeBipolarAndFixedReply) {
             hdc::wire_bytes_bipolar(777));
   // query id + label + confidence + serving node + level + degraded flag.
   EXPECT_EQ(proto::wire_size(proto::QueryReply{}), 8u + 4 + 8 + 8 + 4 + 1);
-  EXPECT_EQ(proto::wire_size(proto::HealthProbe{}), 16u);
+}
+
+TEST(ProtoWireSize, MembershipMessagesChargeControlFrames) {
+  // nonce + timestamp + incarnation + suspicion bitmask.
+  EXPECT_EQ(proto::wire_size(proto::HealthProbe{}), 32u);
+  EXPECT_EQ(proto::wire_size(proto::NodeJoin{}), 8u);
+  EXPECT_EQ(proto::wire_size(proto::NodeLeave{}), 9u);
+  // StateSync rides the same accumulator packing as ModelUpdate plus the
+  // 8-byte incarnation tag.
+  const auto acc = random_accum(100, 75, 1);
+  EXPECT_EQ(proto::wire_size(proto::StateSync{0, 1, acc}),
+            8u + hdc::wire_bytes_accum(acc));
 }
 
 TEST(ProtoWireSize, CompressedQueryMatchesPaperFormula) {
@@ -127,6 +142,9 @@ TEST(ProtoMessages, TypeNamesAreStable) {
   EXPECT_STREQ(proto::to_string(MsgType::kQueryEscalate), "query_escalate");
   EXPECT_STREQ(proto::to_string(MsgType::kQueryReply), "query_reply");
   EXPECT_STREQ(proto::to_string(MsgType::kHealthProbe), "health_probe");
+  EXPECT_STREQ(proto::to_string(MsgType::kNodeJoin), "node_join");
+  EXPECT_STREQ(proto::to_string(MsgType::kNodeLeave), "node_leave");
+  EXPECT_STREQ(proto::to_string(MsgType::kStateSync), "state_sync");
 }
 
 // ---- envelope round trips --------------------------------------------------
@@ -202,7 +220,7 @@ TEST(EnvelopeReject, UnknownTypeByte) {
   auto buf = proto::encode(corpus().front());
   buf[3] = 0;
   EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadType);
-  buf[3] = 7;
+  buf[3] = 10;
   EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadType);
 }
 
@@ -294,7 +312,7 @@ TEST(EnvelopeSweep, RandomGarbageNeverCrashes) {
       buf[0] = 'E';
       buf[1] = 'P';
       buf[2] = proto::kProtoVersion;
-      buf[3] = static_cast<std::uint8_t>(1 + round % 6);
+      buf[3] = static_cast<std::uint8_t>(1 + round % 9);
     }
     const auto r = proto::decode(buf);
     if (r.ok()) {
