@@ -148,6 +148,27 @@ FailureDetector::FailureDetector(const Topology& topo, const FaultPlan& plan,
   probe_attempt_.assign(n, 0);
   link_sent_.assign(n, 0);
   link_lost_.assign(n, 0);
+  // Pre-resolve which nodes/links the plan can ever touch (the plan is
+  // immutable for the detector's lifetime): the churn pass then visits only
+  // crash-prone nodes, liveness checks read alive_, and the per-probe loss
+  // draw uses the composed probability without rescanning the loss list.
+  outage_prone_.assign(n, 0);
+  loss_p_.assign(n, 0.0);
+  for (const CrashWindow& w : plan.crashes()) {
+    if (w.node < n) churn_nodes_.push_back(w.node);
+  }
+  std::sort(churn_nodes_.begin(), churn_nodes_.end());
+  churn_nodes_.erase(std::unique(churn_nodes_.begin(), churn_nodes_.end()),
+                     churn_nodes_.end());
+  for (const OutageWindow& w : plan.outages()) {
+    if (w.child < n) outage_prone_[w.child] = 1;
+  }
+  for (const LinkLoss& l : plan.losses()) {
+    if (l.child < n) {
+      // Same independent-process composition as FaultPlan::loss_probability.
+      loss_p_[l.child] = 1.0 - (1.0 - loss_p_[l.child]) * (1.0 - l.probability);
+    }
+  }
   next_round_ = cfg_.heartbeat_period;
 }
 
@@ -170,7 +191,11 @@ std::uint64_t FailureDetector::gossip_mask(NodeId sender) const {
   for (const NodeId c : topo_->children(sender)) {
     if (down_[c].suspected) add(c);
   }
-  for (NodeId t = 0; t < view_.query_suspected_.size(); ++t) {
+  // add() ignores ids >= 64, so scanning past the mask width is pure waste
+  // (the seed looped all n nodes — quadratic across a round's probes).
+  const NodeId cap =
+      std::min<NodeId>(64, view_.query_suspected_.size());
+  for (NodeId t = 0; t < cap; ++t) {
     if (view_.query_suspected_[t] != 0) add(t);
   }
   return mask;
@@ -181,8 +206,12 @@ void FailureDetector::run_round(SimTime t) {
 
   // 1. Physical churn pass: a reviving node reboots with a fresh incarnation
   //    and a cleared listening state (it must not suspect the whole world
-  //    for the silence of its own downtime).
-  for (NodeId i = 0; i < n; ++i) {
+  //    for the silence of its own downtime). Only nodes with crash windows
+  //    can ever change liveness, so only they are visited (ascending id,
+  //    same order the full scan produced); after this pass alive_ equals
+  //    plan->node_up(·, t) for every node, and passes 2/3 read it instead
+  //    of rescanning the plan's window list per edge.
+  for (const NodeId i : churn_nodes_) {
     const bool up = plan_->node_up(i, t);
     if (up && alive_[i] == 0) {
       ++incarnation_[i];
@@ -201,24 +230,24 @@ void FailureDetector::run_round(SimTime t) {
     if (c == topo_->root()) continue;
     const NodeId p = topo_->parent(c);
     const auto transmit = [&](NodeId from, NodeId to, EdgeState& st) {
-      if (!plan_->node_up(from, t)) return;  // dead senders are silent
+      if (alive_[from] == 0) return;  // dead senders are silent
       ++probes_sent_;
       probe_bytes_total_ += cfg_.probe_bytes;
       ++link_sent_[c];
       det_obs().probes_sent.inc();
       det_obs().bytes.inc(cfg_.probe_bytes);
-      if (!plan_->link_up(c, t)) {
+      if (outage_prone_[c] != 0 && !plan_->link_up(c, t)) {
         ++probes_dropped_;
         det_obs().probes_dropped.inc();
         return;
       }
-      if (plan_->drop(c, kProbeAttemptBase + probe_attempt_[c]++)) {
+      if (plan_->drop(c, kProbeAttemptBase + probe_attempt_[c]++, loss_p_[c])) {
         ++probes_dropped_;
         ++link_lost_[c];
         det_obs().probes_dropped.inc();
         return;
       }
-      if (!plan_->node_up(to, t)) {
+      if (alive_[to] == 0) {
         ++probes_dropped_;
         det_obs().probes_dropped.inc();
         return;
@@ -234,8 +263,8 @@ void FailureDetector::run_round(SimTime t) {
   for (NodeId c = 0; c < n; ++c) {
     if (c == topo_->root()) continue;
     const NodeId p = topo_->parent(c);
-    if (plan_->node_up(p, t)) evaluate(p, c, down_[c], t, c);
-    if (plan_->node_up(c, t)) evaluate(c, p, up_[c], t, c);
+    if (alive_[p] != 0) evaluate(p, c, down_[c], t, c);
+    if (alive_[c] != 0) evaluate(c, p, up_[c], t, c);
   }
 
   rebuild_view(t);

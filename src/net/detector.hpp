@@ -204,6 +204,13 @@ class FailureDetector {
   std::vector<std::uint64_t> link_sent_;     ///< probes offered per uplink
   std::vector<std::uint64_t> link_lost_;     ///< Bernoulli drops per uplink
 
+  // ---- plan caches (built once; the plan is immutable after construction)
+  // so the per-round hot loops are O(active edges) with no window/loss-list
+  // scans for the (at fleet scale, vast) unaffected majority.
+  std::vector<NodeId> churn_nodes_;          ///< sorted unique crash-prone ids
+  std::vector<std::uint8_t> outage_prone_;   ///< uplink has >=1 outage window
+  std::vector<double> loss_p_;               ///< composed loss per uplink
+
   SuspicionView view_;
   std::vector<SuspicionEvent> events_;
   std::uint64_t nonce_ = 0;

@@ -1,0 +1,227 @@
+// Calendar/ladder event queue — the fleet-scale replacement for the
+// simulator's binary heap (DESIGN.md §12).
+//
+// The seed kept every pending event in one `std::vector` binary heap: each
+// schedule/dispatch pays O(log n) comparisons *and* O(log n) event moves,
+// and at fleet scale (10^5 outstanding timers) the sift paths dominate the
+// run loop. This queue splits an event into a fat payload and a 24-byte
+// (time, seq, slot) key:
+//
+//   * Payloads live in a slot pool with a LIFO free list. Each payload is
+//     written once at push and moved out once at pop — it never takes part
+//     in ordering, so the sorting machinery stays small and cache-resident.
+//   * Keys spread over a ring of time buckets sized at roughly one pending
+//     event per bucket, so the common operation is O(1): push appends to
+//     the bucket covering the event's time, pop takes from the earliest
+//     non-empty bucket. Far-future keys beyond the bucket window land in an
+//     unsorted overflow tier; when the window drains, the overflow is
+//     re-bucketed around its own min/max span — the classic ladder step.
+//
+// Degenerate distributions (everything at one instant) collapse to a single
+// bucket, which is kept as a small binary heap, so the worst case is
+// exactly the seed's behaviour, never worse. Steady state allocates
+// nothing: buckets, overflow and pool all retain capacity, and freed slots
+// are reused hottest-first.
+//
+// Determinism contract (the reason this file exists instead of a library):
+// pop() returns entries in strictly increasing (time, seq) order — the
+// *identical* total order the seed heap produced, including same-time
+// insertion-order ties and events pushed from inside handlers. The fuzz
+// suite in tests/test_event_queue.cpp pins this against a reference heap.
+//
+// Precondition (satisfied by every discrete-event caller): a push's time is
+// never below the last popped entry's time — simulated time does not run
+// backwards. Pushes below the current window would otherwise land in an
+// already-passed bucket.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "medium.hpp"
+
+namespace edgehd::net {
+
+template <typename Payload>
+class CalendarQueue {
+ public:
+  /// Bucket-count bounds for the ring. The count is re-chosen at every
+  /// rebuild as the first power of two at or above the overflow population
+  /// (the calendar-queue sizing rule: ~1 event per bucket keeps every
+  /// within-bucket heap operation O(1) regardless of fleet size), clamped to
+  /// [kMinBuckets, kMaxBuckets].
+  static constexpr std::size_t kMinBuckets = 512;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+
+  /// What pop() hands back: the key plus the payload moved out of its slot.
+  struct Entry {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    Payload payload;
+  };
+
+  /// Key of one pending event; its payload stays in the slot pool until
+  /// pop. Everything the ring moves, compares and heapifies is this 24-byte
+  /// struct, which is what keeps the scheduler cache-resident at 10^5
+  /// outstanding events.
+  struct Key {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+  };
+
+  CalendarQueue() : buckets_(kMinBuckets) {}
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  void push(SimTime time, std::uint64_t seq, Payload payload) {
+    const std::uint32_t slot = acquire(std::move(payload));
+    ++size_;
+    if (time >= horizon_) {
+      overflow_.push_back(Key{time, seq, slot});
+      return;
+    }
+    // A push may legally precede the window (front() can rebuild around a
+    // far-future overflow tier before nearer arrivals are pushed); anything
+    // at or before the current bucket joins the current bucket, whose heap
+    // order still pops it first — (time, seq) order is position-independent
+    // within the active bucket.
+    auto idx = time <= win_start_
+                   ? std::size_t{0}
+                   : static_cast<std::size_t>((time - win_start_) / width_);
+    idx = std::max(idx, cursor_);
+    std::vector<Key>& b = buckets_[idx];
+    b.push_back(Key{time, seq, slot});
+    if (idx == cursor_ && cur_heaped_) {
+      std::push_heap(b.begin(), b.end(), Later{});
+    }
+    ++in_window_;
+  }
+
+  /// Key of the earliest entry by (time, seq). Invalidated by the next
+  /// push/pop.
+  const Key& front() {
+    settle();
+    return buckets_[cursor_].front();
+  }
+
+  /// Removes and returns the earliest entry by (time, seq).
+  Entry pop() {
+    settle();
+    std::vector<Key>& b = buckets_[cursor_];
+    std::pop_heap(b.begin(), b.end(), Later{});
+    const Key k = b.back();
+    b.pop_back();
+    --in_window_;
+    --size_;
+    Entry out{k.time, k.seq, std::move(pool_[k.slot])};
+    free_.push_back(k.slot);
+    return out;
+  }
+
+  // ---- introspection (tests, benches, obs) ---------------------------------
+  SimTime bucket_width() const noexcept { return width_; }
+  std::size_t overflow_size() const noexcept { return overflow_.size(); }
+  std::uint64_t rebuilds() const noexcept { return rebuilds_; }
+
+ private:
+  /// Heap comparator over one bucket: a orders below b when a fires later
+  /// (or tied with a later insertion), so the heap front is the next event —
+  /// the seed simulator's EventOrder, verbatim.
+  struct Later {
+    bool operator()(const Key& a, const Key& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Parks `payload` in a pool slot and returns its index. Freed slots are
+  /// reused LIFO, so steady-state pushes write to recently-touched (still
+  /// cached) memory and the pool only ever grows to the peak backlog.
+  std::uint32_t acquire(Payload&& payload) {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      pool_[slot] = std::move(payload);
+      return slot;
+    }
+    assert(pool_.size() < std::numeric_limits<std::uint32_t>::max());
+    pool_.push_back(std::move(payload));
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+  }
+
+  /// Positions the cursor on the earliest non-empty bucket and heapifies it
+  /// lazily. Requires size_ > 0.
+  void settle() {
+    assert(size_ > 0 && "pop/front on an empty CalendarQueue");
+    if (in_window_ == 0) rebuild();
+    while (buckets_[cursor_].empty()) {
+      ++cursor_;
+      cur_heaped_ = false;
+    }
+    if (!cur_heaped_) {
+      std::vector<Key>& b = buckets_[cursor_];
+      std::make_heap(b.begin(), b.end(), Later{});
+      cur_heaped_ = true;
+    }
+  }
+
+  /// First power of two at or above `n`, clamped to the ring bounds.
+  static std::size_t bucket_count_for(std::size_t n) noexcept {
+    std::size_t want = kMinBuckets;
+    while (want < n && want < kMaxBuckets) want <<= 1;
+    return want;
+  }
+
+  /// Ladder step: re-anchors the bucket window around the overflow tier's
+  /// own [min, max] span and distributes it. The ring is resized to roughly
+  /// one bucket per pending event and the width chosen so the whole span
+  /// fits one window (span/buckets + 1), hence everything leaves the
+  /// overflow; a subsequent far-future push starts the next tier.
+  void rebuild() {
+    SimTime lo = std::numeric_limits<SimTime>::max();
+    SimTime hi = std::numeric_limits<SimTime>::min();
+    for (const Key& k : overflow_) {
+      lo = std::min(lo, k.time);
+      hi = std::max(hi, k.time);
+    }
+    const std::size_t want = bucket_count_for(overflow_.size());
+    if (want != buckets_.size()) buckets_.resize(want);
+    const auto nb = static_cast<SimTime>(want);
+    width_ = (hi - lo) / nb + 1;
+    win_start_ = lo;
+    cursor_ = 0;
+    cur_heaped_ = false;
+    const SimTime span_cap = (std::numeric_limits<SimTime>::max() - lo) / nb;
+    horizon_ = width_ > span_cap ? std::numeric_limits<SimTime>::max()
+                                 : lo + width_ * nb;
+    for (const Key& k : overflow_) {
+      const auto idx = static_cast<std::size_t>((k.time - lo) / width_);
+      buckets_[idx].push_back(k);
+    }
+    in_window_ += overflow_.size();
+    overflow_.clear();  // keeps capacity: steady state allocates nothing
+    ++rebuilds_;
+  }
+
+  std::vector<std::vector<Key>> buckets_;  ///< the near-future ring
+  std::vector<Key> overflow_;              ///< unsorted far-future tier
+  std::vector<Payload> pool_;              ///< slot pool, grows to peak backlog
+  std::vector<std::uint32_t> free_;        ///< LIFO free slots in pool_
+  SimTime win_start_ = 0;   ///< time covered by bucket 0
+  SimTime width_ = 1;       ///< per-bucket time span
+  SimTime horizon_ = 0;     ///< first instant beyond the window
+  std::size_t cursor_ = 0;  ///< earliest possibly non-empty bucket
+  std::size_t in_window_ = 0;
+  std::size_t size_ = 0;
+  bool cur_heaped_ = false;  ///< buckets_[cursor_] is heap-ordered
+  std::uint64_t rebuilds_ = 0;
+};
+
+}  // namespace edgehd::net

@@ -65,7 +65,11 @@ double FaultPlan::loss_probability(NodeId child) const noexcept {
 }
 
 bool FaultPlan::drop(NodeId child, std::uint64_t attempt) const noexcept {
-  const double p = loss_probability(child);
+  return drop(child, attempt, loss_probability(child));
+}
+
+bool FaultPlan::drop(NodeId child, std::uint64_t attempt,
+                     double p) const noexcept {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   const std::uint64_t word =

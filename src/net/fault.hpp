@@ -100,6 +100,13 @@ class FaultPlan {
   /// other links interleave.
   bool drop(NodeId child, std::uint64_t attempt) const noexcept;
 
+  /// Same draw with the composed probability already in hand. `p` must be
+  /// the value loss_probability(child) returns; callers on per-packet hot
+  /// paths (the Simulator, the FailureDetector) cache it per link at plan
+  /// installation instead of rescanning the loss list on every attempt. The
+  /// two overloads produce bit-identical decisions by construction.
+  bool drop(NodeId child, std::uint64_t attempt, double p) const noexcept;
+
   const std::vector<CrashWindow>& crashes() const noexcept { return crashes_; }
   const std::vector<OutageWindow>& outages() const noexcept { return outages_; }
   const std::vector<LinkLoss>& losses() const noexcept { return losses_; }

@@ -1,0 +1,164 @@
+// Small-buffer-optimized move-only callables for the event hot path.
+//
+// The seed simulator stored every event as a `std::function<void()>`; any
+// capture list beyond the libstdc++ 16-byte SBO window costs one heap
+// allocation per scheduled event, and at fleet scale (10^5 nodes, 10^7+
+// events per run) that allocation dominates the schedule->dispatch path.
+// InlineFunction is the replacement: a fixed-capacity inline buffer sized
+// for the simulator's own transfer closures, so the common captures —
+// timers, compute completions, per-hop transfer state including the nested
+// delivery callback — construct, move and fire without touching the heap.
+// Callables that genuinely exceed the budget degrade gracefully to one heap
+// cell (correctness never depends on fitting).
+//
+// Differences from std::function, all deliberate:
+//   * move-only (events fire once; copyability would force copyable
+//     captures and block std::move into the closure),
+//   * no target_type/target introspection,
+//   * invocation of an empty InlineFunction is checked by the caller
+//     (operator bool), mirroring how the simulator used std::function.
+//
+// The capacity budgets actually used by the simulator live in
+// simulator.hpp (EventFn / CompletionFn); DESIGN.md §12 documents how they
+// were sized.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace edgehd::net {
+
+template <typename Signature, std::size_t Capacity = 64>
+class InlineFunction;  // primary template intentionally undefined
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+  static_assert(Capacity >= sizeof(void*),
+                "InlineFunction: buffer must hold the heap-fallback pointer");
+
+  InlineFunction() noexcept = default;
+
+  /// Wraps any callable with a matching signature. Stored inline when it
+  /// fits the buffer (size, alignment and nothrow-movability), otherwise in
+  /// one heap cell behind an inline pointer.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(bugprone-forwarding-reference-overload)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when the wrapped callable lives in the inline buffer (empty
+  /// functions report true: they own no heap cell). Exposed so tests and
+  /// benches can pin the allocation-free claim per capture shape.
+  bool is_inline() const noexcept { return ops_ == nullptr || !ops_->heap; }
+
+  /// Compile-time answer to "would this callable type stay inline?".
+  template <typename Fn>
+  static constexpr bool fits_inline() noexcept {
+    return sizeof(Fn) <= Capacity && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* self, Args&&... args);
+    /// Move-constructs the callable at `dst` from `src`, then destroys the
+    /// source — one fused hop so relocation is a single indirect call.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+    bool heap;
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      /*invoke=*/+[](void* self, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(self)))(
+            std::forward<Args>(args)...);
+      },
+      /*relocate=*/+[](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      /*destroy=*/+[](void* self) noexcept {
+        std::launder(reinterpret_cast<Fn*>(self))->~Fn();
+      },
+      /*heap=*/false,
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      /*invoke=*/+[](void* self, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<Fn**>(self)))(
+            std::forward<Args>(args)...);
+      },
+      /*relocate=*/+[](void* dst, void* src) noexcept {
+        Fn** from = std::launder(reinterpret_cast<Fn**>(src));
+        ::new (dst) Fn*(*from);
+      },
+      /*destroy=*/+[](void* self) noexcept {
+        delete *std::launder(reinterpret_cast<Fn**>(self));
+      },
+      /*heap=*/true,
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  // Buffer first: with the ops pointer trailing, sizeof is Capacity + one
+  // pointer (rounded to max_align_t) instead of paying interior padding —
+  // these objects nest (an EventFn closure carries a TransmitFn), so every
+  // wasted byte here multiplies through the capacity budgets.
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace edgehd::net

@@ -12,9 +12,11 @@ namespace edgehd::net {
 
 Simulator::Simulator(Topology topology, Medium medium)
     : topology_(std::move(topology)),
-      links_(topology_.num_nodes(), Link{medium, 0, 0, {}, {}, {}, {}}),
+      links_(topology_.num_nodes(),
+             Link{medium, 0, 0, 0.0, false, {}, {}, {}, {}}),
       node_busy_until_(topology_.num_nodes(), 0),
-      stats_(topology_.num_nodes()) {
+      stats_(topology_.num_nodes()),
+      crash_prone_(topology_.num_nodes(), 0) {
   if constexpr (obs::kEnabled) {
     auto& reg = obs::MetricsRegistry::global();
     obs_.bytes_tx = reg.counter("net.bytes_tx");
@@ -28,20 +30,33 @@ Simulator::Simulator(Topology topology, Medium medium)
     obs_.reliable_delivered = reg.counter("net.reliable.delivered");
     obs_.reliable_failed = reg.counter("net.reliable.failed");
     obs_.reliable_attempts = reg.counter("net.reliable.attempts");
-    for (NodeId child = 0; child < links_.size(); ++child) {
-      if (child == topology_.root()) continue;
-      const std::string prefix = "net.link." + std::to_string(child) + ".";
-      links_[child].obs_tx_bytes = reg.counter(prefix + "tx_bytes");
-      links_[child].obs_rx_bytes = reg.counter(prefix + "rx_bytes");
-      links_[child].obs_drop_bytes = reg.counter(prefix + "drop_bytes");
-      links_[child].obs_retx_bytes = reg.counter(prefix + "retx_bytes");
+    obs_.events_scheduled = reg.counter("sim.events.scheduled");
+    obs_.events_dispatched = reg.counter("sim.events.dispatched");
+    obs_.queue_depth_peak = reg.gauge("sim.queue.depth");
+    // Per-link mirrors only for deployments small enough that the registry's
+    // fixed slot budget (and 4 string interns per link) stays reasonable; a
+    // 100k-node fleet keeps the aggregate counters above.
+    if (topology_.num_nodes() <= kPerLinkObsMaxNodes) {
+      for (NodeId child = 0; child < links_.size(); ++child) {
+        if (child == topology_.root()) continue;
+        const std::string prefix = "net.link." + std::to_string(child) + ".";
+        links_[child].obs_tx_bytes = reg.counter(prefix + "tx_bytes");
+        links_[child].obs_rx_bytes = reg.counter(prefix + "rx_bytes");
+        links_[child].obs_drop_bytes = reg.counter(prefix + "drop_bytes");
+        links_[child].obs_retx_bytes = reg.counter(prefix + "retx_bytes");
+      }
     }
   }
 }
 
+Simulator::~Simulator() { flush_event_obs(); }
+
 void Simulator::set_link_medium(NodeId child, Medium medium) {
-  if (child >= links_.size() || child == topology_.root()) {
-    throw std::invalid_argument("Simulator: node has no uplink");
+  if (child >= links_.size()) {
+    throw NodeIdError("Simulator::set_link_medium", child, links_.size());
+  }
+  if (child == topology_.root()) {
+    throw std::invalid_argument("Simulator: root has no uplink");
   }
   links_[child].medium = std::move(medium);
 }
@@ -49,14 +64,36 @@ void Simulator::set_link_medium(NodeId child, Medium medium) {
 void Simulator::set_fault_plan(FaultPlan plan) {
   faults_ = std::move(plan);
   faults_active_ = !faults_.empty();
+  // Pre-resolve which nodes/links the plan can ever touch, and the composed
+  // per-link loss probability, so the per-packet path never scans the plan's
+  // window/loss lists for the (at fleet scale, vast) unaffected majority.
+  std::fill(crash_prone_.begin(), crash_prone_.end(), std::uint8_t{0});
+  for (Link& link : links_) {
+    link.loss_p = 0.0;
+    link.outage_prone = false;
+  }
+  for (const CrashWindow& w : faults_.crashes()) {
+    if (w.node < crash_prone_.size()) crash_prone_[w.node] = 1;
+  }
+  for (const OutageWindow& w : faults_.outages()) {
+    if (w.child < links_.size()) links_[w.child].outage_prone = true;
+  }
+  for (const LinkLoss& l : faults_.losses()) {
+    if (l.child < links_.size()) {
+      // Same independent-process composition as FaultPlan::loss_probability.
+      links_[l.child].loss_p =
+          1.0 - (1.0 - links_[l.child].loss_p) * (1.0 - l.probability);
+    }
+  }
 }
 
-void Simulator::push_event(SimTime time, std::function<void()> fn) {
-  queue_.push_back(Event{time, next_seq_++, std::move(fn)});
-  std::push_heap(queue_.begin(), queue_.end(), EventOrder{});
+void Simulator::push_event(SimTime time, EventFn fn) {
+  queue_.push(time, next_seq_++, std::move(fn));
+  ++events_scheduled_;
+  peak_depth_ = std::max(peak_depth_, queue_.size());
 }
 
-void Simulator::schedule(SimTime delay, std::function<void()> fn) {
+void Simulator::schedule(SimTime delay, EventFn fn) {
   if (delay < 0) {
     throw std::invalid_argument("Simulator: negative delay");
   }
@@ -64,9 +101,9 @@ void Simulator::schedule(SimTime delay, std::function<void()> fn) {
 }
 
 void Simulator::compute(NodeId node, SimTime duration, double power_w,
-                        std::function<void()> on_done) {
+                        EventFn on_done) {
   if (node >= node_busy_until_.size()) {
-    throw std::out_of_range("Simulator: node id out of range");
+    throw NodeIdError("Simulator::compute", node, node_busy_until_.size());
   }
   if (duration < 0) {
     throw std::invalid_argument("Simulator: negative compute duration");
@@ -88,7 +125,7 @@ Simulator::Link& Simulator::uplink_of(NodeId from, NodeId to) {
 }
 
 void Simulator::transmit(NodeId from, NodeId to, std::uint64_t bytes,
-                         std::function<void(TransmitResult)> on_result) {
+                         TransmitFn on_result) {
   Link& link = uplink_of(from, to);
   const NodeId link_child = topology_.parent(from) == to ? from : to;
   // Wireless links share one collision domain: a transfer must also wait for
@@ -105,34 +142,40 @@ void Simulator::transmit(NodeId from, NodeId to, std::uint64_t bytes,
   if (link.medium.shared_domain) shared_busy_until_ = end;
 
   // Capture cost parameters now so a later set_link_medium cannot
-  // retroactively change this transfer's accounting.
+  // retroactively change this transfer's accounting. The transfer end and
+  // the per-second energy scale are *recomputed when each leg fires* (the
+  // start event runs exactly at `start`, so end == now_ + duration there);
+  // dropping those two captures keeps both legs inside EventFn's buffer.
   const double tx_power = link.medium.tx_power_w;
   const double rx_power = link.medium.rx_power_w;
 
-  push_event(start, [this, from, to, bytes, link_child, duration, end,
-                     tx_power, rx_power, cb = std::move(on_result)]() mutable {
+  push_event(start, [this, from, to, bytes, link_child, duration, tx_power,
+                     rx_power, cb = std::move(on_result)]() mutable {
     if (faults_active_ &&
-        (!faults_.node_up(from, now_) || !faults_.link_up(link_child, now_))) {
+        ((crash_prone_[from] != 0 && !faults_.node_up(from, now_)) ||
+         (links_[link_child].outage_prone &&
+          !faults_.link_up(link_child, now_)))) {
       ++stats_[from].sends_suppressed;
       obs_.sends_suppressed.inc();
       if (cb) cb(TransmitResult::kNotSent);
       return;
     }
     // The attempt hits the air: charge the sender.
-    const double seconds = static_cast<double>(duration) / 1e9;
     stats_[from].tx_time += duration;
     stats_[from].bytes_tx += bytes;
     ++stats_[from].packets_tx;
-    stats_[from].comm_energy_j += tx_power * seconds;
+    stats_[from].comm_energy_j += tx_power * static_cast<double>(duration) / 1e9;
     obs_.bytes_tx.inc(bytes);
     obs_.packets_tx.inc();
     links_[link_child].obs_tx_bytes.inc(bytes);
-    const bool lost =
-        faults_active_ &&
-        faults_.drop(link_child, links_[link_child].attempts++);
-    push_event(end, [this, from, to, bytes, link_child, duration, rx_power,
-                     seconds, lost, cb = std::move(cb)]() mutable {
-      if (lost || (faults_active_ && !faults_.node_up(to, now_))) {
+    const bool lost = faults_active_ &&
+                      faults_.drop(link_child, links_[link_child].attempts++,
+                                   links_[link_child].loss_p);
+    push_event(now_ + duration,
+               [this, from, to, bytes, link_child, duration, rx_power, lost,
+                cb = std::move(cb)]() mutable {
+      if (lost || (faults_active_ && crash_prone_[to] != 0 &&
+                   !faults_.node_up(to, now_))) {
         ++stats_[from].packets_dropped;
         obs_.packets_dropped.inc();
         links_[link_child].obs_drop_bytes.inc(bytes);
@@ -142,7 +185,8 @@ void Simulator::transmit(NodeId from, NodeId to, std::uint64_t bytes,
       stats_[to].rx_time += duration;
       stats_[to].bytes_rx += bytes;
       ++stats_[to].packets_rx;
-      stats_[to].comm_energy_j += rx_power * seconds;
+      stats_[to].comm_energy_j +=
+          rx_power * static_cast<double>(duration) / 1e9;
       obs_.bytes_rx.inc(bytes);
       obs_.packets_rx.inc();
       links_[link_child].obs_rx_bytes.inc(bytes);
@@ -152,9 +196,9 @@ void Simulator::transmit(NodeId from, NodeId to, std::uint64_t bytes,
 }
 
 void Simulator::send(NodeId from, NodeId to, std::uint64_t bytes,
-                     std::function<void()> on_delivered) {
+                     CompletionFn on_delivered) {
   transmit(from, to, bytes,
-           [cb = std::move(on_delivered)](TransmitResult r) {
+           [cb = std::move(on_delivered)](TransmitResult r) mutable {
              if (r == TransmitResult::kDelivered && cb) cb();
            });
 }
@@ -165,11 +209,11 @@ void Simulator::set_payload_handler(PayloadHandler handler) {
 
 void Simulator::send_payload(NodeId from, NodeId to,
                              std::vector<std::uint8_t> payload,
-                             std::function<void()> on_delivered) {
+                             CompletionFn on_delivered) {
   const auto bytes = static_cast<std::uint64_t>(payload.size());
   transmit(from, to, bytes,
            [this, from, to, body = std::move(payload),
-            cb = std::move(on_delivered)](TransmitResult r) {
+            cb = std::move(on_delivered)](TransmitResult r) mutable {
              if (r != TransmitResult::kDelivered) return;
              if (payload_handler_) payload_handler_(from, to, body);
              if (cb) cb();
@@ -183,7 +227,7 @@ struct Simulator::ReliableState {
   NodeId to = kNoNode;
   std::uint64_t bytes = 0;
   ReliableConfig cfg;
-  std::function<void(const DeliveryOutcome&)> on_outcome;
+  OutcomeFn on_outcome;
   std::size_t attempts = 0;        ///< payload transmissions issued
   std::uint64_t bytes_on_wire = 0; ///< payload bytes that hit the air
   bool receiver_got = false;
@@ -192,10 +236,8 @@ struct Simulator::ReliableState {
   std::uint64_t span = 0;          ///< open "net.send_reliable" trace span
 };
 
-void Simulator::send_reliable(
-    NodeId from, NodeId to, std::uint64_t bytes,
-    std::function<void(const DeliveryOutcome&)> on_outcome,
-    ReliableConfig config) {
+void Simulator::send_reliable(NodeId from, NodeId to, std::uint64_t bytes,
+                              OutcomeFn on_outcome, ReliableConfig config) {
   if (config.ack_timeout <= 0 || config.backoff_factor < 1.0 ||
       config.backoff_cap < 0 || config.jitter < 0.0 || config.jitter >= 1.0) {
     throw std::invalid_argument("Simulator: malformed ReliableConfig");
@@ -283,13 +325,19 @@ void Simulator::finish_reliable(std::shared_ptr<ReliableState> st,
 }
 
 void Simulator::send_to_root(NodeId from, std::uint64_t bytes,
-                             std::function<void()> on_delivered) {
+                             CompletionFn on_delivered) {
   if (from == topology_.root()) {
-    push_event(now_, std::move(on_delivered));
+    push_event(now_, [cb = std::move(on_delivered)]() mutable {
+      if (cb) cb();
+    });
     return;
   }
   const NodeId next = topology_.parent(from);
-  // Forward the remaining hops once this hop is delivered.
+  // Forward the remaining hops once this hop is delivered. This capture list
+  // (this + next + bytes + the user's CompletionFn) exceeds CompletionFn's
+  // own buffer, so each hop's continuation takes the documented heap
+  // fallback — send_to_root is a per-message convenience, not the fleet
+  // hot path (the proto bus and serving plane ride send_payload/send).
   send(from, next, bytes,
        [this, next, bytes, cb = std::move(on_delivered)]() mutable {
          send_to_root(next, bytes, std::move(cb));
@@ -298,19 +346,30 @@ void Simulator::send_to_root(NodeId from, std::uint64_t bytes,
 
 SimTime Simulator::run() {
   while (!queue_.empty()) {
-    std::pop_heap(queue_.begin(), queue_.end(), EventOrder{});
-    Event ev = std::move(queue_.back());
-    queue_.pop_back();
+    auto ev = queue_.pop();
     now_ = ev.time;
     makespan_ = std::max(makespan_, now_);
-    if (ev.fn) ev.fn();
+    ++events_dispatched_;
+    if (ev.payload) ev.payload();
   }
+  flush_event_obs();
   return makespan_;
+}
+
+void Simulator::flush_event_obs() noexcept {
+  // Event accounting lives in plain members on the hot path and is mirrored
+  // to the registry as one delta per run (and at destruction), so the
+  // schedule→dispatch loop never pays a registry write per event.
+  obs_.events_scheduled.inc(events_scheduled_ - obs_flushed_scheduled_);
+  obs_.events_dispatched.inc(events_dispatched_ - obs_flushed_dispatched_);
+  obs_flushed_scheduled_ = events_scheduled_;
+  obs_flushed_dispatched_ = events_dispatched_;
+  obs_.queue_depth_peak.set(static_cast<double>(peak_depth_));
 }
 
 const NodeStats& Simulator::stats(NodeId node) const {
   if (node >= stats_.size()) {
-    throw std::out_of_range("Simulator: node id out of range");
+    throw NodeIdError("Simulator::stats", node, stats_.size());
   }
   return stats_[node];
 }

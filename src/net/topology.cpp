@@ -11,7 +11,10 @@ Topology::Topology(std::vector<NodeId> parents) : parents_(std::move(parents)) {
   if (n == 0) {
     throw std::invalid_argument("Topology: empty parent vector");
   }
-  children_.resize(n);
+  // Children in CSR form, built in two counting passes over the parent
+  // vector (validate + count, then prefix-sum + fill): three exactly-sized
+  // flat allocations for the whole tree, no per-node vectors.
+  child_off_.assign(n + 1, 0);
   for (NodeId id = 0; id < n; ++id) {
     const NodeId p = parents_[id];
     if (p == kNoNode) {
@@ -23,22 +26,33 @@ Topology::Topology(std::vector<NodeId> parents) : parents_(std::move(parents)) {
       if (p >= n || p == id) {
         throw std::invalid_argument("Topology: invalid parent reference");
       }
-      children_[p].push_back(id);
+      ++child_off_[p + 1];
     }
   }
   if (root_ == kNoNode) {
     throw std::invalid_argument("Topology: no root");
   }
+  for (std::size_t i = 1; i <= n; ++i) child_off_[i] += child_off_[i - 1];
+  child_list_.resize(n - 1);  // every node but the root is someone's child
+  {
+    // Fill via a scratch cursor per parent; children land in node-id order
+    // because ids are visited in order (same order the per-node vectors
+    // produced). The cursor array doubles as the leaf-peel counter below.
+    std::vector<std::size_t> cursor(child_off_.begin(), child_off_.end() - 1);
+    for (NodeId id = 0; id < n; ++id) {
+      const NodeId p = parents_[id];
+      if (p != kNoNode) child_list_[cursor[p]++] = id;
+    }
+  }
 
-  // Compute levels bottom-up and verify reachability (cycle check): iterate
-  // nodes in order of decreasing subtree completion via repeated passes is
-  // O(n*depth); trees here are shallow, but do it in one topological pass.
+  // Compute levels bottom-up and verify reachability (cycle check) in one
+  // topological pass: count children-to-process per node, peel leaves
+  // inward. Every node of a well-formed tree is processed exactly once.
   levels_.assign(n, 0);
-  // Count descendants-to-process per node, then peel leaves inward.
   std::vector<std::size_t> pending(n);
   std::vector<NodeId> stack;
   for (NodeId id = 0; id < n; ++id) {
-    pending[id] = children_[id].size();
+    pending[id] = child_off_[id + 1] - child_off_[id];
     if (pending[id] == 0) {
       levels_[id] = 1;
       stack.push_back(id);
@@ -66,11 +80,12 @@ NodeId Topology::parent(NodeId id) const {
   return parents_[id];
 }
 
-const std::vector<NodeId>& Topology::children(NodeId id) const {
-  if (id >= children_.size()) {
+std::span<const NodeId> Topology::children(NodeId id) const {
+  if (id >= parents_.size()) {
     throw std::out_of_range("Topology: node id out of range");
   }
-  return children_[id];
+  return {child_list_.data() + child_off_[id],
+          child_off_[id + 1] - child_off_[id]};
 }
 
 bool Topology::is_leaf(NodeId id) const { return children(id).empty(); }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace edgehd::net {
@@ -28,7 +29,10 @@ class Topology {
   std::size_t num_nodes() const noexcept { return parents_.size(); }
   NodeId root() const noexcept { return root_; }
   NodeId parent(NodeId id) const;
-  const std::vector<NodeId>& children(NodeId id) const;
+  /// A node's children in node-id order, as a view into the CSR child array
+  /// (offsets + one flat list — no per-node vector, fleet-scale friendly).
+  /// The view stays valid for the Topology's lifetime.
+  std::span<const NodeId> children(NodeId id) const;
   bool is_leaf(NodeId id) const;
 
   /// Paper-convention level: 1 for leaves, 1 + max(child levels) otherwise.
@@ -70,7 +74,11 @@ class Topology {
 
  private:
   std::vector<NodeId> parents_;
-  std::vector<std::vector<NodeId>> children_;
+  // Children in CSR layout: node id's children are
+  // child_list_[child_off_[id] .. child_off_[id + 1]). Three flat arrays
+  // total for the whole tree instead of one heap vector per node.
+  std::vector<std::size_t> child_off_;  ///< n + 1 offsets into child_list_
+  std::vector<NodeId> child_list_;      ///< all children, grouped by parent
   std::vector<std::size_t> levels_;
   NodeId root_ = kNoNode;
 };

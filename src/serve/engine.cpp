@@ -101,7 +101,8 @@ void Engine::refresh_mask(SimTime t) {
 
 void Engine::schedule(SimTime t, Ev::Kind kind, NodeId node, std::uint64_t a,
                       std::uint64_t b) {
-  events_.push(Ev{t, next_seq_++, kind, node, a, b});
+  const std::uint64_t seq = next_seq_++;
+  events_.push(t, seq, Ev{t, seq, kind, node, a, b});
 }
 
 std::uint64_t Engine::alloc_slot() {
@@ -510,14 +511,13 @@ ServeReport Engine::run(const LoadSpec& load) {
   bool has_pending = gen.next(pending);
   while (!events_.empty() || has_pending) {
     if (has_pending &&
-        (events_.empty() || pending.at <= events_.top().t)) {
+        (events_.empty() || pending.at <= events_.front().time)) {
       schedule(pending.at, Ev::Kind::kArrival, pending.origin, pending.sample,
                kNoClient);
       has_pending = gen.next(pending);
       continue;
     }
-    const Ev ev = events_.top();
-    events_.pop();
+    const Ev ev = events_.pop().payload;
     dispatch(ev);
   }
   return finish();
@@ -566,8 +566,7 @@ void Engine::dispatch(const Ev& ev) {
 ServeReport Engine::drain() {
   if (spent_) throw std::logic_error("serve::Engine: already run");
   while (!events_.empty()) {
-    const Ev ev = events_.top();
-    events_.pop();
+    const Ev ev = events_.pop().payload;
     dispatch(ev);
   }
   return finish();

@@ -8,8 +8,8 @@
 // and joins the ancestor's queue, while the origin keeps draining its own
 // queue — nothing blocks on an in-flight escalation.
 //
-// Determinism contract: the event loop is single-threaded over a binary
-// heap keyed by (virtual time, sequence number); worker threads are used
+// Determinism contract: the event loop is single-threaded over a calendar
+// queue keyed by (virtual time, sequence number); worker threads are used
 // only inside encode_batch / predict_batch, which are bit-identical to
 // their serial forms. For a fixed (config, bindings, load spec, fault plan)
 // the reply sequence, every counter and every virtual-latency quantile are
@@ -26,7 +26,6 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <queue>
 #include <span>
 #include <vector>
 
@@ -36,6 +35,7 @@
 #include "hdc/hypervector.hpp"
 #include "loadgen.hpp"
 #include "net/detector.hpp"
+#include "net/event_queue.hpp"
 #include "net/fault.hpp"
 #include "obs/metrics.hpp"
 #include "proto/routing.hpp"
@@ -192,11 +192,6 @@ class Engine {
     std::uint64_t a = 0;
     std::uint64_t b = 0;
   };
-  struct EvLater {
-    bool operator()(const Ev& x, const Ev& y) const noexcept {
-      return x.t != y.t ? x.t > y.t : x.seq > y.seq;
-    }
-  };
 
   struct QueryState {
     net::SimTime arrival = 0;
@@ -263,7 +258,10 @@ class Engine {
   /// Owned failure detector (detector mode); advanced by refresh_mask.
   std::unique_ptr<net::FailureDetector> detector_;
 
-  std::priority_queue<Ev, std::vector<Ev>, EvLater> events_;
+  /// Pending events in the shared calendar queue (net/event_queue.hpp); it
+  /// pops in the exact (t, seq) order the old binary heap produced, so
+  /// ServeReports are bit-identical to the priority_queue implementation.
+  net::CalendarQueue<Ev> events_;
   std::uint64_t next_seq_ = 0;
   std::vector<Ev> scripted_;
 

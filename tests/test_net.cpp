@@ -204,6 +204,41 @@ TEST(Simulator, RejectsInvalidCalls) {
                std::invalid_argument);
 }
 
+TEST(Simulator, OutOfRangeIdsThrowTypedNodeIdError) {
+  Simulator sim(Topology::star(3), medium(MediumKind::kWired1G));
+  // NodeIdError derives std::out_of_range (so broad catch sites still work)
+  // and carries the offending id plus the node count for diagnostics.
+  try {
+    sim.stats(99);
+    FAIL() << "stats(99) must throw";
+  } catch (const NodeIdError& e) {
+    EXPECT_EQ(e.id(), 99U);
+    EXPECT_EQ(e.num_nodes(), 4U);
+    EXPECT_NE(std::string(e.what()).find("99"), std::string::npos);
+  }
+  EXPECT_THROW(sim.set_link_medium(99, medium(MediumKind::kBluetooth4)),
+               NodeIdError);
+  EXPECT_THROW(sim.compute(4, 1, 1.0), NodeIdError);
+  // In-range calls are unaffected.
+  sim.set_link_medium(0, medium(MediumKind::kBluetooth4));
+  EXPECT_EQ(sim.stats(0).packets_tx, 0U);
+}
+
+TEST(Simulator, CountsScheduledAndDispatchedEvents) {
+  Simulator sim(Topology::star(2), medium(MediumKind::kWired1G));
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.send(0, 2, 1000, [&] { ++fired; });  // two queue events per transfer
+  EXPECT_EQ(sim.events_scheduled(), 2U);   // timer + transfer start
+  EXPECT_EQ(sim.queue_depth(), 2U);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.events_scheduled(), 3U);  // + transfer end, pushed in-flight
+  EXPECT_EQ(sim.events_dispatched(), sim.events_scheduled());
+  EXPECT_EQ(sim.queue_depth(), 0U);
+  EXPECT_GE(sim.peak_queue_depth(), 2U);
+}
+
 TEST(Simulator, PerLinkMediumOverrideApplies) {
   Simulator sim(Topology::star(2), medium(MediumKind::kWired1G));
   sim.set_link_medium(0, medium(MediumKind::kBluetooth4));
