@@ -1,0 +1,235 @@
+// bench_collective — bytes-on-wire and virtual-time wins of the collective
+// schedules (src/proto/collective.*) over the point-to-point reference, on
+// the deep/wide hierarchies where fusion pays.
+//
+// Two deployments of the same 48-leaf workload: a Figure-13-style deep tree
+// (uniform_depth(48, 5)) and a wide 2-level star. For each, training runs
+// twice — collectives off (the legacy per-(class, batch) frames) and
+// collectives on (cost-model argmin per phase) — and the measured CommStats
+// give the bytes reduction; the CollectiveCostModel prices both measured
+// schedules on wired / WiFi links for the virtual-time makespan factor. A
+// primitive section measures ring vs tree all-reduce bytes among sibling
+// gateways against the model's estimate.
+//
+// Writes BENCH_collective.json. `--smoke` runs a small instance for CI.
+// Exits 1 when the deep-tree reduction falls below the 25% gate.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hdc/random.hpp"
+#include "proto/bus.hpp"
+#include "proto/collective.hpp"
+#include "proto/node_runtime.hpp"
+
+namespace {
+
+using namespace edgehd;
+using proto::CollectiveAlgo;
+using proto::CollectiveCostModel;
+
+constexpr std::size_t kLeaves = 48;
+
+struct PhaseStats {
+  core::CommStats initial;
+  core::CommStats batch;
+  std::uint64_t bytes() const { return initial.bytes + batch.bytes; }
+  std::uint64_t messages() const { return initial.messages + batch.messages; }
+};
+
+PhaseStats run_training(const data::Dataset& ds, const net::Topology& topo,
+                        const core::SystemConfig& cfg) {
+  core::EdgeHdSystem sys(ds, topo, cfg);
+  PhaseStats s;
+  s.initial = sys.train_initial();
+  s.batch = sys.retrain_batches();
+  return s;
+}
+
+/// Model-priced makespan of a measured training schedule: per-phase frames
+/// and bytes averaged per edge (uniform under full health), fused phases
+/// paying their CollectivePlan broadcast.
+double vtime_ms(const net::Topology& topo, net::MediumKind kind,
+                const PhaseStats& s, bool fused) {
+  const CollectiveCostModel model(topo, net::medium(kind));
+  const auto edges = static_cast<std::uint64_t>(topo.num_nodes() - 1);
+  double ns = 0.0;
+  for (const auto* phase : {&s.initial, &s.batch}) {
+    std::uint64_t frames = phase->messages / edges;
+    std::uint64_t bytes = phase->bytes / edges;
+    if (fused) {
+      // One fused frame per edge; the plan announcement is the second
+      // per-edge message the measurement counted.
+      frames = 1;
+      ns += static_cast<double>(model.broadcast_from_root(14).time);
+    }
+    ns += static_cast<double>(
+        model.reduce_to_root(std::max<std::uint64_t>(frames, 1), bytes).time);
+  }
+  return ns / 1e6;
+}
+
+bool report_topology(const char* tag, const data::Dataset& ds,
+                     const net::Topology& topo, core::SystemConfig cfg,
+                     double gate_pct) {
+  std::printf("\n%s: %zu nodes, depth %zu\n", tag, topo.num_nodes(),
+              topo.depth());
+  bench::print_rule(72);
+
+  const auto p2p = run_training(ds, topo, cfg);
+  cfg.collective.enabled = true;  // cost-model argmin per phase (802.11n)
+  const auto coll = run_training(ds, topo, cfg);
+
+  const std::string base = std::string("collective.") + tag + ".";
+  const double p2p_bytes =
+      bench::via_registry(base + "p2p_bytes", static_cast<double>(p2p.bytes()));
+  const double coll_bytes = bench::via_registry(
+      base + "coll_bytes", static_cast<double>(coll.bytes()));
+  const double reduction = bench::via_registry(
+      base + "bytes_reduction_pct", 100.0 * (1.0 - coll_bytes / p2p_bytes));
+  std::printf("train bytes     p2p %12.0f   collective %12.0f   (-%.1f%%)\n",
+              p2p_bytes, coll_bytes, reduction);
+  std::printf("  initial       p2p %12llu   collective %12llu\n",
+              static_cast<unsigned long long>(p2p.initial.bytes),
+              static_cast<unsigned long long>(coll.initial.bytes));
+  std::printf("  retrain       p2p %12llu   collective %12llu\n",
+              static_cast<unsigned long long>(p2p.batch.bytes),
+              static_cast<unsigned long long>(coll.batch.bytes));
+  std::printf("train messages  p2p %12llu   collective %12llu\n",
+              static_cast<unsigned long long>(p2p.messages()),
+              static_cast<unsigned long long>(coll.messages()));
+
+  for (const auto kind :
+       {net::MediumKind::kWired1G, net::MediumKind::kWifi80211n}) {
+    const char* mname = net::medium(kind).name.c_str();
+    const double t_p2p = vtime_ms(topo, kind, p2p, /*fused=*/false);
+    const double t_coll = vtime_ms(topo, kind, coll, /*fused=*/true);
+    const double speedup = bench::via_registry(
+        base + "vtime_speedup." + mname, t_p2p / t_coll);
+    bench::via_registry(base + "p2p_vtime_ms." + mname, t_p2p);
+    bench::via_registry(base + "coll_vtime_ms." + mname, t_coll);
+    std::printf("virtual time    %-12s p2p %10.2f ms   collective %10.2f ms"
+                "   (%.2fx)\n",
+                mname, t_p2p, t_coll, speedup);
+  }
+
+  if (gate_pct > 0.0 && reduction < gate_pct) {
+    std::printf("GATE FAILED: %s bytes reduction %.1f%% < %.1f%%\n", tag,
+                reduction, gate_pct);
+    return false;
+  }
+  return true;
+}
+
+hdc::AccumHV random_accum(std::size_t dim, std::int32_t magnitude,
+                          std::uint64_t seed) {
+  hdc::Rng rng(seed);
+  hdc::AccumHV acc(dim);
+  for (auto& v : acc) {
+    v = static_cast<std::int32_t>(rng.index(2 * magnitude + 1)) - magnitude;
+  }
+  return acc;
+}
+
+void report_all_reduce(std::size_t peers, std::size_t dim) {
+  std::printf("\nsibling-gateway all-reduce: %zu peers x %zu lanes\n", peers,
+              dim * 4);
+  bench::print_rule(72);
+  const auto topo = net::Topology::star(peers);
+  const CollectiveCostModel model(topo,
+                                  net::medium(net::MediumKind::kWired1G));
+
+  std::vector<proto::NodeRuntime> nodes(topo.num_nodes());
+  proto::LocalBus bus(topo.num_nodes());
+  for (net::NodeId id = 0; id < topo.num_nodes(); ++id) {
+    nodes[id].init(id, topo, dim, 4);
+    proto::NodeRuntime* rt = &nodes[id];
+    bus.subscribe(id, [rt](const proto::Envelope& e) { rt->on_envelope(e); });
+  }
+  const auto kids = topo.children(topo.root());
+  const std::vector<net::NodeId> peer_ids(kids.begin(), kids.end());
+
+  std::uint64_t state_bytes = 0;
+  const auto make_states = [&] {
+    std::vector<std::vector<hdc::AccumHV>> states;
+    for (std::size_t p = 0; p < peers; ++p) {
+      std::vector<hdc::AccumHV> st;
+      for (std::size_t c = 0; c < 4; ++c) {
+        st.push_back(random_accum(dim, 200, 40 + 7 * p + c));
+        state_bytes += hdc::wire_bytes_accum(st.back());
+      }
+      states.push_back(std::move(st));
+    }
+    return states;
+  };
+
+  for (const auto algo :
+       {CollectiveAlgo::kRingAllReduce, CollectiveAlgo::kTreeAllReduce}) {
+    state_bytes = 0;
+    auto states = make_states();
+    proto::CommStats stats;
+    bus.set_charge(&stats);
+    if (algo == CollectiveAlgo::kRingAllReduce) {
+      proto::ring_all_reduce(bus, nodes, topo, topo.root(), peer_ids, states);
+    } else {
+      proto::tree_all_reduce(bus, nodes, topo, topo.root(), peer_ids, states);
+    }
+    bus.set_charge(nullptr);
+    const auto est = model.all_reduce(algo, peers, state_bytes / peers);
+    const std::string base =
+        std::string("collective.all_reduce.") + proto::to_string(algo) + ".";
+    bench::via_registry(base + "measured_bytes",
+                        static_cast<double>(stats.bytes));
+    bench::via_registry(base + "model_bytes", static_cast<double>(est.bytes));
+    std::printf("%-16s measured %9llu B in %4llu frames   model %9llu B, "
+                "%7.2f ms\n",
+                proto::to_string(algo),
+                static_cast<unsigned long long>(stats.bytes),
+                static_cast<unsigned long long>(stats.messages),
+                static_cast<unsigned long long>(est.bytes),
+                static_cast<double>(est.time) / 1e6);
+  }
+  std::printf("cost-model pick (wired, this payload): %s\n",
+              proto::to_string(model.pick_all_reduce(
+                  peers, state_bytes / peers)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace edgehd;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t train = smoke ? 480 : 1920;
+  const std::size_t test = smoke ? 80 : 200;
+
+  std::printf("Collective schedules vs point-to-point (%s)\n",
+              smoke ? "smoke" : "full");
+
+  const std::vector<std::size_t> parts(kLeaves, 3);
+  auto ds = data::make_synthetic("pecanish", 3 * kLeaves, 4, parts, train,
+                                 test, bench::kSeed, 3.6F, 0.5F, 0.5F);
+  data::zscore_normalize(ds);
+  core::SystemConfig cfg;
+  cfg.total_dim = kLeaves * (smoke ? 128 : 256);
+  cfg.batch_size = 5;
+
+  bool ok = true;
+  // The acceptance gate rides the deep tree — the Figure 13 shape where
+  // per-frame costs compound across levels.
+  ok &= report_topology("deep", ds, net::Topology::uniform_depth(kLeaves, 5),
+                        cfg, /*gate_pct=*/25.0);
+  ok &= report_topology("wide", ds, net::Topology::star(kLeaves), cfg,
+                        /*gate_pct=*/0.0);
+
+  report_all_reduce(/*peers=*/6, /*dim=*/smoke ? 128 : 512);
+
+  bench::dump_metrics("BENCH_collective.json");
+  if (!ok) return 1;
+  std::printf("gates passed: deep-tree collective bytes reduction >= 25%%\n");
+  return 0;
+}

@@ -1,7 +1,9 @@
 // Table II — classification accuracy at hierarchy levels (end nodes /
 // gateway / central node) vs centralized training, for the four
-// hierarchical workloads on the 3-level TREE.
+// hierarchical workloads on the 3-level TREE, with the measured training
+// traffic per workload.
 #include <cstdio>
+#include <string>
 
 #include "baseline/hd_model.hpp"
 #include "bench_util.hpp"
@@ -11,8 +13,8 @@ int main() {
   std::printf(
       "Table II: accuracy in hierarchy levels (%%), 3-level TREE, D=4000\n");
   bench::print_rule();
-  std::printf("%-8s %12s %10s %9s %13s\n", "dataset", "centralized",
-              "end-nodes", "gateway", "central-node");
+  std::printf("%-8s %12s %10s %9s %13s %12s\n", "dataset", "centralized",
+              "end-nodes", "gateway", "central-node", "train-bytes");
   bench::print_rule();
 
   double end_sum = 0.0;
@@ -21,13 +23,14 @@ int main() {
   std::size_t count = 0;
   for (const auto id : data::hierarchical_ids()) {
     auto setup = bench::hier_setup(id);
+    const std::string prefix = "table2." + setup.ds.name + ".";
 
     baseline::HdModel centralized;
     centralized.fit(setup.ds);
     const double central_acc = centralized.test_accuracy(setup.ds);
 
     core::EdgeHdSystem system(setup.ds, setup.topo, setup.cfg);
-    system.train();
+    const auto comm = system.train();
     const std::size_t depth = system.topology().depth();
     const double l1 = system.accuracy_at_level(1);
     const double l2 = system.accuracy_at_level(2);
@@ -38,16 +41,31 @@ int main() {
     centralized_sum += central_acc;
     ++count;
 
-    std::printf("%-8s %12.1f %10.1f %9.1f %13.1f\n",
+    bench::via_registry(prefix + "centralized_accuracy_pct",
+                        bench::pct(central_acc));
+    bench::via_registry(prefix + "gateway_accuracy_pct", bench::pct(l2));
+    const double train_bytes = bench::via_registry(
+        prefix + "train_bytes", static_cast<double>(comm.bytes));
+    std::printf("%-8s %12.1f %10.1f %9.1f %13.1f %12.0f\n",
                 setup.ds.name.c_str(), bench::pct(central_acc),
-                bench::pct(l1), bench::pct(l2), bench::pct(l3));
+                bench::via_registry(prefix + "end_accuracy_pct",
+                                    bench::pct(l1)),
+                bench::pct(l2),
+                bench::via_registry(prefix + "central_accuracy_pct",
+                                    bench::pct(l3)),
+                train_bytes);
   }
   bench::print_rule();
   const auto n = static_cast<double>(count);
   std::printf(
       "means: end-nodes %.1f%%, central %.1f%%, centralized %.1f%% "
       "(paper: 85.7%%, 94.4%%, 94.8%%)\n",
-      bench::pct(end_sum / n), bench::pct(central_sum / n),
-      bench::pct(centralized_sum / n));
+      bench::via_registry("table2.mean.end_accuracy_pct",
+                          bench::pct(end_sum / n)),
+      bench::via_registry("table2.mean.central_accuracy_pct",
+                          bench::pct(central_sum / n)),
+      bench::via_registry("table2.mean.centralized_accuracy_pct",
+                          bench::pct(centralized_sum / n)));
+  bench::dump_metrics("BENCH_table2_metrics.json");
   return 0;
 }

@@ -193,6 +193,7 @@ proto::SessionContext EdgeHdSystem::session_context() {
   ctx.pending_contrib = &pending_contrib_;
   ctx.pending_residuals = &pending_residuals_;
   ctx.stragglers = &stragglers_;
+  ctx.collective = &config_.collective;
   return ctx;
 }
 

@@ -110,6 +110,12 @@ struct SystemConfig {
   /// in routed inference assumes failover.max_retries matches
   /// reliable.max_retries (both default to 5).
   net::ReliableConfig reliable;
+  /// Collective model-exchange schedules for the training sessions
+  /// (proto/collective.hpp). Disabled by default: the legacy point-to-point
+  /// byte flows — including the golden e2e pins — stay untouched. Enable to
+  /// let the CollectiveCostModel pick the schedule per phase, or set
+  /// collective.force to pin one.
+  proto::CollectiveConfig collective;
 };
 
 /// Bytes/messages a protocol phase placed on the network. Re-exported from

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.hpp"
+#include "section_codec.hpp"
 #include "wire_format.hpp"
 
 namespace edgehd::proto {
@@ -156,10 +157,23 @@ void write_payload(ByteWriter& w, const Message& msg) {
         } else if constexpr (std::is_same_v<T, NodeLeave>) {
           w.u64(m.incarnation);
           w.u8(m.planned);
-        } else {
+        } else if constexpr (std::is_same_v<T, StateSync>) {
           w.u32(m.class_id);
           w.u64(m.incarnation);
           write_accum(w, m.accum);
+        } else if constexpr (std::is_same_v<T, ReducePartial>) {
+          w.u8(m.phase);
+          w.u32(m.origin);
+          w.u32(static_cast<std::uint32_t>(m.sections.size()));
+          for (const auto& s : m.sections) {
+            w.u32(static_cast<std::uint32_t>(s.size()));
+          }
+          write_sections(w, m.sections);
+        } else {
+          w.u8(m.phase);
+          w.u8(m.algorithm);
+          w.u32(m.chunk_lanes);
+          w.u64(m.plan_id);
         }
       },
       msg);
@@ -236,6 +250,36 @@ bool read_payload(ByteReader& r, MsgType type, Message& out) {
       out = std::move(m);
       return true;
     }
+    case MsgType::kReducePartial: {
+      ReducePartial m;
+      std::uint32_t count = 0;
+      if (!r.u8(m.phase) || !r.u32(m.origin) || !r.u32(count)) return false;
+      if (count > kMaxWireDim) return false;
+      // Dims are framing; their sum is capped like a single accumulator's
+      // dim so a corrupt count can never drive a huge allocation.
+      std::vector<std::uint32_t> dims;
+      std::uint64_t total_lanes = 0;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t dim = 0;
+        if (!r.u32(dim)) return false;
+        if (dim > kMaxWireDim) return false;
+        total_lanes += dim;
+        if (total_lanes > kMaxWireDim) return false;
+        dims.push_back(dim);
+      }
+      if (!read_sections(r, dims, m.sections)) return false;
+      out = std::move(m);
+      return true;
+    }
+    case MsgType::kCollectivePlan: {
+      CollectivePlan m;
+      if (!r.u8(m.phase) || !r.u8(m.algorithm) || !r.u32(m.chunk_lanes) ||
+          !r.u64(m.plan_id)) {
+        return false;
+      }
+      out = m;
+      return true;
+    }
   }
   return false;
 }
@@ -298,7 +342,7 @@ DecodeResult decode(std::span<const std::uint8_t> buf) {
   if (m0 != kMagic0 || m1 != kMagic1) return reject(DecodeError::kBadMagic);
   if (version != kProtoVersion) return reject(DecodeError::kBadVersion);
   if (type_byte < static_cast<std::uint8_t>(MsgType::kModelUpdate) ||
-      type_byte > static_cast<std::uint8_t>(MsgType::kStateSync)) {
+      type_byte > static_cast<std::uint8_t>(MsgType::kCollectivePlan)) {
     return reject(DecodeError::kBadType);
   }
   if (payload_len > r.remaining()) {

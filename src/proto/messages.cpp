@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "section_codec.hpp"
+
 namespace edgehd::proto {
 
 const char* to_string(MsgType type) noexcept {
@@ -24,6 +26,10 @@ const char* to_string(MsgType type) noexcept {
       return "node_leave";
     case MsgType::kStateSync:
       return "state_sync";
+    case MsgType::kReducePartial:
+      return "reduce_partial";
+    case MsgType::kCollectivePlan:
+      return "collective_plan";
   }
   return "unknown";
 }
@@ -48,8 +54,12 @@ MsgType type_of(const Message& msg) noexcept {
           return MsgType::kNodeJoin;
         } else if constexpr (std::is_same_v<T, NodeLeave>) {
           return MsgType::kNodeLeave;
-        } else {
+        } else if constexpr (std::is_same_v<T, StateSync>) {
           return MsgType::kStateSync;
+        } else if constexpr (std::is_same_v<T, ReducePartial>) {
+          return MsgType::kReducePartial;
+        } else {
+          return MsgType::kCollectivePlan;
         }
       },
       msg);
@@ -88,10 +98,18 @@ std::uint64_t wire_size(const Message& msg) noexcept {
           return 8;  // incarnation
         } else if constexpr (std::is_same_v<T, NodeLeave>) {
           return 8 + 1;  // incarnation + planned flag
-        } else {
-          // StateSync: incarnation tag + the reintegration delta (class_id
-          // is framing, same as ModelUpdate).
+        } else if constexpr (std::is_same_v<T, StateSync>) {
+          // incarnation tag + the reintegration delta (class_id is framing,
+          // same as ModelUpdate).
           return 8 + accum_wire_size(m.accum);
+        } else if constexpr (std::is_same_v<T, ReducePartial>) {
+          // The entropy-coded section bodies; phase/origin/section counts
+          // and dims are framing, matching how write_accum's dim/width
+          // prefix is excluded from the per-accumulator accounting.
+          return sections_wire_size(m.sections);
+        } else {
+          // CollectivePlan: phase + algorithm + chunk override + plan tag.
+          return 1 + 1 + 4 + 8;
         }
       },
       msg);

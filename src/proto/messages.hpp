@@ -21,7 +21,12 @@
 //                    a detector's death declaration);
 //   StateSync      — one class accumulator re-synced during the rejoin
 //                    session (the reintegration delta, tagged with the
-//                    rejoiner's incarnation so stale syncs are rejected).
+//                    rejoiner's incarnation so stale syncs are rejected);
+//   ReducePartial  — a node's entire per-phase contribution fused into one
+//                    frame and entropy-coded as a unit (collective
+//                    schedules, see collective.hpp and section_codec.hpp);
+//   CollectivePlan — the cost model's per-phase algorithm announcement
+//                    broadcast down the tree before a collective phase.
 //
 // This header also owns the *canonical byte accounting*: wire_size() is the
 // single source of truth for what a message costs on the air — the quantity
@@ -49,6 +54,8 @@ enum class MsgType : std::uint8_t {
   kNodeJoin = 7,
   kNodeLeave = 8,
   kStateSync = 9,
+  kReducePartial = 10,
+  kCollectivePlan = 11,
 };
 
 /// Human-readable message-type name ("model_update", ...); also the label
@@ -149,9 +156,49 @@ struct StateSync {
   friend bool operator==(const StateSync&, const StateSync&) = default;
 };
 
+// ---- collective schedule messages -----------------------------------------
+
+/// ReducePartial::phase values: which session (or primitive) a fused frame
+/// belongs to. Phases 0/1 scatter into the receiver's training inboxes;
+/// phases 2/3 land in the phase-independent collective inbox.
+inline constexpr std::uint8_t kReduceInitial = 0;   ///< initial training
+inline constexpr std::uint8_t kReduceBatch = 1;     ///< batch retraining
+inline constexpr std::uint8_t kReduceGatewaySync = 2;  ///< all-reduce chunk
+inline constexpr std::uint8_t kReduceBroadcast = 3;    ///< model broadcast
+
+/// A node's entire per-phase contribution — every class accumulator (initial
+/// training), every per-class batch accumulator (retraining), or an
+/// all-reduce chunk / broadcast model set — fused into one frame whose
+/// sections are entropy-coded as a unit by the section codec. `origin` is
+/// the original contributor; a relay hop keeps it while the envelope src
+/// tracks the physical sender.
+struct ReducePartial {
+  std::uint8_t phase = kReduceInitial;
+  std::uint32_t origin = 0;
+  std::vector<hdc::AccumHV> sections;
+
+  friend bool operator==(const ReducePartial&, const ReducePartial&) = default;
+};
+
+/// The cost model's verdict for one phase, announced down the tree before a
+/// collective phase runs so every participant applies the same schedule.
+/// `algorithm` is a collective::CollectiveAlgo value; `chunk_lanes` is the
+/// ring chunk override (0 = even split); `plan_id` ties the announcement to
+/// the phase that follows it.
+struct CollectivePlan {
+  std::uint8_t phase = kReduceInitial;
+  std::uint8_t algorithm = 0;
+  std::uint32_t chunk_lanes = 0;
+  std::uint64_t plan_id = 0;
+
+  friend bool operator==(const CollectivePlan&,
+                         const CollectivePlan&) = default;
+};
+
 using Message = std::variant<ModelUpdate, BatchUpdate, ResidualMerge,
                              QueryEscalate, QueryReply, HealthProbe, NodeJoin,
-                             NodeLeave, StateSync>;
+                             NodeLeave, StateSync, ReducePartial,
+                             CollectivePlan>;
 
 MsgType type_of(const Message& msg) noexcept;
 

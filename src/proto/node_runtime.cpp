@@ -158,6 +158,54 @@ void NodeRuntime::on_envelope(const Envelope& env) {
                                    "incarnation");
           }
           inbox_[child_index(env.src)][m.class_id] = m.accum;
+        } else if constexpr (std::is_same_v<T, ReducePartial>) {
+          // A fused frame: the sender's entire per-phase contribution in one
+          // envelope. Training phases scatter the sections into the same
+          // inboxes the per-message path fills — downstream aggregation is
+          // shared, which is what makes the two schedules bit-identical.
+          if (m.phase == kReduceInitial) {
+            require_phase(Phase::kInitialTraining, "ReducePartial(initial)");
+            if (m.sections.size() != num_classes_) {
+              throw std::logic_error(
+                  "NodeRuntime: ReducePartial(initial) section count != "
+                  "num_classes");
+            }
+            auto& slot = inbox_[child_index(env.src)];
+            for (std::size_t c = 0; c < num_classes_; ++c) {
+              slot[c] = m.sections[c];
+            }
+          } else if (m.phase == kReduceBatch) {
+            require_phase(Phase::kBatchRetraining, "ReducePartial(batch)");
+            auto& slot = batch_inbox_[child_index(env.src)];
+            std::size_t expected = 0;
+            for (std::size_t c = 0; c < num_classes_; ++c) {
+              expected += slot[c].size();
+            }
+            if (m.sections.size() != expected) {
+              throw std::logic_error(
+                  "NodeRuntime: ReducePartial(batch) section count != total "
+                  "batches");
+            }
+            // Class-major, batch-ascending — the order the p2p path posts.
+            std::size_t s = 0;
+            for (std::size_t c = 0; c < num_classes_; ++c) {
+              for (std::size_t b = 0; b < slot[c].size(); ++b) {
+                slot[c][b] = m.sections[s++];
+              }
+            }
+          } else if (m.phase == kReduceGatewaySync ||
+                     m.phase == kReduceBroadcast) {
+            // Chunk relays / model broadcasts are phase-independent data
+            // motion; the collective primitive driving them drains this.
+            collective_frames_.push_back(
+                {static_cast<net::NodeId>(m.origin), m.sections});
+          } else {
+            throw std::logic_error(
+                "NodeRuntime: ReducePartial with unknown collective phase");
+          }
+        } else if constexpr (std::is_same_v<T, CollectivePlan>) {
+          last_plan_ = m;
+          ++plans_received_;
         } else {
           // QueryEscalate / QueryReply: query walks are handled reentrantly
           // by routing.hpp; a copy arriving over a transport bus is only
@@ -166,6 +214,11 @@ void NodeRuntime::on_envelope(const Envelope& env) {
         }
       },
       env.msg);
+}
+
+std::vector<NodeRuntime::CollectiveFrame>
+NodeRuntime::take_collective_frames() {
+  return std::exchange(collective_frames_, {});
 }
 
 std::vector<AccumHV> NodeRuntime::checkpoint_state() const {

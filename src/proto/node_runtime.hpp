@@ -111,6 +111,28 @@ class NodeRuntime {
   std::uint64_t joins_received() const noexcept { return joins_received_; }
   std::uint64_t leaves_received() const noexcept { return leaves_received_; }
 
+  // ---- collective traffic --------------------------------------------------
+
+  /// One fused frame delivered outside the training phases (all-reduce chunk
+  /// relays and model broadcasts — ReducePartial phases 2/3).
+  struct CollectiveFrame {
+    net::NodeId origin = net::kNoNode;
+    std::vector<hdc::AccumHV> sections;
+  };
+
+  /// Drains the collective inbox (delivery order preserved). The collective
+  /// primitives in collective.cpp poll this between hops, which is also how
+  /// they detect a lost frame and retry.
+  std::vector<CollectiveFrame> take_collective_frames();
+  std::size_t collective_frames_pending() const noexcept {
+    return collective_frames_.size();
+  }
+
+  /// Cost-model announcements heard (and the latest one): sessions broadcast
+  /// a CollectivePlan down the tree before running a collective phase.
+  std::uint64_t plans_received() const noexcept { return plans_received_; }
+  const CollectivePlan& last_plan() const noexcept { return last_plan_; }
+
   /// Highest incarnation heard from `node` via NodeJoin (0 = first life).
   std::uint64_t known_incarnation(net::NodeId node) const noexcept {
     return node < incarnations_.size() ? incarnations_[node] : 0;
@@ -202,6 +224,9 @@ class NodeRuntime {
   std::uint64_t queries_received_ = 0;
   std::uint64_t joins_received_ = 0;
   std::uint64_t leaves_received_ = 0;
+  std::vector<CollectiveFrame> collective_frames_;
+  CollectivePlan last_plan_{};
+  std::uint64_t plans_received_ = 0;
   /// Highest incarnation announced per node (indexed by NodeId); a
   /// StateSync bearing a lower incarnation than recorded here is rejected.
   std::vector<std::uint64_t> incarnations_;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bus.hpp"
+#include "collective.hpp"
 #include "net/detector.hpp"
 #include "net/fault.hpp"
 #include "net/topology.hpp"
@@ -55,6 +56,13 @@ struct SessionContext {
   std::vector<std::vector<hdc::AccumHV>>* pending_residuals = nullptr;
   /// Nodes whose contribution could not reach their parent, deepest-first.
   std::vector<net::NodeId>* stragglers = nullptr;
+  /// Collective-schedule configuration; nullptr or disabled runs the legacy
+  /// point-to-point schedule (see collective.hpp). When a collective
+  /// schedule is picked, the session announces it down the tree as a
+  /// CollectivePlan and every live child ships one fused ReducePartial per
+  /// phase instead of its per-(class, batch) frames. Straggler/parking rules
+  /// are identical — only the frame format changes.
+  const CollectiveConfig* collective = nullptr;
 
   bool node_up(net::NodeId id) const noexcept;
   bool link_up(net::NodeId child) const noexcept;

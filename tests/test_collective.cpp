@@ -1,0 +1,526 @@
+// Differential suite for collective schedules (src/proto/collective.*).
+//
+// The collective engine's contract is that every schedule is a *lossless
+// rearrangement* of the point-to-point reference: fused ReducePartial frames
+// scatter into the same inboxes, all-reduce combines are elementwise int32
+// addition, broadcast is store-and-forward of exact bytes. So the tests here
+// are differential: run the reference and the collective schedule on the
+// same seeded world and demand bit-identical models — across randomized
+// topologies, worker counts, and seeded fault plans with retries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/edgehd.hpp"
+#include "data/dataset.hpp"
+#include "hdc/random.hpp"
+#include "net/fault.hpp"
+#include "net/topology.hpp"
+#include "proto/bus.hpp"
+#include "proto/collective.hpp"
+#include "proto/envelope.hpp"
+#include "proto/messages.hpp"
+#include "proto/node_runtime.hpp"
+
+namespace {
+
+using namespace edgehd;
+using net::NodeId;
+using proto::CollectiveAlgo;
+using proto::Envelope;
+
+// ---- randomized topologies --------------------------------------------------
+
+/// Seeded random tree: 1-4 leaf-to-root hops, per-node fan-out 1-8, total
+/// width capped so the synthetic dataset keeps a few features per leaf.
+net::Topology random_tree(hdc::Rng& rng, std::size_t max_leaves = 24) {
+  const std::size_t hops = 1 + rng.index(4);
+  std::vector<NodeId> parents{net::kNoNode};
+  std::vector<NodeId> frontier{0};
+  for (std::size_t level = 0; level < hops; ++level) {
+    std::vector<NodeId> next;
+    for (std::size_t at = 0; at < frontier.size(); ++at) {
+      // Every remaining frontier node still needs >= 1 child, so budget the
+      // fan-out to keep the final width within max_leaves.
+      const std::size_t reserve = frontier.size() - at - 1;
+      const std::size_t budget =
+          max_leaves > next.size() + reserve ? max_leaves - next.size() - reserve
+                                             : 1;
+      const std::size_t fan = 1 + rng.index(std::min<std::size_t>(8, budget));
+      for (std::size_t k = 0; k < fan; ++k) {
+        next.push_back(parents.size());
+        parents.push_back(frontier[at]);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return net::Topology(std::move(parents));
+}
+
+data::Dataset dataset_for(const net::Topology& topo, std::uint64_t seed) {
+  const std::size_t leaves = topo.leaves().size();
+  const std::vector<std::size_t> parts(leaves, 3);
+  auto ds = data::make_synthetic("coll" + std::to_string(seed), 3 * leaves, 3,
+                                 parts, 180, 30, 70 + seed, 3.6F, 0.5F, 0.5F);
+  data::zscore_normalize(ds);
+  return ds;
+}
+
+core::SystemConfig base_cfg(const net::Topology& topo) {
+  core::SystemConfig cfg;
+  cfg.total_dim = 40 * topo.leaves().size();
+  cfg.batch_size = 5;
+  return cfg;
+}
+
+void expect_models_identical(const core::EdgeHdSystem& a,
+                             const core::EdgeHdSystem& b,
+                             const std::string& what) {
+  const auto& topo = a.topology();
+  for (NodeId id = 0; id < topo.num_nodes(); ++id) {
+    if (!a.has_classifier(id)) continue;
+    for (std::size_t c = 0; c < a.classifier_at(id).num_classes(); ++c) {
+      ASSERT_EQ(a.classifier_at(id).class_accumulator(c),
+                b.classifier_at(id).class_accumulator(c))
+          << what << ": node " << id << " class " << c;
+    }
+  }
+}
+
+// ---- facade differential ----------------------------------------------------
+
+TEST(CollectiveDifferential, RandomTopologiesBitIdenticalAcrossSchedules) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    hdc::Rng rng(900 + seed);
+    const auto topo = random_tree(rng);
+    const auto ds = dataset_for(topo, seed);
+    const auto cfg = base_cfg(topo);
+
+    core::EdgeHdSystem ref(ds, topo, cfg);
+    const auto ref_comm = ref.train_initial() + ref.retrain_batches();
+
+    // Three collective modes: pinned fusion, cost-model argmin on a wired
+    // link, cost-model argmin on the shared wireless default.
+    for (const int mode : {0, 1, 2}) {
+      auto ccfg = cfg;
+      ccfg.collective.enabled = true;
+      if (mode == 0) {
+        ccfg.collective.force = CollectiveAlgo::kTreeReduce;
+      } else {
+        ccfg.collective.medium = mode == 1 ? net::MediumKind::kWired1G
+                                           : net::MediumKind::kWifi80211n;
+      }
+      core::EdgeHdSystem sys(ds, topo, ccfg);
+      const auto comm = sys.train_initial() + sys.retrain_batches();
+      expect_models_identical(ref, sys,
+                              "seed " + std::to_string(seed) + " mode " +
+                                  std::to_string(mode));
+      if (mode == 0 && topo.num_nodes() > 1) {
+        // Forced fusion: one frame per (edge, phase) plus the two plan
+        // announcements replaces every per-(class, batch) frame.
+        EXPECT_LT(comm.messages, ref_comm.messages) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(CollectiveDifferential, WorkerCountsDoNotChangeCollectiveModels) {
+  hdc::Rng rng(77);
+  const auto topo = random_tree(rng);
+  const auto ds = dataset_for(topo, 77);
+  auto cfg = base_cfg(topo);
+  cfg.collective.enabled = true;
+  cfg.collective.force = CollectiveAlgo::kTreeReduce;
+
+  cfg.num_threads = 1;
+  core::EdgeHdSystem one(ds, topo, cfg);
+  const auto comm_one = one.train_initial() + one.retrain_batches();
+  for (const std::size_t workers : {2u, 8u}) {
+    cfg.num_threads = workers;
+    core::EdgeHdSystem sys(ds, topo, cfg);
+    const auto comm = sys.train_initial() + sys.retrain_batches();
+    expect_models_identical(one, sys,
+                            "workers " + std::to_string(workers));
+    EXPECT_EQ(comm.bytes, comm_one.bytes) << workers;
+    EXPECT_EQ(comm.messages, comm_one.messages) << workers;
+  }
+}
+
+TEST(CollectiveDifferential, SeededFaultPlansPreserveBitIdentity) {
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    hdc::Rng rng(1300 + seed);
+    const auto topo = random_tree(rng);
+    if (topo.num_nodes() < 3) continue;  // want a non-root node to fail
+    const auto ds = dataset_for(topo, seed);
+    const auto cfg = base_cfg(topo);
+    auto ccfg = cfg;
+    ccfg.collective.enabled = true;
+    ccfg.collective.force = CollectiveAlgo::kTreeReduce;
+
+    core::EdgeHdSystem ref(ds, topo, cfg);
+    core::EdgeHdSystem sys(ds, topo, ccfg);
+
+    // Crash one random non-root node and cut one random uplink for the
+    // whole training pass; both systems see the identical seeded world.
+    net::FaultPlan plan(seed);
+    const NodeId dead = 1 + rng.index(topo.num_nodes() - 1);
+    const NodeId cut = 1 + rng.index(topo.num_nodes() - 1);
+    plan.crash(dead, 0, net::kForever);
+    plan.outage(cut, 0, net::kForever);
+    ref.set_fault_plan(plan, 0);
+    sys.set_fault_plan(plan, 0);
+
+    const auto ref_comm = ref.train_initial() + ref.retrain_batches();
+    const auto comm = sys.train_initial() + sys.retrain_batches();
+    (void)ref_comm;
+    (void)comm;
+    EXPECT_EQ(ref.stragglers(), sys.stragglers()) << "seed " << seed;
+    expect_models_identical(ref, sys, "faulted seed " + std::to_string(seed));
+
+    // Recovery: reintegration ships the same point-to-point deltas in both
+    // modes, so models and bytes stay in lockstep.
+    ref.clear_health();
+    sys.clear_health();
+    const auto ref_re = ref.reintegrate_stragglers();
+    const auto re = sys.reintegrate_stragglers();
+    EXPECT_EQ(ref_re.bytes, re.bytes) << "seed " << seed;
+    EXPECT_EQ(ref_re.messages, re.messages) << "seed " << seed;
+    expect_models_identical(ref, sys, "recovered seed " + std::to_string(seed));
+    EXPECT_EQ(ref.stragglers(), sys.stragglers()) << "seed " << seed;
+  }
+}
+
+// ---- primitive harness ------------------------------------------------------
+
+hdc::AccumHV random_accum(std::size_t dim, std::int32_t magnitude,
+                          std::uint64_t seed) {
+  hdc::Rng rng(seed);
+  hdc::AccumHV acc(dim);
+  for (auto& v : acc) {
+    v = static_cast<std::int32_t>(rng.index(2 * magnitude + 1)) - magnitude;
+  }
+  return acc;
+}
+
+/// Bare-metal world for the data-motion primitives: runtimes wired to a
+/// LocalBus that routes every envelope through the real codec.
+struct Harness {
+  net::Topology topo;
+  std::vector<proto::NodeRuntime> nodes;
+  proto::LocalBus bus;
+
+  Harness(net::Topology t, std::size_t dim, std::size_t num_classes)
+      : topo(std::move(t)), nodes(topo.num_nodes()), bus(topo.num_nodes()) {
+    for (NodeId id = 0; id < topo.num_nodes(); ++id) {
+      nodes[id].init(id, topo, dim, num_classes);
+      proto::NodeRuntime* rt = &nodes[id];
+      bus.subscribe(id,
+                    [rt](const Envelope& env) { rt->on_envelope(env); });
+    }
+  }
+};
+
+/// Peer states for an all-reduce among the root's children, plus the
+/// elementwise reference sum every peer must end up holding.
+struct AllReduceCase {
+  std::vector<std::vector<hdc::AccumHV>> states;
+  std::vector<hdc::AccumHV> expected;
+};
+
+AllReduceCase make_case(std::size_t peers, std::size_t sections,
+                        std::size_t dim, std::uint64_t seed) {
+  AllReduceCase c;
+  c.expected.assign(sections, hdc::AccumHV(dim, 0));
+  for (std::size_t p = 0; p < peers; ++p) {
+    std::vector<hdc::AccumHV> state;
+    for (std::size_t s = 0; s < sections; ++s) {
+      state.push_back(random_accum(dim, 1000, seed + 31 * p + s));
+      for (std::size_t lane = 0; lane < dim; ++lane) {
+        c.expected[s][lane] += state.back()[lane];
+      }
+    }
+    c.states.push_back(std::move(state));
+  }
+  return c;
+}
+
+TEST(CollectivePrimitives, RingAndTreeAllReduceMatchReferenceSums) {
+  for (const std::size_t peers : {1u, 2u, 3u, 5u, 8u}) {
+    Harness h(net::Topology::star(peers), 17, 2);
+    const auto kids = h.topo.children(h.topo.root());
+    const std::vector<NodeId> peer_ids(kids.begin(), kids.end());
+    // Odd section dim (17) x 2 sections: chunk boundaries land mid-section.
+    // Sweep the even split, an oversized odd chunk, and one whole-payload
+    // chunk per transfer.
+    const auto min_chunk = static_cast<std::uint32_t>((34 + peers - 1) / peers);
+    for (const std::uint32_t chunk : {0u, min_chunk + 3, 34u}) {
+      auto c = make_case(peers, 2, 17, 400 + peers);
+      proto::ring_all_reduce(h.bus, h.nodes, h.topo, h.topo.root(), peer_ids,
+                             c.states, chunk);
+      for (std::size_t p = 0; p < peers; ++p) {
+        ASSERT_EQ(c.states[p],
+                  peers == 1 ? c.states[p] : c.expected)
+            << "ring peers=" << peers << " chunk=" << chunk << " peer " << p;
+      }
+    }
+    auto c = make_case(peers, 2, 17, 500 + peers);
+    proto::tree_all_reduce(h.bus, h.nodes, h.topo, h.topo.root(), peer_ids,
+                           c.states);
+    for (std::size_t p = 0; p < peers; ++p) {
+      ASSERT_EQ(c.states[p], peers == 1 ? c.states[p] : c.expected)
+          << "tree peers=" << peers << " peer " << p;
+    }
+  }
+}
+
+TEST(CollectivePrimitives, AllReduceValidatesPeersAndLaneCounts) {
+  Harness h(net::Topology::paper_tree(4), 8, 2);
+  const auto& topo = h.topo;
+  const NodeId gw = topo.parent(topo.leaves().front());
+  const auto kids = topo.children(gw);
+  std::vector<NodeId> peer_ids(kids.begin(), kids.end());
+
+  // One state set per peer, or nothing runs.
+  std::vector<std::vector<hdc::AccumHV>> short_states(peer_ids.size() - 1);
+  EXPECT_THROW(proto::ring_all_reduce(h.bus, h.nodes, topo, gw, peer_ids,
+                                      short_states),
+               std::invalid_argument);
+  // Mismatched lane counts across peers.
+  auto c = make_case(peer_ids.size(), 2, 8, 600);
+  c.states.back()[0].push_back(0);
+  EXPECT_THROW(
+      proto::ring_all_reduce(h.bus, h.nodes, topo, gw, peer_ids, c.states),
+      std::invalid_argument);
+  EXPECT_THROW(
+      proto::tree_all_reduce(h.bus, h.nodes, topo, gw, peer_ids, c.states),
+      std::invalid_argument);
+  // A peer that is not a child of the relay parent.
+  auto ok = make_case(peer_ids.size(), 2, 8, 601);
+  auto strangers = peer_ids;
+  strangers.back() = topo.root();
+  EXPECT_THROW(
+      proto::ring_all_reduce(h.bus, h.nodes, topo, gw, strangers, ok.states),
+      std::invalid_argument);
+  // Chunks too small to cover the lane space in P chunks.
+  EXPECT_THROW(proto::ring_all_reduce(h.bus, h.nodes, topo, gw, peer_ids,
+                                      ok.states, /*chunk_lanes=*/1),
+               std::invalid_argument);
+}
+
+TEST(CollectivePrimitives, BroadcastIsBitExactAtEveryNode) {
+  Harness h(net::Topology::paper_tree(4), 12, 3);
+  std::vector<hdc::AccumHV> models;
+  for (std::size_t c = 0; c < 3; ++c) {
+    models.push_back(random_accum(12, 40000, 700 + c));
+  }
+  const auto received = proto::broadcast_models(h.bus, h.nodes, h.topo,
+                                                h.topo.root(), models);
+  ASSERT_EQ(received.size(), h.topo.num_nodes());
+  for (NodeId id = 0; id < h.topo.num_nodes(); ++id) {
+    EXPECT_EQ(received[id], models) << "node " << id;
+  }
+  // Subtree broadcast from a gateway touches only its descendants.
+  const NodeId gw = h.topo.parent(h.topo.leaves().front());
+  const auto sub = proto::broadcast_models(h.bus, h.nodes, h.topo, gw, models);
+  for (NodeId id = 0; id < h.topo.num_nodes(); ++id) {
+    const bool in_subtree =
+        id == gw || (!h.topo.children(gw).empty() && h.topo.parent(id) == gw);
+    if (in_subtree) {
+      EXPECT_EQ(sub[id], models) << "node " << id;
+    } else {
+      EXPECT_TRUE(sub[id].empty()) << "node " << id;
+    }
+  }
+}
+
+// ---- retries over a lossy bus ----------------------------------------------
+
+/// Deterministically faulty bus: drops a prefix of posts, or every other
+/// post, before handing the survivors to a real LocalBus.
+class LossyBus final : public proto::Bus {
+ public:
+  enum class Policy { kDropFirstN, kDropEveryOther, kDropAll };
+
+  LossyBus(std::size_t num_nodes, Policy policy, std::size_t n = 0)
+      : inner_(num_nodes), policy_(policy), n_(n) {}
+
+  void subscribe(NodeId node, proto::Handler handler) override {
+    inner_.subscribe(node, std::move(handler));
+  }
+  void post(Envelope env) override {
+    const std::size_t at = posts_++;
+    switch (policy_) {
+      case Policy::kDropAll:
+        return;
+      case Policy::kDropFirstN:
+        if (at < n_) return;
+        break;
+      case Policy::kDropEveryOther:
+        if (at % 2 == 0) return;
+        break;
+    }
+    inner_.post(std::move(env));
+  }
+  void set_charge(proto::CommStats* sink) noexcept override {
+    inner_.set_charge(sink);
+  }
+  std::size_t posts() const noexcept { return posts_; }
+
+ private:
+  proto::LocalBus inner_;
+  Policy policy_;
+  std::size_t n_;
+  std::size_t posts_ = 0;
+};
+
+struct LossyHarness {
+  net::Topology topo;
+  std::vector<proto::NodeRuntime> nodes;
+  LossyBus bus;
+
+  LossyHarness(net::Topology t, LossyBus::Policy policy, std::size_t n = 0)
+      : topo(std::move(t)),
+        nodes(topo.num_nodes()),
+        bus(topo.num_nodes(), policy, n) {
+    for (NodeId id = 0; id < topo.num_nodes(); ++id) {
+      nodes[id].init(id, topo, 9, 2);
+      proto::NodeRuntime* rt = &nodes[id];
+      bus.subscribe(id,
+                    [rt](const Envelope& env) { rt->on_envelope(env); });
+    }
+  }
+};
+
+TEST(CollectiveRetries, RetriesRecoverDroppedFramesBitExactly) {
+  // Every hop's first attempt is dropped; one retry per hop recovers the
+  // schedule and the result stays bit-identical to the reference sum.
+  LossyHarness h(net::Topology::star(3), LossyBus::Policy::kDropEveryOther);
+  const auto kids = h.topo.children(h.topo.root());
+  const std::vector<NodeId> peer_ids(kids.begin(), kids.end());
+  auto c = make_case(3, 2, 9, 800);
+  proto::ring_all_reduce(h.bus, h.nodes, h.topo, h.topo.root(), peer_ids,
+                         c.states, 0, /*max_retries=*/1);
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(c.states[p], c.expected) << "peer " << p;
+  }
+  // Broadcast under a dropped prefix with generous retries.
+  LossyHarness b(net::Topology::paper_tree(4), LossyBus::Policy::kDropFirstN,
+                 3);
+  const std::vector<hdc::AccumHV> models{random_accum(9, 5, 801),
+                                         random_accum(9, 5, 802)};
+  const auto received = proto::broadcast_models(b.bus, b.nodes, b.topo,
+                                                b.topo.root(), models,
+                                                /*max_retries=*/5);
+  for (NodeId id = 0; id < b.topo.num_nodes(); ++id) {
+    EXPECT_EQ(received[id], models) << "node " << id;
+  }
+}
+
+TEST(CollectiveRetries, ExhaustedRetriesThrow) {
+  LossyHarness h(net::Topology::star(2), LossyBus::Policy::kDropAll);
+  const auto kids = h.topo.children(h.topo.root());
+  const std::vector<NodeId> peer_ids(kids.begin(), kids.end());
+  auto c = make_case(2, 1, 9, 810);
+  EXPECT_THROW(proto::ring_all_reduce(h.bus, h.nodes, h.topo, h.topo.root(),
+                                      peer_ids, c.states, 0,
+                                      /*max_retries=*/2),
+               std::runtime_error);
+  EXPECT_THROW(proto::broadcast_models(h.bus, h.nodes, h.topo, h.topo.root(),
+                                       {random_accum(9, 5, 811)},
+                                       /*max_retries=*/0),
+               std::runtime_error);
+  // Dropping only the first attempt still fails when retries are disallowed.
+  LossyHarness once(net::Topology::star(2), LossyBus::Policy::kDropFirstN, 1);
+  auto c2 = make_case(2, 1, 9, 812);
+  EXPECT_THROW(
+      proto::tree_all_reduce(once.bus, once.nodes, once.topo,
+                             once.topo.root(),
+                             std::vector<NodeId>(
+                                 once.topo.children(once.topo.root()).begin(),
+                                 once.topo.children(once.topo.root()).end()),
+                             c2.states, /*max_retries=*/0),
+      std::runtime_error);
+}
+
+// ---- NodeRuntime scatter contract -------------------------------------------
+
+TEST(CollectiveScatter, FusedFrameMatchesPerClassDelivery) {
+  // A gateway fed one fused initial-training frame must close its phase with
+  // exactly the accumulators of a twin fed per-class ModelUpdates.
+  const auto topo = net::Topology::paper_tree(4);
+  const NodeId gw = topo.parent(topo.leaves().front());
+  const auto kids = topo.children(gw);
+
+  proto::NodeRuntime fused, plain;
+  for (auto* rt : {&fused, &plain}) {
+    rt->init(gw, topo, 16, 2);
+    rt->install_aggregator(std::make_unique<hier::HierEncoder>(
+        std::vector<std::size_t>(kids.size(), 16), 16, 99));
+    rt->begin_initial_training();
+  }
+  for (std::size_t k = 0; k < kids.size(); ++k) {
+    const std::vector<hdc::AccumHV> contrib{
+        random_accum(16, 30, 900 + k), random_accum(16, 30, 910 + k)};
+    fused.on_envelope({proto::kProtoVersion, kids[k], gw,
+                       proto::ReducePartial{
+                           proto::kReduceInitial,
+                           static_cast<std::uint32_t>(kids[k]), contrib}});
+    plain.on_envelope({proto::kProtoVersion, kids[k], gw,
+                       proto::ModelUpdate{0, contrib[0]}});
+    plain.on_envelope({proto::kProtoVersion, kids[k], gw,
+                       proto::ModelUpdate{1, contrib[1]}});
+  }
+  EXPECT_EQ(fused.finish_initial_training({}, {}),
+            plain.finish_initial_training({}, {}));
+}
+
+TEST(CollectiveScatter, MalformedFusedFramesAreProtocolViolations) {
+  const auto topo = net::Topology::paper_tree(4);
+  const NodeId gw = topo.parent(topo.leaves().front());
+  const NodeId child = topo.children(gw).front();
+  proto::NodeRuntime rt;
+  rt.init(gw, topo, 8, 2);
+
+  const std::vector<hdc::AccumHV> two{random_accum(8, 3, 920),
+                                      random_accum(8, 3, 921)};
+  const Envelope initial{proto::kProtoVersion, child, gw,
+                         proto::ReducePartial{proto::kReduceInitial,
+                                              static_cast<std::uint32_t>(child),
+                                              two}};
+  // Training frames outside their phase are violations…
+  EXPECT_THROW(rt.on_envelope(initial), std::logic_error);
+  rt.begin_initial_training();
+  // …as are section counts that disagree with the announced schedule.
+  EXPECT_THROW(
+      rt.on_envelope({proto::kProtoVersion, child, gw,
+                      proto::ReducePartial{proto::kReduceInitial,
+                                           static_cast<std::uint32_t>(child),
+                                           {random_accum(8, 3, 922)}}}),
+      std::logic_error);
+  // Unknown collective phase bytes fail closed.
+  EXPECT_THROW(
+      rt.on_envelope({proto::kProtoVersion, child, gw,
+                      proto::ReducePartial{
+                          9, static_cast<std::uint32_t>(child), two}}),
+      std::logic_error);
+  EXPECT_NO_THROW(rt.on_envelope(initial));
+
+  // All-reduce / broadcast frames are phase-free and land in the collective
+  // inbox, preserving delivery order and draining on take.
+  EXPECT_EQ(rt.collective_frames_pending(), 0u);
+  rt.on_envelope({proto::kProtoVersion, child, gw,
+                  proto::ReducePartial{proto::kReduceGatewaySync,
+                                       static_cast<std::uint32_t>(child),
+                                       two}});
+  EXPECT_EQ(rt.collective_frames_pending(), 1u);
+  const auto frames = rt.take_collective_frames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].origin, child);
+  EXPECT_EQ(frames[0].sections, two);
+  EXPECT_EQ(rt.collective_frames_pending(), 0u);
+}
+
+}  // namespace

@@ -5,17 +5,22 @@
 
 #include <cstring>
 #include <limits>
+#include <string>
 #include <vector>
 
+#include "core/edgehd.hpp"
+#include "data/dataset.hpp"
 #include "hdc/random.hpp"
 #include "hdc/wire.hpp"
 #include "net/medium.hpp"
 #include "net/simulator.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "proto/bus.hpp"
 #include "proto/envelope.hpp"
 #include "proto/messages.hpp"
 #include "proto/node_runtime.hpp"
+#include "proto/section_codec.hpp"
 #include "proto/types.hpp"
 
 namespace {
@@ -43,6 +48,33 @@ hdc::BipolarHV random_bipolar(std::size_t dim, std::uint64_t seed) {
   return hv;
 }
 
+/// Accumulator with every lane congruent to `count` mod 2 — the invariant a
+/// leaf bundle of `count` bipolar samples satisfies (and the case the fused
+/// codec's frame-of-reference step-2 mode exploits).
+hdc::AccumHV parity_accum(std::size_t dim, std::int32_t count,
+                          std::uint64_t seed) {
+  hdc::Rng rng(seed);
+  hdc::AccumHV acc(dim);
+  for (auto& v : acc) {
+    v = count -
+        2 * static_cast<std::int32_t>(
+                rng.index(static_cast<std::size_t>(count) + 1));
+  }
+  return acc;
+}
+
+/// Heavily skewed accumulator (mostly zeros, rare large outliers): the case
+/// where the canonical-Huffman mode beats frame of reference.
+hdc::AccumHV skewed_accum(std::size_t dim, std::uint64_t seed) {
+  hdc::Rng rng(seed);
+  hdc::AccumHV acc(dim);
+  for (auto& v : acc) {
+    v = rng.bernoulli(0.95) ? 0
+                            : static_cast<std::int32_t>(rng.index(201)) - 100;
+  }
+  return acc;
+}
+
 /// One representative envelope per message type, with payload sizes that do
 /// not divide evenly into bytes (to exercise the bit-packing tails).
 std::vector<Envelope> corpus() {
@@ -63,6 +95,21 @@ std::vector<Envelope> corpus() {
   out.push_back({proto::kProtoVersion, 6, 2, proto::NodeLeave{4, 1}});
   out.push_back({proto::kProtoVersion, 6, 2,
                  proto::StateSync{1, 4, random_accum(93, 12, 15)}});
+  // Fused collective frames: one FOR-shaped (leaf-bundle parity), one
+  // Huffman-shaped (skewed internal sections), one single-section edge case.
+  out.push_back({proto::kProtoVersion, 7, 2,
+                 proto::ReducePartial{
+                     proto::kReduceInitial, 7,
+                     {parity_accum(101, 9, 16), parity_accum(67, 9, 17)}}});
+  out.push_back({proto::kProtoVersion, 4, 1,
+                 proto::ReducePartial{
+                     proto::kReduceBatch, 4,
+                     {skewed_accum(203, 18), random_accum(33, 4, 19)}}});
+  out.push_back({proto::kProtoVersion, 2, 5,
+                 proto::ReducePartial{proto::kReduceGatewaySync, 2,
+                                      {random_accum(1, 1, 20)}}});
+  out.push_back({proto::kProtoVersion, 1, 5,
+                 proto::CollectivePlan{proto::kReduceBatch, 1, 16, 10}});
   return out;
 }
 
@@ -110,6 +157,49 @@ TEST(ProtoWireSize, MembershipMessagesChargeControlFrames) {
             8u + hdc::wire_bytes_accum(acc));
 }
 
+TEST(ProtoWireSize, ReducePartialChargesEntropyCodedBodiesOnly) {
+  // Canonical accounting for a fused frame is exactly the entropy-coded
+  // section bodies; phase/origin/count/dims are structural framing excluded
+  // from wire_size, mirroring write_accum's dim/width prefix.
+  const proto::ReducePartial rp{
+      proto::kReduceInitial, 3,
+      {parity_accum(101, 6, 41), random_accum(67, 9, 42)}};
+  const auto buf =
+      proto::encode(Envelope{proto::kProtoVersion, 3, 1, rp});
+  const std::uint64_t framing = 1 + 4 + 4 + 4 * rp.sections.size();
+  EXPECT_EQ(proto::wire_size(rp),
+            proto::sections_wire_size(rp.sections));
+  EXPECT_EQ(proto::wire_size(rp), buf.size() - proto::kHeaderSize - framing);
+}
+
+TEST(ProtoWireSize, ParityLeafFramesBeatPerAccumPacking) {
+  // A leaf's fused batch frame: every lane ≡ n (mod 2), so FOR's step-2 mode
+  // recovers a bit per lane and the fused frame undercuts the per-accum
+  // packing the point-to-point schedule would be charged.
+  std::vector<hdc::AccumHV> sections;
+  std::uint64_t per_accum = 0;
+  for (int c = 0; c < 4; ++c) {
+    sections.push_back(parity_accum(500, 9, 50 + static_cast<std::uint64_t>(c)));
+    per_accum += hdc::wire_bytes_accum(sections.back());
+  }
+  EXPECT_LT(proto::sections_wire_size(sections), per_accum);
+}
+
+TEST(ProtoWireSize, SkewedFramesCompressViaHuffman) {
+  // Mostly-zero sections with rare outliers: FOR must width every lane for
+  // the outlier, Huffman prices by frequency. The fused frame wins big.
+  std::vector<hdc::AccumHV> sections{skewed_accum(1000, 60),
+                                     skewed_accum(1000, 61)};
+  std::uint64_t per_accum = 0;
+  for (const auto& s : sections) per_accum += hdc::wire_bytes_accum(s);
+  EXPECT_LT(proto::sections_wire_size(sections), per_accum / 2);
+}
+
+TEST(ProtoWireSize, CollectivePlanIsAFixedControlFrame) {
+  // phase + algorithm + chunk_lanes + plan id.
+  EXPECT_EQ(proto::wire_size(proto::CollectivePlan{}), 1u + 1 + 4 + 8);
+}
+
 TEST(ProtoWireSize, CompressedQueryMatchesPaperFormula) {
   // m <= 1: plain packed bits.
   EXPECT_EQ(proto::compressed_query_wire_size(4000, 0),
@@ -145,6 +235,8 @@ TEST(ProtoMessages, TypeNamesAreStable) {
   EXPECT_STREQ(proto::to_string(MsgType::kNodeJoin), "node_join");
   EXPECT_STREQ(proto::to_string(MsgType::kNodeLeave), "node_leave");
   EXPECT_STREQ(proto::to_string(MsgType::kStateSync), "state_sync");
+  EXPECT_STREQ(proto::to_string(MsgType::kReducePartial), "reduce_partial");
+  EXPECT_STREQ(proto::to_string(MsgType::kCollectivePlan), "collective_plan");
 }
 
 // ---- envelope round trips --------------------------------------------------
@@ -209,18 +301,27 @@ TEST(EnvelopeReject, BadMagic) {
 }
 
 TEST(EnvelopeReject, UnknownVersionFailsClosed) {
-  auto buf = proto::encode(corpus().front());
-  buf[2] = proto::kProtoVersion + 1;
-  EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadVersion);
-  buf[2] = 0;
-  EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadVersion);
+  // Every type — including the collective frames — bounces off the version
+  // gate before any payload parsing.
+  for (const Envelope& env : corpus()) {
+    auto buf = proto::encode(env);
+    buf[2] = proto::kProtoVersion + 1;
+    EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadVersion)
+        << proto::to_string(proto::type_of(env.msg));
+    buf[2] = 0;
+    EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadVersion)
+        << proto::to_string(proto::type_of(env.msg));
+  }
 }
 
 TEST(EnvelopeReject, UnknownTypeByte) {
   auto buf = proto::encode(corpus().front());
   buf[3] = 0;
   EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadType);
-  buf[3] = 10;
+  // 12 is the first unassigned type byte (11 = collective_plan is valid).
+  buf[3] = 12;
+  EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadType);
+  buf[3] = 255;
   EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadType);
 }
 
@@ -263,6 +364,33 @@ TEST(EnvelopeReject, NonCanonicalPadBits) {
                      proto::ModelUpdate{0, random_accum(3, 2, 5)}};
   auto buf = proto::encode(env);
   buf.back() |= 0x80;
+  EXPECT_EQ(proto::decode(buf).error, DecodeError::kCorruptPayload);
+}
+
+TEST(EnvelopeReject, ReducePartialBadSectionModeOrHugeDims) {
+  const proto::ReducePartial rp{
+      proto::kReduceInitial, 7,
+      {parity_accum(101, 9, 16), parity_accum(67, 9, 17)}};
+  const auto clean =
+      proto::encode(Envelope{proto::kProtoVersion, 7, 2, rp});
+  // Payload: u8 phase, u32 origin, u32 count, u32 dim per section, then the
+  // section bodies opening with the mode byte. Modes >= 2 are unassigned.
+  const std::size_t mode_at = proto::kHeaderSize + 1 + 4 + 4 + 4 * 2;
+  for (const std::uint8_t bad : {std::uint8_t{2}, std::uint8_t{255}}) {
+    auto buf = clean;
+    buf[mode_at] = bad;
+    EXPECT_EQ(proto::decode(buf).error, DecodeError::kCorruptPayload);
+  }
+  // A corrupt section count far beyond kMaxWireDim must be rejected before
+  // it can size an allocation.
+  auto buf = clean;
+  const std::size_t count_at = proto::kHeaderSize + 1 + 4;
+  for (int i = 0; i < 4; ++i) buf[count_at + static_cast<std::size_t>(i)] = 0xFF;
+  EXPECT_EQ(proto::decode(buf).error, DecodeError::kCorruptPayload);
+  // Same for one section's dim field.
+  buf = clean;
+  const std::size_t dim_at = count_at + 4;
+  for (int i = 0; i < 4; ++i) buf[dim_at + static_cast<std::size_t>(i)] = 0xFF;
   EXPECT_EQ(proto::decode(buf).error, DecodeError::kCorruptPayload);
 }
 
@@ -312,7 +440,7 @@ TEST(EnvelopeSweep, RandomGarbageNeverCrashes) {
       buf[0] = 'E';
       buf[1] = 'P';
       buf[2] = proto::kProtoVersion;
-      buf[3] = static_cast<std::uint8_t>(1 + round % 9);
+      buf[3] = static_cast<std::uint8_t>(1 + round % 11);
     }
     const auto r = proto::decode(buf);
     if (r.ok()) {
@@ -422,6 +550,48 @@ TEST(NodeRuntime, RejectsNonChildSendersAndBadClassIds) {
   EXPECT_THROW(rt.on_envelope({proto::kProtoVersion, child, gw,
                                proto::ModelUpdate{9, hdc::AccumHV(32, 1)}}),
                std::logic_error);
+}
+
+// ---- per-type byte accounting under collective schedules --------------------
+
+TEST(ProtoObs, PerTypeBytesPartitionCollectiveSessionTotals) {
+  // Every byte a collective training session charges to CommStats must land
+  // in exactly one per-type proto.<name>.bytes counter: the per-type rows
+  // partition the phase totals, with no double counting and nothing
+  // slipping through unattributed.
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  auto ds = data::make_synthetic("obspart", 40, 3, {10, 10, 10, 10}, 240, 40,
+                                 97, 3.6F, 0.5F, 0.5F);
+  data::zscore_normalize(ds);
+  core::SystemConfig cfg;
+  cfg.total_dim = 600;
+  cfg.batch_size = 4;
+  cfg.collective.enabled = true;
+  cfg.collective.force = proto::CollectiveAlgo::kTreeReduce;
+  core::EdgeHdSystem sys(ds, net::Topology::paper_tree(4), cfg);
+
+  auto& reg = obs::MetricsRegistry::global();
+  const auto totals = [&reg] {
+    proto::CommStats sum;
+    for (std::uint8_t b = 1; b <= 11; ++b) {
+      const std::string base =
+          std::string("proto.") +
+          proto::to_string(static_cast<MsgType>(b)) + ".";
+      sum.bytes += reg.counter_value(base + "bytes");
+      sum.messages += reg.counter_value(base + "messages");
+    }
+    return sum;
+  };
+
+  const auto before = totals();
+  const auto charged = sys.train_initial() + sys.retrain_batches();
+  const auto after = totals();
+  EXPECT_EQ(after.bytes - before.bytes, charged.bytes);
+  EXPECT_EQ(after.messages - before.messages, charged.messages);
+  // The collective schedule actually ran: fused frames and their plan
+  // announcements carried the model traffic.
+  EXPECT_GT(reg.counter_value("proto.reduce_partial.bytes"), 0u);
+  EXPECT_GT(reg.counter_value("proto.collective_plan.messages"), 0u);
 }
 
 TEST(NodeRuntime, ProbesAndQueriesAreCountedNotFiled) {
