@@ -37,8 +37,14 @@ int main() {
     baseline::HdModel edgehd;  // sparse RBF encoder, D = 4000
     edgehd.fit(ds);
 
-    const double lin_acc = hd_linear.test_accuracy(ds);
-    const double hd_acc = edgehd.test_accuracy(ds);
+    const std::string base = "fig7." + spec.name + ".";
+    const double lin_acc =
+        bench::via_registry(base + "baseline_hd_acc", hd_linear.test_accuracy(ds));
+    const double hd_acc =
+        bench::via_registry(base + "edgehd_acc", edgehd.test_accuracy(ds));
+    bench::via_registry(base + "dnn_acc", mlp.test_accuracy(ds));
+    bench::via_registry(base + "svm_acc", svm.test_accuracy(ds));
+    bench::via_registry(base + "adaboost_acc", ada.test_accuracy(ds));
     gap_sum += hd_acc - lin_acc;
     edgehd_sum += hd_acc;
     dnn_sum += mlp.test_accuracy(ds);
@@ -51,10 +57,16 @@ int main() {
                 bench::pct(hd_acc), bench::pct(hd_acc - lin_acc));
   }
   bench::print_rule();
+  const double mean_gain = bench::via_registry(
+      "fig7.mean_edgehd_gain", gap_sum / static_cast<double>(count));
+  const double mean_edgehd = bench::via_registry(
+      "fig7.mean_edgehd_acc", edgehd_sum / static_cast<double>(count));
+  const double mean_dnn = bench::via_registry(
+      "fig7.mean_dnn_acc", dnn_sum / static_cast<double>(count));
   std::printf("mean EdgeHD gain over baseline HD: %+.1f%% (paper: +4.7%%)\n",
-              bench::pct(gap_sum / static_cast<double>(count)));
+              bench::pct(mean_gain));
   std::printf("mean EdgeHD accuracy: %.1f%%  mean DNN accuracy: %.1f%%\n",
-              bench::pct(edgehd_sum / static_cast<double>(count)),
-              bench::pct(dnn_sum / static_cast<double>(count)));
+              bench::pct(mean_edgehd), bench::pct(mean_dnn));
+  bench::dump_metrics("BENCH_fig7.json");
   return 0;
 }

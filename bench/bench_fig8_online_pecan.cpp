@@ -46,13 +46,21 @@ int main() {
   std::size_t served_total = 0;
 
   auto report = [&](double online_frac) {
+    const std::string base =
+        "fig8.online" +
+        std::to_string(static_cast<int>(100.0 * online_frac)) + ".";
     std::printf("%7.0f%% |", 100.0 * online_frac);
     for (std::size_t l = 1; l <= depth; ++l) {
-      std::printf(" %6.1f%%", bench::pct(system.accuracy_at_level(l)));
+      const double a = bench::via_registry(
+          base + "acc_l" + std::to_string(l), system.accuracy_at_level(l));
+      std::printf(" %6.1f%%", bench::pct(a));
     }
     std::printf(" |");
     for (std::size_t l = 1; l <= depth; ++l) {
-      std::printf("  %5.1f%%", bench::pct(system.mean_confidence_at_level(l)));
+      const double c =
+          bench::via_registry(base + "conf_l" + std::to_string(l),
+                              system.mean_confidence_at_level(l));
+      std::printf("  %5.1f%%", bench::pct(c));
     }
     std::printf(" |");
     for (std::size_t l = 1; l <= depth; ++l) {
@@ -60,7 +68,9 @@ int main() {
                            ? 0.0
                            : static_cast<double>(served[l]) /
                                  static_cast<double>(served_total);
-      std::printf(" %5.1f%%", bench::pct(f));
+      std::printf(" %5.1f%%",
+                  bench::pct(bench::via_registry(
+                      base + "served_l" + std::to_string(l), f)));
     }
     std::printf("\n");
   };
@@ -97,5 +107,6 @@ int main() {
   std::printf(
       "paper: house/street/central accuracy 59.5/81.3/98.3%% after 100%% "
       "online; central serves 28.9%% -> 0.3%% of queries\n");
+  bench::dump_metrics("BENCH_fig8.json");
   return 0;
 }

@@ -54,8 +54,12 @@ int main() {
   for (const std::size_t steps : {1u, 2u, 4u, 10u}) {
     const auto half = run_online(data::DatasetId::kPamap2, steps, 0.5);
     const auto full = run_online(data::DatasetId::kPamap2, steps, 1.0);
+    const std::string base = "fig9a.steps" + std::to_string(steps) + ".";
     std::printf("%-6zu %11.1f%% %11.1f%%\n", static_cast<std::size_t>(steps),
-                bench::pct(half.back()), bench::pct(full.back()));
+                bench::pct(bench::via_registry(base + "online50",
+                                               half.back())),
+                bench::pct(bench::via_registry(base + "online100",
+                                               full.back())));
   }
   bench::print_rule();
 
@@ -70,16 +74,24 @@ int main() {
   std::size_t count = 0;
   for (const auto id : data::hierarchical_ids()) {
     const auto acc = run_online(id, 10, 1.0);
+    const std::string base = "fig9b." + data::spec(id).name + ".";
     std::printf("%-8s", data::spec(id).name.c_str());
-    for (const double a : acc) std::printf(" %5.1f", bench::pct(a));
+    for (std::size_t s = 0; s < acc.size(); ++s) {
+      std::printf(" %5.1f",
+                  bench::pct(bench::via_registry(
+                      base + "step" + std::to_string(s + 1), acc[s])));
+    }
     std::printf("\n");
     first_sum += acc.front();
     last_sum += acc.back();
     ++count;
   }
   bench::print_rule();
+  const double mean_gain = bench::via_registry(
+      "fig9b.mean_gain", (last_sum - first_sum) / static_cast<double>(count));
   std::printf(
       "mean accuracy gain over 10 steps: %+.1f%% (paper: +5.5%% on average)\n",
-      bench::pct((last_sum - first_sum) / static_cast<double>(count)));
+      bench::pct(mean_gain));
+  bench::dump_metrics("BENCH_fig9.json");
   return 0;
 }

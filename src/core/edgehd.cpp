@@ -36,6 +36,7 @@ struct CoreObs {
   obs::Counter residual_bytes, residual_messages;
   obs::Counter reintegrate_bytes, reintegrate_messages;
   obs::Counter rejoin_bytes, rejoin_messages;
+  obs::Counter regen_bytes, regen_messages;
 
   static const CoreObs& get() {
     static const CoreObs o = [] {
@@ -63,6 +64,8 @@ struct CoreObs {
         c.reintegrate_messages = reg.counter("core.reintegrate.messages");
         c.rejoin_bytes = reg.counter("core.rejoin.bytes");
         c.rejoin_messages = reg.counter("core.rejoin.messages");
+        c.regen_bytes = reg.counter("core.regen.bytes");
+        c.regen_messages = reg.counter("core.regen.messages");
       }
       return c;
     }();
@@ -142,7 +145,7 @@ EdgeHdSystem::EdgeHdSystem(const data::Dataset& ds, net::Topology topology,
       rt.init(id, topology_, dim, ds_.num_classes);
       rt.install_leaf_encoder(hdc::make_encoder(
           config_.leaf_encoder, ds_.partitions[rt.partition()], dim,
-          derive_seed(config_.seed, 1000 + id)));
+          derive_seed(config_.seed, 1000 + id), config_.projection_mode));
     } else {
       const auto& kids = topology_.children(id);
       std::vector<std::size_t> child_dims(kids.size());
@@ -216,6 +219,7 @@ proto::TrainData EdgeHdSystem::train_data() const {
   proto::TrainData data;
   data.encoded = &encoded_train_;
   data.labels = encoded_train_labels_;
+  data.raw = &raw_train_;
   return data;
 }
 
@@ -433,15 +437,29 @@ void EdgeHdSystem::ensure_train_encoded(
   encoded_train_labels_.resize(idx.size());
   encoded_train_.assign(topology_.num_nodes(), {});
   for (auto& per_node : encoded_train_) per_node.resize(idx.size());
+  raw_train_.assign(topology_.num_nodes(), {});
+  for (NodeId leaf : leaves_) {
+    raw_train_[leaf].resize(idx.size() *
+                            ds_.partitions[nodes_[leaf].partition()]);
+  }
 
   // Per-sample encode_all is independent work writing disjoint slots; the
   // fan-out changes nothing observable (each sample's encoding is the same
   // deterministic function of the model-free projection state).
   runtime::parallel_for(*pool_, idx.size(), [&](std::size_t s) {
     encoded_train_labels_[s] = ds_.train_y[idx[s]];
-    auto hvs = encode_all(ds_.train_x[idx[s]]);
+    const auto& x = ds_.train_x[idx[s]];
+    auto hvs = encode_all(x);
     for (NodeId id = 0; id < topology_.num_nodes(); ++id) {
       encoded_train_[id][s] = std::move(hvs[id]);
+    }
+    for (NodeId leaf : leaves_) {
+      const std::size_t p = nodes_[leaf].partition();
+      const std::size_t len = ds_.partitions[p];
+      std::copy_n(x.begin() +
+                      static_cast<std::ptrdiff_t>(ds_.partition_offset(p)),
+                  len, raw_train_[leaf].begin() +
+                           static_cast<std::ptrdiff_t>(s * len));
     }
   });
 }
@@ -472,6 +490,13 @@ void EdgeHdSystem::ensure_test_encoded() const {
 CommStats EdgeHdSystem::train(std::span<const std::size_t> train_indices) {
   CommStats total = train_initial(train_indices);
   total += retrain_batches(train_indices);
+  if (config_.regen_dims > 0) {
+    for (std::size_t r = 0; r < config_.regen_rounds; ++r) {
+      total += regenerate_dimensions(config_.regen_dims,
+                                     static_cast<std::uint32_t>(r + 1));
+      total += retrain_batches(train_indices);
+    }
+  }
   return total;
 }
 
@@ -495,6 +520,36 @@ CommStats EdgeHdSystem::retrain_batches(
   CoreObs::get().retrain_bytes.inc(comm.bytes);
   CoreObs::get().retrain_messages.inc(comm.messages);
   return comm;
+}
+
+CommStats EdgeHdSystem::regenerate_dimensions(std::size_t k,
+                                              std::uint32_t round) {
+  if (encoded_train_.empty()) {
+    throw std::logic_error(
+        "EdgeHdSystem: regenerate_dimensions before any training");
+  }
+  const obs::Span span("core.regen");
+  const CommStats comm = proto::run_dimension_regeneration(
+      session_context(), train_data(), k, round);
+  CoreObs::get().regen_bytes.inc(comm.bytes);
+  CoreObs::get().regen_messages.inc(comm.messages);
+
+  // The leaf projections changed, so every memoized encoding is stale:
+  // re-encode the training pass (same sample set) and drop the test cache.
+  const std::vector<std::size_t> idx = std::move(encoded_train_source_);
+  encoded_train_source_.clear();
+  ensure_train_encoded(idx);
+  encoded_test_.clear();
+  packed_test_.clear();
+  return comm;
+}
+
+std::size_t EdgeHdSystem::leaf_projection_bytes() const {
+  std::size_t total = 0;
+  for (NodeId leaf : leaves_) {
+    total += nodes_[leaf].leaf_encoder().projection_resident_bytes();
+  }
+  return total;
 }
 
 double EdgeHdSystem::accuracy_at_node(NodeId id) const {

@@ -80,6 +80,21 @@ struct SystemConfig {
   hier::AggregationMode aggregation = hier::AggregationMode::kHolographic;
   std::size_t projection_row_nnz = 64;
   hdc::EncoderKind leaf_encoder = hdc::EncoderKind::kRbfSparse;
+  /// Leaf projection storage (DESIGN.md §14). kStored (default) keeps the
+  /// legacy materialized rows and their historical RNG draws — the golden
+  /// e2e byte pins depend on them. kDeterministic re-derives rows per chunk
+  /// from counter-based streams (~zero resident projection state);
+  /// kMaterialized stores the same counter-derived rows (bit-identical to
+  /// kDeterministic, for memory/accuracy A/B).
+  hdc::ProjectionMode projection_mode = hdc::ProjectionMode::kStored;
+  /// Adaptive dimensionality: dimensions regenerated per round (0 = off —
+  /// the default, keeping every legacy byte flow untouched). Requires a
+  /// counter-derived projection_mode to be useful (kStored regenerates too,
+  /// but keeps its full resident matrix).
+  std::size_t regen_dims = 0;
+  /// Regeneration rounds run by train() after retraining (each round is a
+  /// score -> regenerate -> patch-propagate -> retrain cycle).
+  std::size_t regen_rounds = 1;
   /// Lowest hierarchy level hosting classifiers (1 = end nodes classify; the
   /// PECAN deployment classifies from the house level, i.e. 2).
   std::size_t classify_min_level = 1;
@@ -177,6 +192,19 @@ class EdgeHdSystem {
 
   /// Phase 2 only: batch-hypervector retraining at every level.
   CommStats retrain_batches(std::span<const std::size_t> train_indices = {});
+
+  /// Adaptive dimensionality (DESIGN.md §14): scores the deployed models,
+  /// regenerates the k least discriminating encoder dimensions at the
+  /// leaves, and propagates the per-class deltas up the hierarchy as
+  /// k-column DimensionPatch envelopes (proto::run_dimension_regeneration).
+  /// Memoized encodings are refreshed afterwards — the projection changed.
+  /// Requires a prior training pass. train() drives this automatically when
+  /// SystemConfig::regen_dims > 0.
+  CommStats regenerate_dimensions(std::size_t k, std::uint32_t round = 1);
+
+  /// Resident projection bytes summed over the leaf encoders (the memory
+  /// the deterministic projection mode eliminates).
+  std::size_t leaf_projection_bytes() const;
 
   // ---- evaluation ----------------------------------------------------------
 
@@ -396,6 +424,10 @@ class EdgeHdSystem {
   std::vector<std::vector<hdc::BipolarHV>> encoded_train_;
   std::vector<std::size_t> encoded_train_labels_;
   std::vector<std::size_t> encoded_train_source_;  ///< dataset row per sample
+  /// Raw per-leaf feature slices of the memoized training pass (flat,
+  /// sample-major); consumed by dimension regeneration, which re-encodes
+  /// exactly the regenerated dimensions. Empty rows for internal nodes.
+  std::vector<std::vector<float>> raw_train_;
   mutable std::vector<std::vector<hdc::BipolarHV>> encoded_test_;
   /// Pre-packed test queries (sign-mask pairs) per classifier node, built
   /// alongside encoded_test_ so repeated evaluation passes skip the per-call

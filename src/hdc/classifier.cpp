@@ -391,6 +391,46 @@ void HDClassifier::set_class_accumulator(std::size_t label, AccumHV acc) {
   invalidate_cache(label);
 }
 
+std::vector<double> HDClassifier::dimension_scores() const {
+  return hdc::dimension_scores(classes_);
+}
+
+std::vector<std::uint32_t> HDClassifier::worst_dimensions(std::size_t k) const {
+  return hdc::worst_dimensions(classes_, k);
+}
+
+void HDClassifier::add_to_dimensions(std::size_t label,
+                                     std::span<const std::uint32_t> dims,
+                                     std::span<const std::int32_t> deltas) {
+  check_label(label);
+  if (dims.size() != deltas.size()) {
+    throw std::invalid_argument(
+        "HDClassifier: dims/deltas length mismatch");
+  }
+  AccumHV& cls = classes_[label];
+  for (std::size_t j = 0; j < dims.size(); ++j) {
+    if (dims[j] >= dim_) {
+      throw std::out_of_range("HDClassifier: patched dimension out of range");
+    }
+    cls[dims[j]] += deltas[j];
+  }
+  if (dims.empty()) return;
+  if (cache_valid_[label] != 0) {
+    // Try the in-place column patch. New values come from the already
+    // updated accumulator so the planes stay an exact decomposition.
+    std::vector<std::int32_t> vals(dims.size());
+    for (std::size_t j = 0; j < dims.size(); ++j) vals[j] = cls[dims[j]];
+    if (kernels::update_plane_columns(packed_classes_[label], dims, vals)) {
+      // The denominator must be recomputed with the same index-ordered
+      // double accumulation norm() uses — an incremental sum-of-squares
+      // would not be bit-identical to a cold rebuild.
+      denoms_[label] = std::sqrt(static_cast<double>(dim_)) * norm(cls);
+      return;
+    }
+  }
+  invalidate_cache(label);
+}
+
 void HDClassifier::merge(const HDClassifier& other) {
   if (other.num_classes() != num_classes() || other.dim() != dim()) {
     throw std::invalid_argument("HDClassifier: merge shape mismatch");
@@ -399,6 +439,55 @@ void HDClassifier::merge(const HDClassifier& other) {
     accumulate(classes_[c], other.classes_[c]);
   }
   invalidate_cache();
+}
+
+std::vector<double> dimension_scores(std::span<const AccumHV> accums) {
+  if (accums.empty()) return {};
+  const std::size_t dim = accums[0].size();
+  const auto k = static_cast<double>(accums.size());
+  std::vector<double> inv_norms(accums.size());
+  for (std::size_t c = 0; c < accums.size(); ++c) {
+    if (accums[c].size() != dim) {
+      throw std::invalid_argument(
+          "dimension_scores: accumulator dimension mismatch");
+    }
+    const double n = norm(accums[c]);
+    inv_norms[c] = n == 0.0 ? 0.0 : 1.0 / n;
+  }
+  std::vector<double> scores(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    double mean = 0.0;
+    for (std::size_t c = 0; c < accums.size(); ++c) {
+      mean += static_cast<double>(accums[c][i]) * inv_norms[c];
+    }
+    mean /= k;
+    double var = 0.0;
+    for (std::size_t c = 0; c < accums.size(); ++c) {
+      const double d = static_cast<double>(accums[c][i]) * inv_norms[c] - mean;
+      var += d * d;
+    }
+    scores[i] = var / k;
+  }
+  return scores;
+}
+
+std::vector<std::uint32_t> worst_dimensions(std::span<const AccumHV> accums,
+                                            std::size_t k) {
+  const std::vector<double> scores = dimension_scores(accums);
+  std::vector<std::uint32_t> idx(scores.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    idx[i] = static_cast<std::uint32_t>(i);
+  }
+  const std::size_t take = std::min(k, idx.size());
+  std::partial_sort(idx.begin(),
+                    idx.begin() + static_cast<std::ptrdiff_t>(take), idx.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                      if (scores[a] != scores[b]) return scores[a] < scores[b];
+                      return a < b;
+                    });
+  idx.resize(take);
+  std::sort(idx.begin(), idx.end());
+  return idx;
 }
 
 }  // namespace edgehd::hdc

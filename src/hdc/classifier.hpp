@@ -186,6 +186,28 @@ class HDClassifier {
   const AccumHV& class_accumulator(std::size_t label) const;
   void set_class_accumulator(std::size_t label, AccumHV acc);
 
+  // ---- adaptive dimensionality (DESIGN.md §14) ---------------------------
+
+  /// Learner-aware per-dimension discrimination score: the variance across
+  /// classes of the norm-scaled component c_i / ||c||. Dimensions whose
+  /// components look the same in every class hypervector separate nothing —
+  /// DistHD-style regeneration targets the lowest scores.
+  std::vector<double> dimension_scores() const;
+
+  /// Indices of the k lowest-scoring dimensions, ascending. Ties break to
+  /// the lower index, so the pick is deterministic.
+  std::vector<std::uint32_t> worst_dimensions(std::size_t k) const;
+
+  /// Adds deltas[j] to component dims[j] of class `label` (ascending dims).
+  /// When the class's packed-plane cache is warm and every new value still
+  /// fits the current plane count, the planes are patched in place
+  /// (kernels::update_plane_columns) and only the norm denominator is
+  /// recomputed — no O(D·nplanes) rebuild; otherwise the cache entry is
+  /// invalidated as usual.
+  void add_to_dimensions(std::size_t label,
+                         std::span<const std::uint32_t> dims,
+                         std::span<const std::int32_t> deltas);
+
   /// Adds another classifier's class hypervectors into this model
   /// (dimension-preserving aggregation, e.g. STAR-topology merging).
   void merge(const HDClassifier& other);
@@ -224,5 +246,15 @@ class HDClassifier {
 
 /// Softmax of `values` scaled by `beta`, returned as probabilities.
 std::vector<double> softmax(std::span<const double> values, double beta);
+
+/// HDClassifier::dimension_scores over a bare accumulator set (one AccumHV
+/// per class, equal dims) — nodes without a hosted classifier score their
+/// own class-accumulator state with the same statistic.
+std::vector<double> dimension_scores(std::span<const AccumHV> accums);
+
+/// The k lowest-scoring dimensions of `accums`, ascending, deterministic
+/// tie-break to the lower index.
+std::vector<std::uint32_t> worst_dimensions(std::span<const AccumHV> accums,
+                                            std::size_t k);
 
 }  // namespace edgehd::hdc

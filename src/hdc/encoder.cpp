@@ -65,6 +65,20 @@ std::vector<float>& scratch2_f32(std::size_t n) {
   return buf;
 }
 
+/// Per-thread scratch for chunk-materialized projection rows (sized by the
+/// provider's block()); a separate buffer so it can coexist with the
+/// projection scratch within one encode call.
+std::vector<float>& scratch_rows_f32() {
+  static thread_local std::vector<float> buf;
+  return buf;
+}
+
+std::vector<std::uint32_t>& scratch_u32(std::size_t n) {
+  static thread_local std::vector<std::uint32_t> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf;
+}
+
 }  // namespace
 
 RealHV Encoder::encode_real(std::span<const float> features) const {
@@ -89,11 +103,25 @@ std::vector<BipolarHV> Encoder::encode_batch(
   return encode_batch(features, runtime::ThreadPool::global());
 }
 
+void Encoder::regenerate_dimensions(std::span<const std::uint32_t> /*dims*/) {
+  throw std::logic_error(
+      "Encoder: dimension regeneration is not supported by this encoder");
+}
+
+void Encoder::encode_dims(std::span<const float> features,
+                          std::span<const std::uint32_t> dims,
+                          std::span<std::int8_t> out) const {
+  assert(out.size() >= dims.size());
+  const BipolarHV full = encode(features);
+  for (std::size_t j = 0; j < dims.size(); ++j) out[j] = full[dims[j]];
+}
+
 // ---------------------------------------------------------------- RbfEncoder
 
 RbfEncoder::RbfEncoder(std::size_t input_dim, std::size_t dim,
-                       std::uint64_t seed, float length_scale, RbfForm form)
-    : input_dim_(input_dim), dim_(dim), form_(form) {
+                       std::uint64_t seed, float length_scale, RbfForm form,
+                       ProjectionMode mode)
+    : input_dim_(input_dim), dim_(dim), form_(form), mode_(mode) {
   if (input_dim == 0 || dim == 0) {
     throw std::invalid_argument("RbfEncoder: dimensions must be positive");
   }
@@ -106,31 +134,51 @@ RbfEncoder::RbfEncoder(std::size_t input_dim, std::size_t dim,
     // Table-I workloads; see bench_ablation_encoding).
     length_scale = 2.0F * std::sqrt(static_cast<float>(input_dim));
   }
-  Rng proj_rng(derive_seed(seed, 0));
-  Rng bias_rng(derive_seed(seed, 1));
   const float scale = 1.0F / length_scale;
-  // Draw in row-major order (the historical draw order, so projections are
-  // unchanged for a given seed), then repack into the blocked kernel layout.
-  std::vector<float> row_major(dim_ * input_dim_);
-  for (auto& w : row_major) w = proj_rng.gaussian() * scale;
-  projection_ = kernels::BlockedMatrixF32::from_row_major(row_major.data(),
-                                                          dim_, input_dim_);
-  bias_.resize(dim_);
-  for (auto& b : bias_) b = bias_rng.uniform(0.0F, kTwoPi);
+  // Stream index 3: 0/1 feed the legacy sequential draws, keeping the
+  // counter-derived rows an independent stream under the same seed.
+  const std::uint64_t stream_base = derive_seed(seed, 3);
+  if (mode == ProjectionMode::kStored) {
+    Rng proj_rng(derive_seed(seed, 0));
+    Rng bias_rng(derive_seed(seed, 1));
+    // Draw in row-major order (the historical draw order, so projections are
+    // unchanged for a given seed), then repack into the blocked kernel layout.
+    std::vector<float> row_major(dim_ * input_dim_);
+    for (auto& w : row_major) w = proj_rng.gaussian() * scale;
+    provider_ = std::make_unique<StoredProjection>(
+        kernels::BlockedMatrixF32::from_row_major(row_major.data(), dim_,
+                                                  input_dim_),
+        stream_base, scale);
+    bias_.resize(dim_);
+    for (auto& b : bias_) b = bias_rng.uniform(0.0F, kTwoPi);
+  } else if (mode == ProjectionMode::kMaterialized) {
+    provider_ = std::make_unique<StoredProjection>(dim_, input_dim_,
+                                                   stream_base, scale);
+    bias_.resize(dim_);
+    for (std::size_t i = 0; i < dim_; ++i) bias_[i] = provider_->derived_bias(i);
+  } else {
+    provider_ = std::make_unique<DeterministicProjection>(dim_, input_dim_,
+                                                          stream_base, scale);
+  }
 }
 
 void RbfEncoder::project(std::span<const float> features, float* proj) const {
   assert(features.size() == input_dim_);
-  kernels::active().gemv_f32(projection_.data(), dim_, input_dim_,
-                             features.data(), proj);
+  const std::size_t chunk = provider_->preferred_chunk();
+  for (std::size_t r0 = 0; r0 < dim_; r0 += chunk) {
+    const std::size_t count = std::min(chunk, dim_ - r0);
+    const float* blk = provider_->block(r0, count, scratch_rows_f32());
+    kernels::active().gemv_f32(blk, count, input_dim_, features.data(),
+                               proj + r0);
+  }
 }
 
 void RbfEncoder::finish_bipolar(const float* proj, std::int8_t* out) const {
   const float amp = std::sqrt(2.0F / static_cast<float>(dim_));
   for (std::size_t i = 0; i < dim_; ++i) {
     const float h = form_ == RbfForm::kCosSin
-                        ? std::cos(proj[i] + bias_[i]) * std::sin(proj[i])
-                        : amp * std::cos(proj[i] + bias_[i]);
+                        ? std::cos(proj[i] + bias(i)) * std::sin(proj[i])
+                        : amp * std::cos(proj[i] + bias(i));
     out[i] = h < 0.0F ? std::int8_t{-1} : std::int8_t{1};
   }
 }
@@ -142,10 +190,41 @@ RealHV RbfEncoder::encode_real(std::span<const float> features) const {
   for (std::size_t i = 0; i < dim_; ++i) {
     const float proj = out[i];
     out[i] = form_ == RbfForm::kCosSin
-                 ? std::cos(proj + bias_[i]) * std::sin(proj)
-                 : amp * std::cos(proj + bias_[i]);
+                 ? std::cos(proj + bias(i)) * std::sin(proj)
+                 : amp * std::cos(proj + bias(i));
   }
   return out;
+}
+
+std::size_t RbfEncoder::projection_resident_bytes() const noexcept {
+  return provider_->resident_bytes() + bias_.size() * sizeof(float);
+}
+
+void RbfEncoder::regenerate_dimensions(std::span<const std::uint32_t> dims) {
+  provider_->regenerate(dims);
+  if (!bias_.empty()) {
+    for (const std::uint32_t d : dims) bias_[d] = provider_->derived_bias(d);
+  }
+}
+
+void RbfEncoder::encode_dims(std::span<const float> features,
+                             std::span<const std::uint32_t> dims,
+                             std::span<std::int8_t> out) const {
+  assert(features.size() == input_dim_ && out.size() >= dims.size());
+  if (dims.empty()) return;
+  std::vector<float>& blk = scratch_rows_f32();
+  provider_->gather(dims, blk);
+  std::vector<float>& proj = scratch_f32(dims.size());
+  kernels::active().gemv_f32(blk.data(), dims.size(), input_dim_,
+                             features.data(), proj.data());
+  const float amp = std::sqrt(2.0F / static_cast<float>(dim_));
+  for (std::size_t j = 0; j < dims.size(); ++j) {
+    const float p = proj[j];
+    const float h = form_ == RbfForm::kCosSin
+                        ? std::cos(p + bias(dims[j])) * std::sin(p)
+                        : amp * std::cos(p + bias(dims[j]));
+    out[j] = h < 0.0F ? std::int8_t{-1} : std::int8_t{1};
+  }
 }
 
 BipolarHV RbfEncoder::encode(std::span<const float> features) const {
@@ -175,14 +254,25 @@ std::vector<BipolarHV> RbfEncoder::encode_batch(
     for (std::size_t s = 0; s < count; ++s) {
       assert(features[begin + s].size() == input_dim_);
       xs[s] = features[begin + s].data();
-      outs[s] = proj.data() + s * dim_;
     }
-    kernels::active().gemm_f32(projection_.data(), dim_, input_dim_, xs.data(),
-                               outs.data(), count);
+    // Row-chunked over the provider: resident projections run one full GEMM
+    // (chunk == dim_), derived projections materialize a row block at a time
+    // into per-thread scratch. Per-(sample, row) accumulation is identical
+    // either way.
+    const std::size_t chunk = provider_->preferred_chunk();
+    for (std::size_t r0 = 0; r0 < dim_; r0 += chunk) {
+      const std::size_t rc = std::min(chunk, dim_ - r0);
+      const float* blk = provider_->block(r0, rc, scratch_rows_f32());
+      for (std::size_t s = 0; s < count; ++s) {
+        outs[s] = proj.data() + s * dim_ + r0;
+      }
+      kernels::active().gemm_f32(blk, rc, input_dim_, xs.data(), outs.data(),
+                                 count);
+    }
     for (std::size_t s = 0; s < count; ++s) {
       BipolarHV& hv = out[begin + s];
       hv.resize(dim_);
-      finish_bipolar(outs[s], hv.data());
+      finish_bipolar(proj.data() + s * dim_, hv.data());
     }
   });
   return out;
@@ -192,8 +282,8 @@ std::vector<BipolarHV> RbfEncoder::encode_batch(
 
 SparseRbfEncoder::SparseRbfEncoder(std::size_t input_dim, std::size_t dim,
                                    std::uint64_t seed, float sparsity,
-                                   float length_scale)
-    : input_dim_(input_dim), dim_(dim) {
+                                   float length_scale, ProjectionMode mode)
+    : input_dim_(input_dim), dim_(dim), mode_(mode) {
   if (input_dim == 0 || dim == 0) {
     throw std::invalid_argument("SparseRbfEncoder: dimensions must be positive");
   }
@@ -210,30 +300,102 @@ SparseRbfEncoder::SparseRbfEncoder(std::size_t input_dim, std::size_t dim,
     length_scale = 2.0F * std::sqrt(static_cast<float>(window_));
   }
 
-  Rng w_rng(derive_seed(seed, 0));
-  Rng b_rng(derive_seed(seed, 1));
-  Rng s_rng(derive_seed(seed, 2));
   const float scale = 1.0F / length_scale;
-  std::vector<float> row_major(dim_ * window_);
-  for (auto& w : row_major) w = w_rng.gaussian() * scale;
-  weights_ =
-      kernels::BlockedMatrixF32::from_row_major(row_major.data(), dim_, window_);
-  bias_.resize(dim_);
-  for (auto& b : bias_) b = b_rng.uniform(0.0F, kTwoPi);
-  start_.resize(dim_);
-  for (auto& s : start_) s = static_cast<std::uint32_t>(s_rng.index(input_dim_));
+  const std::uint64_t stream_base = derive_seed(seed, 3);
+  if (mode == ProjectionMode::kStored) {
+    Rng w_rng(derive_seed(seed, 0));
+    Rng b_rng(derive_seed(seed, 1));
+    Rng s_rng(derive_seed(seed, 2));
+    std::vector<float> row_major(dim_ * window_);
+    for (auto& w : row_major) w = w_rng.gaussian() * scale;
+    provider_ = std::make_unique<StoredProjection>(
+        kernels::BlockedMatrixF32::from_row_major(row_major.data(), dim_,
+                                                  window_),
+        stream_base, scale);
+    bias_.resize(dim_);
+    for (auto& b : bias_) b = b_rng.uniform(0.0F, kTwoPi);
+    start_.resize(dim_);
+    for (auto& s : start_) {
+      s = static_cast<std::uint32_t>(s_rng.index(input_dim_));
+    }
+  } else if (mode == ProjectionMode::kMaterialized) {
+    provider_ =
+        std::make_unique<StoredProjection>(dim_, window_, stream_base, scale);
+    bias_.resize(dim_);
+    start_.resize(dim_);
+    for (std::size_t i = 0; i < dim_; ++i) {
+      bias_[i] = provider_->derived_bias(i);
+      start_[i] = provider_->derived_start(i, input_dim_);
+    }
+  } else {
+    provider_ = std::make_unique<DeterministicProjection>(dim_, window_,
+                                                          stream_base, scale);
+  }
 }
 
 void SparseRbfEncoder::project_doubled(const float* xx, float* proj) const {
-  kernels::active().sparse_gemv_f32(weights_.data(), start_.data(), dim_,
-                                    window_, xx, proj);
+  const std::size_t chunk = provider_->preferred_chunk();
+  for (std::size_t r0 = 0; r0 < dim_; r0 += chunk) {
+    const std::size_t count = std::min(chunk, dim_ - r0);
+    const float* blk = provider_->block(r0, count, scratch_rows_f32());
+    const std::uint32_t* starts = nullptr;
+    if (!start_.empty()) {
+      starts = start_.data() + r0;
+    } else {
+      std::vector<std::uint32_t>& sbuf = scratch_u32(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        sbuf[i] = provider_->derived_start(r0 + i, input_dim_);
+      }
+      starts = sbuf.data();
+    }
+    kernels::active().sparse_gemv_f32(blk, starts, count, window_, xx,
+                                      proj + r0);
+  }
 }
 
 void SparseRbfEncoder::finish_bipolar(const float* proj,
                                       std::int8_t* out) const {
   for (std::size_t i = 0; i < dim_; ++i) {
-    const float h = std::cos(proj[i] + bias_[i]) * std::sin(proj[i]);
+    const float h = std::cos(proj[i] + bias(i)) * std::sin(proj[i]);
     out[i] = h < 0.0F ? std::int8_t{-1} : std::int8_t{1};
+  }
+}
+
+std::size_t SparseRbfEncoder::projection_resident_bytes() const noexcept {
+  return provider_->resident_bytes() + bias_.size() * sizeof(float) +
+         start_.size() * sizeof(std::uint32_t);
+}
+
+void SparseRbfEncoder::regenerate_dimensions(
+    std::span<const std::uint32_t> dims) {
+  provider_->regenerate(dims);
+  if (!bias_.empty()) {
+    for (const std::uint32_t d : dims) {
+      bias_[d] = provider_->derived_bias(d);
+      start_[d] = provider_->derived_start(d, input_dim_);
+    }
+  }
+}
+
+void SparseRbfEncoder::encode_dims(std::span<const float> features,
+                                   std::span<const std::uint32_t> dims,
+                                   std::span<std::int8_t> out) const {
+  assert(features.size() == input_dim_ && out.size() >= dims.size());
+  if (dims.empty()) return;
+  std::vector<float>& xx = scratch2_f32(2 * input_dim_);
+  std::copy(features.begin(), features.end(), xx.begin());
+  std::copy(features.begin(), features.end(),
+            xx.begin() + static_cast<std::ptrdiff_t>(input_dim_));
+  std::vector<float>& blk = scratch_rows_f32();
+  provider_->gather(dims, blk);
+  std::vector<std::uint32_t>& starts = scratch_u32(dims.size());
+  for (std::size_t j = 0; j < dims.size(); ++j) starts[j] = start(dims[j]);
+  std::vector<float>& proj = scratch_f32(dims.size());
+  kernels::active().sparse_gemv_f32(blk.data(), starts.data(), dims.size(),
+                                    window_, xx.data(), proj.data());
+  for (std::size_t j = 0; j < dims.size(); ++j) {
+    const float h = std::cos(proj[j] + bias(dims[j])) * std::sin(proj[j]);
+    out[j] = h < 0.0F ? std::int8_t{-1} : std::int8_t{1};
   }
 }
 
@@ -247,7 +409,7 @@ RealHV SparseRbfEncoder::encode_real(std::span<const float> features) const {
   project_doubled(xx.data(), out.data());
   for (std::size_t i = 0; i < dim_; ++i) {
     const float proj = out[i];
-    out[i] = std::cos(proj + bias_[i]) * std::sin(proj);
+    out[i] = std::cos(proj + bias(i)) * std::sin(proj);
   }
   return out;
 }
@@ -345,12 +507,15 @@ BipolarHV LinearLevelEncoder::encode(std::span<const float> features) const {
 // ---------------------------------------------------------------- factories
 
 std::unique_ptr<Encoder> make_encoder(EncoderKind kind, std::size_t input_dim,
-                                      std::size_t dim, std::uint64_t seed) {
+                                      std::size_t dim, std::uint64_t seed,
+                                      ProjectionMode mode) {
   switch (kind) {
     case EncoderKind::kRbfDense:
-      return std::make_unique<RbfEncoder>(input_dim, dim, seed);
+      return std::make_unique<RbfEncoder>(input_dim, dim, seed, 0.0F,
+                                          RbfForm::kCosSin, mode);
     case EncoderKind::kRbfSparse:
-      return std::make_unique<SparseRbfEncoder>(input_dim, dim, seed);
+      return std::make_unique<SparseRbfEncoder>(input_dim, dim, seed, 0.8F,
+                                                0.0F, mode);
     case EncoderKind::kLinearLevel:
       return std::make_unique<LinearLevelEncoder>(input_dim, dim, seed);
   }

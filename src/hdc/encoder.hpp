@@ -26,6 +26,7 @@
 
 #include "hypervector.hpp"
 #include "kernels/kernels.hpp"
+#include "projection.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace edgehd::hdc {
@@ -65,6 +66,31 @@ class Encoder {
   /// Serial fallback on the process-global pool.
   std::vector<BipolarHV> encode_batch(
       std::span<const std::vector<float>> features) const;
+
+  /// Resident bytes of random projection state (rows + biases + window
+  /// starts + generation counters); 0 when the encoder has none.
+  virtual std::size_t projection_resident_bytes() const noexcept { return 0; }
+
+  /// True when per-dimension regeneration is supported (the RFF encoders).
+  virtual bool supports_regeneration() const noexcept { return false; }
+
+  /// Generation counter of output dimension `d`; 0 = original derivation.
+  virtual std::uint16_t dimension_generation(
+      std::size_t /*d*/) const noexcept {
+    return 0;
+  }
+
+  /// Re-derives the projection rows of `dims` (ascending, in range) from
+  /// bumped per-dimension generation counters. Throws std::logic_error when
+  /// the encoder does not support regeneration.
+  virtual void regenerate_dimensions(std::span<const std::uint32_t> dims);
+
+  /// Partial encode: out[j] = encode(features)[dims[j]] for ascending `dims`.
+  /// The default encodes fully and gathers; the RFF encoders override it
+  /// with a gathered-row projection that costs O(k·n) per sample.
+  virtual void encode_dims(std::span<const float> features,
+                           std::span<const std::uint32_t> dims,
+                           std::span<std::int8_t> out) const;
 };
 
 /// Kernel form used by RbfEncoder.
@@ -89,8 +115,13 @@ class RbfEncoder final : public Encoder {
   ///                      sqrt(n), which keeps the projected variance of
   ///                      z-scored features at ~1 for any feature count.
   /// @param form        kernel form (see RbfForm)
+  /// @param mode        projection storage (see ProjectionMode). kStored
+  ///                    reproduces the historical draws bit-for-bit;
+  ///                    kDeterministic/kMaterialized share a counter-based
+  ///                    derivation and are bit-identical to each other.
   RbfEncoder(std::size_t input_dim, std::size_t dim, std::uint64_t seed,
-             float length_scale = 0.0F, RbfForm form = RbfForm::kCosSin);
+             float length_scale = 0.0F, RbfForm form = RbfForm::kCosSin,
+             ProjectionMode mode = ProjectionMode::kStored);
 
   std::size_t dim() const noexcept override { return dim_; }
   std::size_t input_dim() const noexcept override { return input_dim_; }
@@ -104,20 +135,37 @@ class RbfEncoder final : public Encoder {
       std::span<const std::vector<float>> features,
       runtime::ThreadPool& pool) const override;
 
+  std::size_t projection_resident_bytes() const noexcept override;
+  bool supports_regeneration() const noexcept override { return true; }
+  std::uint16_t dimension_generation(std::size_t d) const noexcept override {
+    return provider_->generation(d);
+  }
+  void regenerate_dimensions(std::span<const std::uint32_t> dims) override;
+  void encode_dims(std::span<const float> features,
+                   std::span<const std::uint32_t> dims,
+                   std::span<std::int8_t> out) const override;
+
+  ProjectionMode projection_mode() const noexcept { return mode_; }
+
  private:
   /// GEMV of the projection against `features` into `proj` (size dim_),
-  /// through the dispatched kernel table.
+  /// chunked over provider row blocks through the dispatched kernel table.
   void project(std::span<const float> features, float* proj) const;
   /// Applies the kernel form + sign to a projection row, writing bipolar
   /// components (the fused tail of encode()).
   void finish_bipolar(const float* proj, std::int8_t* out) const;
+  /// Bias of dimension `i`: resident for stored/materialized projections,
+  /// derived from the row's counter stream otherwise.
+  float bias(std::size_t i) const noexcept {
+    return bias_.empty() ? provider_->derived_bias(i) : bias_[i];
+  }
 
   std::size_t input_dim_;
   std::size_t dim_;
   RbfForm form_;
-  kernels::BlockedMatrixF32 projection_;  // D x n, pre-scaled by 1/w,
-                                          // 8-row-interleaved blocks
-  std::vector<float> bias_;               // D values in [0, 2pi)
+  ProjectionMode mode_;
+  std::unique_ptr<ProjectionProvider> provider_;  // D x n, pre-scaled by 1/w
+  std::vector<float> bias_;  // D values in [0, 2pi); empty = derived per use
 };
 
 /// Sparse RFF encoder mirroring the FPGA weight-vector storage: row i of the
@@ -129,7 +177,8 @@ class SparseRbfEncoder final : public Encoder {
   /// `length_scale` 0 (default) auto-selects sqrt(window), the scale that
   /// keeps projected variance ~1 for z-scored features.
   SparseRbfEncoder(std::size_t input_dim, std::size_t dim, std::uint64_t seed,
-                   float sparsity = 0.8F, float length_scale = 0.0F);
+                   float sparsity = 0.8F, float length_scale = 0.0F,
+                   ProjectionMode mode = ProjectionMode::kStored);
 
   std::size_t dim() const noexcept override { return dim_; }
   std::size_t input_dim() const noexcept override { return input_dim_; }
@@ -149,18 +198,38 @@ class SparseRbfEncoder final : public Encoder {
   /// the FPGA model uses this for DSP occupancy.
   std::size_t macs_per_dim() const noexcept { return window_; }
 
+  std::size_t projection_resident_bytes() const noexcept override;
+  bool supports_regeneration() const noexcept override { return true; }
+  std::uint16_t dimension_generation(std::size_t d) const noexcept override {
+    return provider_->generation(d);
+  }
+  void regenerate_dimensions(std::span<const std::uint32_t> dims) override;
+  void encode_dims(std::span<const float> features,
+                   std::span<const std::uint32_t> dims,
+                   std::span<std::int8_t> out) const override;
+
+  ProjectionMode projection_mode() const noexcept { return mode_; }
+
  private:
   /// Sparse GEMV into `proj` using `xx`, the features doubled ([x, x]) so
-  /// wrapped windows read contiguously.
+  /// wrapped windows read contiguously; chunked over provider row blocks.
   void project_doubled(const float* xx, float* proj) const;
   void finish_bipolar(const float* proj, std::int8_t* out) const;
+  float bias(std::size_t i) const noexcept {
+    return bias_.empty() ? provider_->derived_bias(i) : bias_[i];
+  }
+  std::uint32_t start(std::size_t i) const noexcept {
+    return start_.empty() ? provider_->derived_start(i, input_dim_)
+                          : start_[i];
+  }
 
   std::size_t input_dim_;
   std::size_t dim_;
   std::size_t window_;
-  kernels::BlockedMatrixF32 weights_;  // D x window, pre-scaled, blocked
-  std::vector<std::uint32_t> start_;   // start feature index per row
-  std::vector<float> bias_;
+  ProjectionMode mode_;
+  std::unique_ptr<ProjectionProvider> provider_;  // D x window, pre-scaled
+  std::vector<std::uint32_t> start_;  // start index per row; empty = derived
+  std::vector<float> bias_;           // empty = derived per use
 };
 
 /// ID–level encoding of prior HD classifiers [36] (the Figure 7 "baseline
@@ -194,7 +263,10 @@ class LinearLevelEncoder final : public Encoder {
 /// Factory helpers so callers can pick encoders by name (used by benches).
 enum class EncoderKind : std::uint8_t { kRbfDense, kRbfSparse, kLinearLevel };
 
+/// `mode` selects the projection storage for the RFF encoders; the linear
+/// level encoder has no projection matrix and ignores it.
 std::unique_ptr<Encoder> make_encoder(EncoderKind kind, std::size_t input_dim,
-                                      std::size_t dim, std::uint64_t seed);
+                                      std::size_t dim, std::uint64_t seed,
+                                      ProjectionMode mode = ProjectionMode::kStored);
 
 }  // namespace edgehd::hdc

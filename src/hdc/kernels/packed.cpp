@@ -92,6 +92,36 @@ std::int64_t planes_dot(const PackedQuery& q, const PackedPlanes& p) {
                              packed_words(q.dim), p.nplanes);
 }
 
+bool update_plane_columns(PackedPlanes& p, std::span<const std::uint32_t> dims,
+                          std::span<const std::int32_t> vals) {
+  assert(dims.size() == vals.size());
+  if (p.nplanes == 0 && !dims.empty()) return false;
+  for (std::size_t j = 0; j < dims.size(); ++j) {
+    assert(dims[j] < p.dim);
+    // v fits iff its bits above plane nplanes-1 are all copies of the sign
+    // bit, i.e. the arithmetic shift by nplanes-1 yields 0 or -1.
+    const auto v = static_cast<std::int64_t>(vals[j]);
+    const std::int64_t high = v >> (p.nplanes - 1);
+    if (high != 0 && high != -1) return false;
+  }
+  const std::size_t words = packed_words(p.dim);
+  for (std::size_t j = 0; j < dims.size(); ++j) {
+    const std::size_t i = dims[j];
+    const auto u =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(vals[j]));
+    const std::uint64_t bit = std::uint64_t{1} << (i % 64);
+    for (std::size_t b = 0; b < p.nplanes; ++b) {
+      std::uint64_t& w = p.planes[b * words + i / 64];
+      if ((u >> b) & 1U) {
+        w |= bit;
+      } else {
+        w &= ~bit;
+      }
+    }
+  }
+  return true;
+}
+
 void packed_to_bytes(const PackedHV& p, std::uint8_t* out) {
   const std::size_t bytes = (p.dim + 7) / 8;
   for (std::size_t k = 0; k < bytes; ++k) {

@@ -77,6 +77,15 @@ PackedPlanes build_planes(std::span<const std::int32_t> acc);
 /// sum_i q_i * acc_i as exact int64 (the classifier's similarity numerator).
 std::int64_t planes_dot(const PackedQuery& q, const PackedPlanes& p);
 
+/// In-place column update: sets component dims[j] of the packed accumulator
+/// to vals[j] without rebuilding the planes (a DimensionPatch touches k << D
+/// columns). All-or-nothing: returns false — leaving `p` untouched — when
+/// any value does not fit `p.nplanes`-bit two's complement, in which case
+/// the caller must rebuild via build_planes (the plane count can only be
+/// chosen from the full accumulator).
+bool update_plane_columns(PackedPlanes& p, std::span<const std::uint32_t> dims,
+                          std::span<const std::int32_t> vals);
+
 /// Serializes packed words to the wire byte layout (little-endian words,
 /// identical bytes to wire.cpp's pack_bipolar). `out` must hold
 /// (dim + 7) / 8 bytes.

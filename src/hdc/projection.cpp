@@ -1,0 +1,165 @@
+#include "projection.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+namespace edgehd::hdc {
+
+namespace {
+
+constexpr std::size_t kLane = kernels::BlockedMatrixF32::kLane;
+
+/// u64 -> double in [0, 1) with 53 significant bits.
+constexpr double unit_double(std::uint64_t u) noexcept {
+  return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* to_string(ProjectionMode mode) noexcept {
+  switch (mode) {
+    case ProjectionMode::kStored:
+      return "stored";
+    case ProjectionMode::kDeterministic:
+      return "deterministic";
+    case ProjectionMode::kMaterialized:
+      return "materialized";
+  }
+  return "unknown";
+}
+
+float stream_gaussian(std::uint64_t stream_seed, std::uint64_t index) noexcept {
+  // Box–Muller in double, rounded to float once; u1 shifted into (0, 1] so
+  // the log is always finite.
+  const double u1 = unit_double(stream_u64(stream_seed, 2 * index)) +
+                    0x1.0p-53;
+  const double u2 = unit_double(stream_u64(stream_seed, 2 * index + 1));
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return static_cast<float>(r * std::cos(2.0 * std::numbers::pi * u2));
+}
+
+float stream_uniform_two_pi(std::uint64_t stream_seed,
+                            std::uint64_t pos) noexcept {
+  return static_cast<float>(2.0 * std::numbers::pi *
+                            unit_double(stream_u64(stream_seed, pos)));
+}
+
+// ------------------------------------------------------- ProjectionProvider
+
+ProjectionProvider::ProjectionProvider(std::size_t rows, std::size_t cols,
+                                       std::uint64_t stream_base, float scale)
+    : rows_(rows), cols_(cols), stream_base_(stream_base), scale_(scale) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument(
+        "ProjectionProvider: dimensions must be positive");
+  }
+}
+
+void ProjectionProvider::derive_row(std::size_t row, float* dst) const noexcept {
+  const std::uint64_t s = row_stream(row);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    dst[j] = stream_gaussian(s, j) * scale_;
+  }
+}
+
+void ProjectionProvider::bump_generations(std::span<const std::uint32_t> rows) {
+  for (const std::uint32_t r : rows) {
+    if (r >= rows_) {
+      throw std::invalid_argument(
+          "ProjectionProvider: regenerate row out of range: " +
+          std::to_string(r));
+    }
+  }
+  if (gens_.empty()) gens_.assign(rows_, 0);
+  for (const std::uint32_t r : rows) ++gens_[r];
+}
+
+void ProjectionProvider::regenerate(std::span<const std::uint32_t> rows) {
+  bump_generations(rows);
+}
+
+void ProjectionProvider::gather(std::span<const std::uint32_t> rows,
+                                std::vector<float>& out) const {
+  const std::size_t k = rows.size();
+  const std::size_t blocks = (k + kLane - 1) / kLane;
+  out.assign(blocks * cols_ * kLane, 0.0F);
+  std::vector<float> tmp(cols_);
+  for (std::size_t i = 0; i < k; ++i) {
+    copy_row(rows[i], tmp.data());
+    float* base = out.data() + (i / kLane) * cols_ * kLane + (i % kLane);
+    for (std::size_t c = 0; c < cols_; ++c) base[c * kLane] = tmp[c];
+  }
+}
+
+// --------------------------------------------------------- StoredProjection
+
+StoredProjection::StoredProjection(kernels::BlockedMatrixF32 matrix,
+                                   std::uint64_t stream_base, float scale)
+    : ProjectionProvider(matrix.rows(), matrix.cols(), stream_base, scale),
+      matrix_(std::move(matrix)) {}
+
+StoredProjection::StoredProjection(std::size_t rows, std::size_t cols,
+                                   std::uint64_t stream_base, float scale)
+    : ProjectionProvider(rows, cols, stream_base, scale),
+      matrix_(rows, cols) {
+  std::vector<float> tmp(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    derive_row(r, tmp.data());
+    for (std::size_t c = 0; c < cols; ++c) matrix_.at(r, c) = tmp[c];
+  }
+}
+
+std::size_t StoredProjection::resident_bytes() const noexcept {
+  const std::size_t padded = (rows() + kLane - 1) / kLane * kLane;
+  return padded * cols() * sizeof(float) + generation_bytes();
+}
+
+void StoredProjection::regenerate(std::span<const std::uint32_t> rows) {
+  bump_generations(rows);
+  std::vector<float> tmp(cols());
+  for (const std::uint32_t r : rows) {
+    derive_row(r, tmp.data());
+    for (std::size_t c = 0; c < cols(); ++c) matrix_.at(r, c) = tmp[c];
+  }
+}
+
+void StoredProjection::copy_row(std::size_t row, float* dst) const {
+  for (std::size_t c = 0; c < cols(); ++c) dst[c] = matrix_.at(row, c);
+}
+
+// -------------------------------------------------- DeterministicProjection
+
+DeterministicProjection::DeterministicProjection(std::size_t rows,
+                                                 std::size_t cols,
+                                                 std::uint64_t stream_base,
+                                                 float scale)
+    : ProjectionProvider(rows, cols, stream_base, scale) {}
+
+const float* DeterministicProjection::block(std::size_t first,
+                                            std::size_t count,
+                                            std::vector<float>& scratch) const {
+  const std::size_t blocks = (count + kLane - 1) / kLane;
+  scratch.assign(blocks * cols() * kLane, 0.0F);
+  std::vector<float> tmp(cols());
+  for (std::size_t i = 0; i < count; ++i) {
+    derive_row(first + i, tmp.data());
+    float* base = scratch.data() + (i / kLane) * cols() * kLane + (i % kLane);
+    for (std::size_t c = 0; c < cols(); ++c) base[c * kLane] = tmp[c];
+  }
+  return scratch.data();
+}
+
+std::size_t DeterministicProjection::preferred_chunk() const noexcept {
+  // 256 rows x cols floats of scratch per chunk: small enough to stay in L2
+  // for any realistic feature count, large enough to amortize the GEMV call.
+  constexpr std::size_t kChunk = 256;
+  return rows() < kChunk ? ((rows() + kLane - 1) / kLane) * kLane : kChunk;
+}
+
+std::size_t DeterministicProjection::resident_bytes() const noexcept {
+  return generation_bytes();
+}
+
+}  // namespace edgehd::hdc

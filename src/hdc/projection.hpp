@@ -1,0 +1,201 @@
+// Projection providers: where the RFF encoders' random rows live.
+//
+// The paper's encoders draw a D x n Gaussian projection matrix B once and
+// keep it resident — O(n·D) floats per leaf, the single largest per-node
+// memory cost in the system. XL-HD-style deterministic projections remove
+// that cost: every row is a pure function of (seed, row, generation), so it
+// can be re-derived on demand instead of stored. DistHD-style dimension
+// regeneration then becomes a counter bump: re-deriving row i at generation
+// g+1 replaces an undiscriminating dimension with a fresh one, reproducibly
+// on every node that knows (seed, i, g+1).
+//
+// Three providers cover the trade-off space:
+//   * StoredProjection       — resident blocked matrix. Wraps the legacy
+//                              sequential mt19937 draws (bit-compat with
+//                              every golden pin) or a fully counter-derived
+//                              matrix (the "materialized twin" used to audit
+//                              the deterministic path).
+//   * DeterministicProjection— ~zero resident bytes; rows are materialized
+//                              per chunk into caller-provided scratch, in the
+//                              same 8-row-interleaved blocked layout the
+//                              GEMV/GEMM kernels consume. A blocked sub-range
+//                              starting at an 8-aligned row is layout- and
+//                              accumulation-order-identical to the same rows
+//                              of a resident matrix, so chunked encoding is
+//                              bit-identical to the materialized twin.
+//
+// Row values come from a counter-based SplitMix64 stream (random access, no
+// sequential state): position p of row r at generation g is
+// splitmix64(derive_seed(derive_seed(base, r), g) + (p+1)·golden). Gaussians
+// use two u64 positions via Box–Muller, the bias draw sits at position
+// 2·cols, and the sparse window start at 2·cols + 1, so regenerating a row
+// refreshes its weights, bias and window together.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "random.hpp"
+
+namespace edgehd::hdc {
+
+/// How an RFF encoder holds its projection rows.
+enum class ProjectionMode : std::uint8_t {
+  /// Legacy sequential draws, resident matrix (the golden-pinned default).
+  kStored,
+  /// Counter-derived rows materialized per chunk; ~zero resident bytes.
+  kDeterministic,
+  /// Counter-derived rows kept resident — the bit-compat twin of
+  /// kDeterministic, used by the determinism audits.
+  kMaterialized,
+};
+
+const char* to_string(ProjectionMode mode) noexcept;
+
+/// Value at position `pos` of the counter stream keyed by `stream_seed`.
+constexpr std::uint64_t stream_u64(std::uint64_t stream_seed,
+                                   std::uint64_t pos) noexcept {
+  std::uint64_t s = stream_seed + pos * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(s);
+}
+
+/// Standard normal value at gaussian index `index` (consumes u64 positions
+/// 2·index and 2·index + 1) via Box–Muller.
+float stream_gaussian(std::uint64_t stream_seed, std::uint64_t index) noexcept;
+
+/// Uniform [0, 2pi) value at u64 position `pos`.
+float stream_uniform_two_pi(std::uint64_t stream_seed,
+                            std::uint64_t pos) noexcept;
+
+/// Source of projection rows for the RFF encoders. Owns the per-row
+/// generation counters; derivation parameters (stream base seed, 1/length
+/// scale) live here so stored and derived providers regenerate identically.
+class ProjectionProvider {
+ public:
+  ProjectionProvider(std::size_t rows, std::size_t cols,
+                     std::uint64_t stream_base, float scale);
+  virtual ~ProjectionProvider() = default;
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  /// Generation counter of `row`; 0 until the row is first regenerated.
+  std::uint16_t generation(std::size_t row) const noexcept {
+    return gens_.empty() ? std::uint16_t{0} : gens_[row];
+  }
+
+  /// Bias draw of `row` at its current generation, in [0, 2pi).
+  float derived_bias(std::size_t row) const noexcept {
+    return stream_uniform_two_pi(row_stream(row), 2 * cols_);
+  }
+
+  /// Sparse window start of `row` at its current generation, in
+  /// [0, input_dim).
+  std::uint32_t derived_start(std::size_t row,
+                              std::size_t input_dim) const noexcept {
+    return static_cast<std::uint32_t>(
+        stream_u64(row_stream(row), 2 * cols_ + 1) % input_dim);
+  }
+
+  /// Pointer to blocked data for rows [first, first + count); `first` must be
+  /// a multiple of 8. Resident providers return an interior pointer and leave
+  /// `scratch` alone; derived providers materialize into `scratch` (resized
+  /// on demand) and return scratch.data().
+  virtual const float* block(std::size_t first, std::size_t count,
+                             std::vector<float>& scratch) const = 0;
+
+  /// Row-chunk size encoders should drive GEMV/GEMM with (rows() when the
+  /// matrix is resident; a cache-friendly multiple of 8 otherwise).
+  virtual std::size_t preferred_chunk() const noexcept = 0;
+
+  /// Bytes held resident by this provider (matrix + generation counters).
+  virtual std::size_t resident_bytes() const noexcept = 0;
+
+  /// Bumps the generation counter of each listed row (ascending, in range)
+  /// and — for resident providers — overwrites the row with its re-derived
+  /// replacement.
+  virtual void regenerate(std::span<const std::uint32_t> rows);
+
+  /// Gathered blocked matrix of arbitrary `rows` into `out` (rows.size()
+  /// rows padded to a multiple of 8, zero-filled padding), for partial
+  /// encodes over a dimension subset.
+  void gather(std::span<const std::uint32_t> rows,
+              std::vector<float>& out) const;
+
+ protected:
+  /// Row-major values of `row` (cols floats) into dst.
+  virtual void copy_row(std::size_t row, float* dst) const = 0;
+
+  /// Counter-derivation of `row` at its current generation into dst.
+  void derive_row(std::size_t row, float* dst) const noexcept;
+
+  std::uint64_t row_stream(std::size_t row) const noexcept {
+    return derive_seed(derive_seed(stream_base_, row), generation(row));
+  }
+
+  /// Validates + bumps the generation counters (allocated on first use).
+  void bump_generations(std::span<const std::uint32_t> rows);
+
+  /// Resident bytes of the lazily allocated generation counters.
+  std::size_t generation_bytes() const noexcept {
+    return gens_.size() * sizeof(std::uint16_t);
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::uint64_t stream_base_;
+  float scale_;
+  std::vector<std::uint16_t> gens_;  ///< lazily sized on first regenerate
+};
+
+/// Resident rows: holds the full blocked matrix. Initial content is either
+/// externally drawn (the legacy encoder draws) or counter-derived (the
+/// materialized twin); regeneration overwrites rows in place.
+class StoredProjection final : public ProjectionProvider {
+ public:
+  /// Wraps an externally drawn matrix (legacy sequential draw order).
+  StoredProjection(kernels::BlockedMatrixF32 matrix, std::uint64_t stream_base,
+                   float scale);
+
+  /// Derives every row from its counter stream (the materialized twin).
+  StoredProjection(std::size_t rows, std::size_t cols,
+                   std::uint64_t stream_base, float scale);
+
+  const float* block(std::size_t first, std::size_t /*count*/,
+                     std::vector<float>& /*scratch*/) const override {
+    return matrix_.data() + (first / kernels::BlockedMatrixF32::kLane) *
+                                cols() * kernels::BlockedMatrixF32::kLane;
+  }
+  std::size_t preferred_chunk() const noexcept override { return rows(); }
+  std::size_t resident_bytes() const noexcept override;
+  void regenerate(std::span<const std::uint32_t> rows) override;
+
+ protected:
+  void copy_row(std::size_t row, float* dst) const override;
+
+ private:
+  kernels::BlockedMatrixF32 matrix_;
+};
+
+/// Zero-resident rows: every access derives the row from its counter stream.
+class DeterministicProjection final : public ProjectionProvider {
+ public:
+  DeterministicProjection(std::size_t rows, std::size_t cols,
+                          std::uint64_t stream_base, float scale);
+
+  const float* block(std::size_t first, std::size_t count,
+                     std::vector<float>& scratch) const override;
+  std::size_t preferred_chunk() const noexcept override;
+  std::size_t resident_bytes() const noexcept override;
+
+ protected:
+  void copy_row(std::size_t row, float* dst) const override {
+    derive_row(row, dst);
+  }
+};
+
+}  // namespace edgehd::hdc

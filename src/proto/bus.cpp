@@ -21,12 +21,12 @@ struct TypeObs {
 /// Interned once per process; indexed by the raw MsgType byte. All counts
 /// are stable: protocol traffic is a deterministic function of (config,
 /// seed, health), independent of scheduling.
-const std::array<TypeObs, 12>& type_obs() {
-  static const std::array<TypeObs, 12> table = [] {
-    std::array<TypeObs, 12> t;
+const std::array<TypeObs, 13>& type_obs() {
+  static const std::array<TypeObs, 13> table = [] {
+    std::array<TypeObs, 13> t;
     if constexpr (obs::kEnabled) {
       auto& reg = obs::MetricsRegistry::global();
-      for (std::uint8_t b = 1; b <= 11; ++b) {
+      for (std::uint8_t b = 1; b <= 12; ++b) {
         const std::string prefix =
             std::string("proto.") + to_string(static_cast<MsgType>(b)) + ".";
         t[b].messages = reg.counter(prefix + "messages");

@@ -169,11 +169,23 @@ void write_payload(ByteWriter& w, const Message& msg) {
             w.u32(static_cast<std::uint32_t>(s.size()));
           }
           write_sections(w, m.sections);
-        } else {
+        } else if constexpr (std::is_same_v<T, CollectivePlan>) {
           w.u8(m.phase);
           w.u8(m.algorithm);
           w.u32(m.chunk_lanes);
           w.u64(m.plan_id);
+        } else {
+          // DimensionPatch. Canonical form (enforced on decode): dims
+          // strictly ascending; generations empty for the request form and
+          // dims-sized for the patch form; one column per class, each
+          // dims-sized.
+          w.u32(m.round);
+          w.u32(static_cast<std::uint32_t>(m.dims.size()));
+          w.u32(static_cast<std::uint32_t>(m.generations.size()));
+          w.u32(static_cast<std::uint32_t>(m.columns.size()));
+          for (const std::uint32_t d : m.dims) w.u32(d);
+          for (const std::uint16_t g : m.generations) w.u16(g);
+          for (const auto& col : m.columns) write_accum(w, col);
         }
       },
       msg);
@@ -280,6 +292,39 @@ bool read_payload(ByteReader& r, MsgType type, Message& out) {
       out = m;
       return true;
     }
+    case MsgType::kDimensionPatch: {
+      DimensionPatch m;
+      std::uint32_t ndims = 0;
+      std::uint32_t ngens = 0;
+      std::uint32_t ncols = 0;
+      if (!r.u32(m.round) || !r.u32(ndims) || !r.u32(ngens) || !r.u32(ncols)) {
+        return false;
+      }
+      if (ndims > kMaxWireDim || ncols > kMaxWireDim) return false;
+      // Canonical: a request carries no generations/columns, a patch carries
+      // one generation per dim and one dims-sized column per class.
+      if (ngens != (ncols != 0 ? ndims : 0)) return false;
+      if (ncols != 0 &&
+          static_cast<std::uint64_t>(ncols) * ndims > kMaxWireDim) {
+        return false;
+      }
+      m.dims.resize(ndims);
+      for (std::uint32_t i = 0; i < ndims; ++i) {
+        if (!r.u32(m.dims[i])) return false;
+        if (i > 0 && m.dims[i] <= m.dims[i - 1]) return false;  // ascending
+      }
+      m.generations.resize(ngens);
+      for (std::uint32_t i = 0; i < ngens; ++i) {
+        if (!r.u16(m.generations[i])) return false;
+      }
+      m.columns.resize(ncols);
+      for (std::uint32_t c = 0; c < ncols; ++c) {
+        if (!read_accum(r, m.columns[c])) return false;
+        if (m.columns[c].size() != ndims) return false;
+      }
+      out = std::move(m);
+      return true;
+    }
   }
   return false;
 }
@@ -342,7 +387,7 @@ DecodeResult decode(std::span<const std::uint8_t> buf) {
   if (m0 != kMagic0 || m1 != kMagic1) return reject(DecodeError::kBadMagic);
   if (version != kProtoVersion) return reject(DecodeError::kBadVersion);
   if (type_byte < static_cast<std::uint8_t>(MsgType::kModelUpdate) ||
-      type_byte > static_cast<std::uint8_t>(MsgType::kCollectivePlan)) {
+      type_byte > static_cast<std::uint8_t>(MsgType::kDimensionPatch)) {
     return reject(DecodeError::kBadType);
   }
   if (payload_len > r.remaining()) {

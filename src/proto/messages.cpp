@@ -30,6 +30,8 @@ const char* to_string(MsgType type) noexcept {
       return "reduce_partial";
     case MsgType::kCollectivePlan:
       return "collective_plan";
+    case MsgType::kDimensionPatch:
+      return "dimension_patch";
   }
   return "unknown";
 }
@@ -58,8 +60,10 @@ MsgType type_of(const Message& msg) noexcept {
           return MsgType::kStateSync;
         } else if constexpr (std::is_same_v<T, ReducePartial>) {
           return MsgType::kReducePartial;
-        } else {
+        } else if constexpr (std::is_same_v<T, CollectivePlan>) {
           return MsgType::kCollectivePlan;
+        } else {
+          return MsgType::kDimensionPatch;
         }
       },
       msg);
@@ -107,9 +111,16 @@ std::uint64_t wire_size(const Message& msg) noexcept {
           // and dims are framing, matching how write_accum's dim/width
           // prefix is excluded from the per-accumulator accounting.
           return sections_wire_size(m.sections);
-        } else {
-          // CollectivePlan: phase + algorithm + chunk override + plan tag.
+        } else if constexpr (std::is_same_v<T, CollectivePlan>) {
+          // phase + algorithm + chunk override + plan tag.
           return 1 + 1 + 4 + 8;
+        } else {
+          // DimensionPatch: dimension indices + generation counters + the
+          // k-column accumulator slices (round is framing). A request form
+          // is just the index list.
+          std::uint64_t bytes = 4 * m.dims.size() + 2 * m.generations.size();
+          for (const auto& col : m.columns) bytes += accum_wire_size(col);
+          return bytes;
         }
       },
       msg);

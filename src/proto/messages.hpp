@@ -56,6 +56,7 @@ enum class MsgType : std::uint8_t {
   kStateSync = 9,
   kReducePartial = 10,
   kCollectivePlan = 11,
+  kDimensionPatch = 12,
 };
 
 /// Human-readable message-type name ("model_update", ...); also the label
@@ -195,10 +196,36 @@ struct CollectivePlan {
                          const CollectivePlan&) = default;
 };
 
+/// A regenerated-dimension slice moving through the hierarchy (adaptive
+/// dimensionality, DESIGN.md §14). Two forms share the type:
+///
+///   * request (columns empty, generations empty) — parent -> child: "your
+///     dimensions `dims` were scored undiscriminating; regenerate them".
+///   * patch (one column per class, generations per dim) — child -> parent:
+///     the per-class accumulator deltas of exactly the regenerated
+///     dimensions, plus the generation counter each projection row was
+///     re-derived at. Ancestors apply the k-column delta in place instead of
+///     receiving full D-dimensional ModelUpdates.
+///
+/// `dims` is strictly ascending (canonical form, enforced on decode); each
+/// column has dims.size() entries, columns[c] belonging to class c.
+struct DimensionPatch {
+  std::uint32_t round = 0;
+  std::vector<std::uint32_t> dims;
+  std::vector<std::uint16_t> generations;
+  std::vector<hdc::AccumHV> columns;
+
+  /// True for the parent -> child request form.
+  bool is_request() const noexcept { return columns.empty(); }
+
+  friend bool operator==(const DimensionPatch&,
+                         const DimensionPatch&) = default;
+};
+
 using Message = std::variant<ModelUpdate, BatchUpdate, ResidualMerge,
                              QueryEscalate, QueryReply, HealthProbe, NodeJoin,
                              NodeLeave, StateSync, ReducePartial,
-                             CollectivePlan>;
+                             CollectivePlan, DimensionPatch>;
 
 MsgType type_of(const Message& msg) noexcept;
 

@@ -206,6 +206,40 @@ void NodeRuntime::on_envelope(const Envelope& env) {
         } else if constexpr (std::is_same_v<T, CollectivePlan>) {
           last_plan_ = m;
           ++plans_received_;
+        } else if constexpr (std::is_same_v<T, DimensionPatch>) {
+          require_phase(Phase::kDimensionRegen, "DimensionPatch");
+          if (m.is_request()) {
+            // Parent -> child assignment. Checked before child_index: a
+            // request legitimately arrives from the parent link.
+            if (env.src != topology_->parent(id_)) {
+              throw std::logic_error(
+                  "NodeRuntime: DimensionPatch request from a non-parent "
+                  "node " +
+                  std::to_string(env.src));
+            }
+            for (std::uint32_t d : m.dims) {
+              if (d >= dim_) {
+                throw std::logic_error(
+                    "NodeRuntime: DimensionPatch request dim out of range");
+              }
+            }
+            regen_request_ = m.dims;
+            regen_round_ = m.round;
+          } else {
+            const std::size_t ci = child_index(env.src);
+            if (m.columns.size() != num_classes_) {
+              throw std::logic_error(
+                  "NodeRuntime: DimensionPatch column count != num_classes");
+            }
+            const std::size_t cd = child_dim(ci);
+            for (std::uint32_t d : m.dims) {
+              if (d >= cd) {
+                throw std::logic_error(
+                    "NodeRuntime: DimensionPatch dim out of child range");
+              }
+            }
+            patch_inbox_[ci] = m;
+          }
         } else {
           // QueryEscalate / QueryReply: query walks are handled reentrantly
           // by routing.hpp; a copy arriving over a transport bus is only
@@ -427,6 +461,181 @@ std::vector<AccumHV> NodeRuntime::finish_reintegration(net::NodeId child) {
   inbox_.clear();
   phase_ = Phase::kIdle;
   return delta;
+}
+
+// ---- adaptive dimensionality ------------------------------------------------
+
+void NodeRuntime::begin_dimension_regen(std::uint32_t round) {
+  phase_ = Phase::kDimensionRegen;
+  regen_round_ = round;
+  regen_request_.clear();
+  patch_inbox_.assign(
+      role_ == Role::kLeaf ? 0 : topology_->children(id_).size(),
+      DimensionPatch{});
+}
+
+void NodeRuntime::set_regen_request(std::vector<std::uint32_t> dims) {
+  require_phase(Phase::kDimensionRegen, "set_regen_request");
+  for (std::uint32_t d : dims) {
+    if (d >= dim_) {
+      throw std::logic_error("NodeRuntime: regen request dim out of range");
+    }
+  }
+  regen_request_ = std::move(dims);
+}
+
+DimensionPatch NodeRuntime::finish_dimension_regen_leaf(
+    std::span<const float> raw_features,
+    std::span<const hdc::BipolarHV> encoded,
+    std::span<const std::size_t> labels) {
+  require_phase(Phase::kDimensionRegen, "finish_dimension_regen_leaf");
+  if (role_ != Role::kLeaf) {
+    throw std::logic_error(
+        "NodeRuntime: finish_dimension_regen_leaf on an internal node");
+  }
+  DimensionPatch out;
+  out.round = regen_round_;
+  if (regen_request_.empty()) {
+    phase_ = Phase::kIdle;
+    return out;
+  }
+  hdc::Encoder& enc = *leaf_encoder_;
+  const std::size_t k = regen_request_.size();
+  const std::size_t in = enc.input_dim();
+  if (!encoded.empty() && raw_features.size() != encoded.size() * in) {
+    throw std::invalid_argument(
+        "NodeRuntime: raw feature slice does not match encoded samples");
+  }
+
+  enc.regenerate_dimensions(regen_request_);
+  out.dims = regen_request_;
+
+  // Per-class delta of exactly the regenerated dimensions: the new partial
+  // encoding minus the old components, summed over this leaf's samples.
+  out.columns.assign(num_classes_, AccumHV(k, 0));
+  std::vector<std::int8_t> fresh(k);
+  for (std::size_t s = 0; s < encoded.size(); ++s) {
+    enc.encode_dims(raw_features.subspan(s * in, in), out.dims, fresh);
+    AccumHV& col = out.columns[labels[s]];
+    for (std::size_t j = 0; j < k; ++j) {
+      col[j] += fresh[j] - encoded[s][out.dims[j]];
+    }
+  }
+  out.generations.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    out.generations[j] = enc.dimension_generation(out.dims[j]);
+  }
+
+  if (!own_accums_.empty()) {
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      for (std::size_t j = 0; j < k; ++j) {
+        own_accums_[c][out.dims[j]] += out.columns[c][j];
+      }
+    }
+  }
+  if (classifier_ != nullptr) {
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      classifier_->add_to_dimensions(c, out.dims, out.columns[c]);
+    }
+  }
+  regen_request_.clear();
+  phase_ = Phase::kIdle;
+  return out;
+}
+
+DimensionPatch NodeRuntime::finish_dimension_regen_internal() {
+  require_phase(Phase::kDimensionRegen, "finish_dimension_regen_internal");
+  if (role_ == Role::kLeaf) {
+    throw std::logic_error(
+        "NodeRuntime: finish_dimension_regen_internal on a leaf");
+  }
+  DimensionPatch out;
+  out.round = regen_round_;
+  const auto& kids = topology_->children(id_);
+  const auto& cdims = aggregator().child_dims();
+  std::vector<std::size_t> offs(kids.size() + 1, 0);
+  for (std::size_t ci = 0; ci < kids.size(); ++ci) {
+    offs[ci + 1] = offs[ci] + cdims[ci];
+  }
+  bool any = false;
+  for (const auto& p : patch_inbox_) {
+    if (!p.dims.empty()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) {
+    patch_inbox_.clear();
+    regen_request_.clear();
+    phase_ = Phase::kIdle;
+    return out;
+  }
+
+  // Lift each class's sparse child deltas through the aggregator: the child
+  // columns scatter into the concatenated input (zeros where a child did not
+  // patch), and the projection — linear — maps the delta exactly as it would
+  // have mapped the full re-contribution.
+  std::vector<AccumHV> lifted(num_classes_);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    AccumHV concat(aggregator().in_dim(), 0);
+    for (std::size_t ci = 0; ci < kids.size(); ++ci) {
+      const DimensionPatch& p = patch_inbox_[ci];
+      for (std::size_t j = 0; j < p.dims.size(); ++j) {
+        concat[offs[ci] + p.dims[j]] = p.columns[c][j];
+      }
+    }
+    lifted[c] = aggregator().project(concat);
+  }
+
+  if (aggregator().mode() == hier::AggregationMode::kConcatenation) {
+    // Child dims map 1:1 into this node's space (children in order, each
+    // patch ascending), so the merged dims stay ascending and generation
+    // counters ride along.
+    for (std::size_t ci = 0; ci < kids.size(); ++ci) {
+      const DimensionPatch& p = patch_inbox_[ci];
+      for (std::size_t j = 0; j < p.dims.size(); ++j) {
+        out.dims.push_back(static_cast<std::uint32_t>(offs[ci]) + p.dims[j]);
+        out.generations.push_back(
+            j < p.generations.size() ? p.generations[j] : 0);
+      }
+    }
+  } else {
+    // Holographic: each output dimension mixes many inputs; keep the dims
+    // whose lifted delta is non-zero in any class and zero the generations
+    // (no single source row's counter applies to a mixed dimension).
+    for (std::size_t d = 0; d < dim_; ++d) {
+      bool nz = false;
+      for (std::size_t c = 0; c < num_classes_ && !nz; ++c) {
+        nz = lifted[c][d] != 0;
+      }
+      if (nz) out.dims.push_back(static_cast<std::uint32_t>(d));
+    }
+    out.generations.assign(out.dims.size(), 0);
+  }
+
+  out.columns.assign(num_classes_, AccumHV(out.dims.size(), 0));
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    for (std::size_t j = 0; j < out.dims.size(); ++j) {
+      out.columns[c][j] = lifted[c][out.dims[j]];
+    }
+  }
+
+  if (!own_accums_.empty()) {
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      for (std::size_t j = 0; j < out.dims.size(); ++j) {
+        own_accums_[c][out.dims[j]] += out.columns[c][j];
+      }
+    }
+  }
+  if (classifier_ != nullptr) {
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      classifier_->add_to_dimensions(c, out.dims, out.columns[c]);
+    }
+  }
+  patch_inbox_.clear();
+  regen_request_.clear();
+  phase_ = Phase::kIdle;
+  return out;
 }
 
 }  // namespace edgehd::proto

@@ -60,6 +60,7 @@ class NodeRuntime {
     kBatchRetraining,
     kResidualPropagation,
     kReintegration,
+    kDimensionRegen,
   };
 
   NodeRuntime() = default;
@@ -190,6 +191,40 @@ class NodeRuntime {
   /// encoding.
   std::vector<hdc::AccumHV> finish_reintegration(net::NodeId child);
 
+  // ---- adaptive dimensionality (DESIGN.md §14) -----------------------------
+
+  void begin_dimension_regen(std::uint32_t round);
+
+  /// Installs the set of own-space dimensions this node must regenerate
+  /// (ascending). Used by the session for the scoring root (concatenation
+  /// mode) and for self-scoring leaves (holographic mode); every other node
+  /// receives its assignment as a DimensionPatch request via on_envelope.
+  void set_regen_request(std::vector<std::uint32_t> dims);
+  const std::vector<std::uint32_t>& regen_request() const noexcept {
+    return regen_request_;
+  }
+
+  /// Leaf only. Re-derives the requested projection rows, re-encodes exactly
+  /// those dimensions of every training sample (`raw_features` is the leaf's
+  /// feature partition, sample-major; `encoded` the pre-regeneration
+  /// encodings), folds the per-class delta into its own accumulators and
+  /// hosted classifier, and returns the patch to ship upward (empty dims
+  /// when nothing was requested).
+  DimensionPatch finish_dimension_regen_leaf(
+      std::span<const float> raw_features,
+      std::span<const hdc::BipolarHV> encoded,
+      std::span<const std::size_t> labels);
+
+  /// Internal node. Lifts the delivered child patches through the
+  /// aggregator (zeros everywhere a child did not patch), applies the lifted
+  /// per-class delta in place to its own accumulators and hosted classifier,
+  /// and returns the merged patch for the next hop up. In concatenation mode
+  /// child dimensions map 1:1 into this node's space so generation counters
+  /// are carried; in holographic mode the delta densifies and generations
+  /// reset to 0 (the projection mixes rows, so no single source generation
+  /// applies).
+  DimensionPatch finish_dimension_regen_internal();
+
  private:
   std::size_t child_index(net::NodeId child) const;
   std::size_t child_dim(std::size_t child_idx) const;
@@ -217,6 +252,12 @@ class NodeRuntime {
   std::vector<std::vector<std::vector<hdc::AccumHV>>> batch_inbox_;
   const ClassBatches* batches_ = nullptr;  ///< session-owned, retraining only
   bool residual_any_child_ = false;        ///< any ResidualMerge delivered?
+  /// Dimension-regeneration workspace: the dims assigned to this node, the
+  /// session round tag, and one delivered patch slot per child (empty dims
+  /// marks an absent contribution).
+  std::vector<std::uint32_t> regen_request_;
+  std::uint32_t regen_round_ = 0;
+  std::vector<DimensionPatch> patch_inbox_;
   std::vector<hdc::AccumHV> own_accums_;   ///< finish_initial_training result
   std::vector<std::vector<hdc::AccumHV>> own_batches_;  ///< [class][batch]
 

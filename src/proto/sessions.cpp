@@ -431,6 +431,98 @@ CommStats run_rejoin(const SessionContext& ctx, const TrainData& data,
   return comm;
 }
 
+CommStats run_dimension_regeneration(const SessionContext& ctx,
+                                     const TrainData& data, std::size_t k,
+                                     std::uint32_t round) {
+  CommStats comm;
+  const ChargeScope charge(*ctx.bus, comm);
+  if (k == 0) return comm;
+  if (data.raw == nullptr) {
+    throw std::invalid_argument(
+        "run_dimension_regeneration: TrainData.raw is required");
+  }
+  const NodeId root = ctx.topology->root();
+  const auto order = ctx.bottom_up_order();
+  for (NodeId id : order) {
+    if (ctx.origin_up(id)) ctx.nodes[id].begin_dimension_regen(round);
+  }
+
+  const bool central_scored =
+      !ctx.topology->is_leaf(root) &&
+      ctx.nodes[root].aggregator().mode() ==
+          hier::AggregationMode::kConcatenation;
+
+  if (central_scored) {
+    // Concatenation: every root dimension traces back to exactly one leaf
+    // dimension, so the root scores its model globally and the requests
+    // flow top-down along delivering links (a cut-off subtree receives no
+    // request and therefore produces no delta — consistent by omission).
+    if (ctx.origin_up(root)) {
+      const auto state = ctx.nodes[root].checkpoint_state();
+      if (!state.empty()) {
+        ctx.nodes[root].set_regen_request(hdc::worst_dimensions(state, k));
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId id = *it;
+      if (ctx.topology->is_leaf(id) || !ctx.origin_up(id)) continue;
+      const auto& req = ctx.nodes[id].regen_request();
+      if (req.empty()) continue;
+      // Split the node's own ascending request across its children: dim d
+      // belongs to child ci with offset(ci) <= d < offset(ci + 1).
+      const auto& cdims = ctx.nodes[id].aggregator().child_dims();
+      const auto kids = ctx.topology->children(id);
+      std::vector<std::vector<std::uint32_t>> per_child(kids.size());
+      std::size_t ci = 0;
+      std::size_t off = 0;
+      for (std::uint32_t d : req) {
+        while (ci + 1 < kids.size() && d >= off + cdims[ci]) {
+          off += cdims[ci];
+          ++ci;
+        }
+        per_child[ci].push_back(d - static_cast<std::uint32_t>(off));
+      }
+      for (std::size_t c = 0; c < kids.size(); ++c) {
+        if (per_child[c].empty()) continue;
+        if (!ctx.origin_up(kids[c]) || !ctx.child_delivers(kids[c])) continue;
+        ctx.bus->post(Envelope{
+            kProtoVersion, id, kids[c],
+            DimensionPatch{round, std::move(per_child[c]), {}, {}}});
+      }
+    }
+  } else {
+    // Holographic (or a single-node hierarchy): the ternary projection
+    // mixes every leaf dimension into every ancestor dimension, so there is
+    // no 1:1 trace-back — each leaf scores its own model locally. Gated on
+    // a live path to the root so a patched leaf never diverges from the
+    // ancestors that could not hear its delta.
+    for (NodeId id : order) {
+      if (!ctx.topology->is_leaf(id) || !ctx.origin_up(id)) continue;
+      if (id != root && !ctx.reachable_to_root(id)) continue;
+      const auto state = ctx.nodes[id].checkpoint_state();
+      if (state.empty()) continue;
+      ctx.nodes[id].set_regen_request(hdc::worst_dimensions(state, k));
+    }
+  }
+
+  // Bottom-up: leaves re-derive + re-encode, ancestors lift and merge;
+  // every node applies its delta in place and ships the k-column patch one
+  // hop up — never a full ModelUpdate.
+  for (NodeId id : order) {
+    if (!ctx.origin_up(id)) continue;
+    NodeRuntime& node = ctx.nodes[id];
+    DimensionPatch patch =
+        ctx.topology->is_leaf(id)
+            ? node.finish_dimension_regen_leaf(
+                  (*data.raw)[id], leaf_samples(ctx, data, id), data.labels)
+            : node.finish_dimension_regen_internal();
+    if (patch.dims.empty() || id == root || ctx.parked(id)) continue;
+    ctx.bus->post(Envelope{kProtoVersion, id, ctx.topology->parent(id),
+                           std::move(patch)});
+  }
+  return comm;
+}
+
 CommStats announce_leave(const SessionContext& ctx, NodeId node,
                          std::uint64_t incarnation, bool planned) {
   CommStats comm;

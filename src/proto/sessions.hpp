@@ -86,6 +86,11 @@ struct TrainData {
   /// encoded[node][sample]; only leaf rows are consumed by sessions.
   const std::vector<std::vector<hdc::BipolarHV>>* encoded = nullptr;
   std::span<const std::size_t> labels;  ///< per encoded sample
+  /// raw[node]: the leaf's raw feature partition, sample-major and flat
+  /// (samples x leaf input_dim); empty rows for internal nodes. Consumed
+  /// only by run_dimension_regeneration, which must re-encode exactly the
+  /// regenerated dimensions of every training sample.
+  const std::vector<std::vector<float>>* raw = nullptr;
 };
 
 /// Initial training (Section IV-B): leaves bundle local class hypervectors,
@@ -130,6 +135,20 @@ CommStats run_reintegration(const SessionContext& ctx);
 /// the root is still believed down.
 CommStats run_rejoin(const SessionContext& ctx, const TrainData& data,
                      net::NodeId rejoined, std::uint64_t incarnation);
+
+/// Adaptive dimensionality (DESIGN.md §14): regenerate the k least
+/// discriminating encoder dimensions and propagate the per-class deltas as
+/// DimensionPatch envelopes instead of full ModelUpdates. In concatenation
+/// mode the root scores its own model (every root dimension traces back to
+/// exactly one leaf dimension) and requests flow top-down along delivering
+/// links; in holographic mode each leaf with a live path to the root scores
+/// itself. Leaves re-derive the flagged projection rows, re-encode exactly
+/// those dimensions of their training samples, and the k-column delta
+/// patches climb hop by hop, each ancestor lifting them through its
+/// aggregator and applying them in place. Requires `data.raw`.
+CommStats run_dimension_regeneration(const SessionContext& ctx,
+                                     const TrainData& data, std::size_t k,
+                                     std::uint32_t round);
 
 /// Posts a NodeLeave from `node` to its parent (accounted like any other
 /// envelope). Membership bookkeeping only — the detector, not this

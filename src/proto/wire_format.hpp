@@ -22,6 +22,11 @@ class ByteWriter {
 
   void u8(std::uint8_t v) { out_->push_back(v); }
 
+  void u16(std::uint16_t v) {
+    out_->push_back(static_cast<std::uint8_t>(v));
+    out_->push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
   void u32(std::uint32_t v) {
     for (int i = 0; i < 4; ++i) {
       out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -58,6 +63,14 @@ class ByteReader {
   bool u8(std::uint8_t& v) noexcept {
     if (remaining() < 1) return false;
     v = buf_[pos_++];
+    return true;
+  }
+
+  bool u16(std::uint16_t& v) noexcept {
+    if (remaining() < 2) return false;
+    v = static_cast<std::uint16_t>(
+        buf_[pos_] | (static_cast<std::uint16_t>(buf_[pos_ + 1]) << 8));
+    pos_ += 2;
     return true;
   }
 

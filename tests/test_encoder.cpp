@@ -1,10 +1,15 @@
 // Unit + property tests for the feature encoders (src/hdc/encoder.*).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "hdc/encoder.hpp"
 #include "hdc/random.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace {
 
@@ -147,6 +152,160 @@ TEST(EncoderFactory, ProducesRequestedKinds) {
     EXPECT_EQ(enc->dim(), 128u);
     EXPECT_EQ(enc->input_dim(), 12u);
   }
+}
+
+// ---- adaptive dimensionality: deterministic projections + regeneration ----
+
+/// The two RFF encoder shapes under test, as (deterministic, materialized)
+/// twins sharing one seed. Dim 333 is deliberately not a multiple of the
+/// 8-row kernel blocks, so the chunked path exercises a padded tail.
+std::vector<std::pair<std::unique_ptr<Encoder>, std::unique_ptr<Encoder>>>
+twin_pairs() {
+  std::vector<std::pair<std::unique_ptr<Encoder>, std::unique_ptr<Encoder>>> v;
+  v.emplace_back(std::make_unique<RbfEncoder>(
+                     20, 333, 77, 0.0F, RbfForm::kCosSin,
+                     ProjectionMode::kDeterministic),
+                 std::make_unique<RbfEncoder>(20, 333, 77, 0.0F,
+                                              RbfForm::kCosSin,
+                                              ProjectionMode::kMaterialized));
+  v.emplace_back(
+      std::make_unique<SparseRbfEncoder>(30, 333, 78, 0.8F, 0.0F,
+                                         ProjectionMode::kDeterministic),
+      std::make_unique<SparseRbfEncoder>(30, 333, 78, 0.8F, 0.0F,
+                                         ProjectionMode::kMaterialized));
+  return v;
+}
+
+TEST(ProjectionModes, DeterministicIsBitIdenticalToMaterializedTwin) {
+  for (const auto& [det, mat] : twin_pairs()) {
+    Rng rng(5);
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto x = rng.gaussian_vector(det->input_dim());
+      EXPECT_EQ(det->encode(x), mat->encode(x));
+      EXPECT_EQ(det->encode_real(x), mat->encode_real(x));
+    }
+  }
+}
+
+TEST(ProjectionModes, ChunkedBatchesAreBitIdenticalAcrossThreadCounts) {
+  // The deterministic provider materializes row chunks into per-thread
+  // scratch; the result must not depend on how samples land on threads, and
+  // must equal both the per-sample path and the resident twin.
+  for (const auto& [det, mat] : twin_pairs()) {
+    Rng rng(6);
+    std::vector<std::vector<float>> xs(37);
+    for (auto& x : xs) x = rng.gaussian_vector(det->input_dim());
+    std::vector<BipolarHV> expect(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) expect[i] = mat->encode(xs[i]);
+    for (const std::size_t workers : {1u, 2u, 8u}) {
+      edgehd::runtime::ThreadPool pool(workers);
+      EXPECT_EQ(det->encode_batch(xs, pool), expect) << "workers=" << workers;
+      EXPECT_EQ(mat->encode_batch(xs, pool), expect) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(ProjectionModes, RegenerationStaysBitIdenticalAndBumpsGenerations) {
+  const std::vector<std::uint32_t> dims{0, 8, 9, 100, 332};
+  for (const auto& [det, mat] : twin_pairs()) {
+    Rng rng(7);
+    const auto x = rng.gaussian_vector(det->input_dim());
+    const auto before = det->encode(x);
+    ASSERT_TRUE(det->supports_regeneration());
+    det->regenerate_dimensions(dims);
+    mat->regenerate_dimensions(dims);
+    const auto after = det->encode(x);
+    // Same counters on both sides -> still bit-identical twins.
+    EXPECT_EQ(after, mat->encode(x));
+    for (const auto d : dims) {
+      EXPECT_EQ(det->dimension_generation(d), 1u);
+      EXPECT_EQ(mat->dimension_generation(d), 1u);
+    }
+    EXPECT_EQ(det->dimension_generation(1), 0u);
+    // Untouched dimensions encode exactly as before; the regenerated set is
+    // a fresh draw (with these seeds, visibly so).
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      const bool regenerated =
+          std::find(dims.begin(), dims.end(), i) != dims.end();
+      if (!regenerated) {
+        EXPECT_EQ(after[i], before[i]) << "dim " << i;
+      } else if (after[i] != before[i]) {
+        ++changed;
+      }
+    }
+    EXPECT_GT(changed, 0u);
+    // A second bump moves to generation 2 and changes the rows again.
+    det->regenerate_dimensions(dims);
+    EXPECT_EQ(det->dimension_generation(dims.front()), 2u);
+    EXPECT_NE(det->encode(x), after);
+  }
+}
+
+TEST(ProjectionModes, EncodeDimsMatchesFullEncodeGather) {
+  const std::vector<std::uint32_t> dims{2, 8, 15, 16, 200, 331};
+  const std::vector<std::uint32_t> regen{8, 200};
+  for (const auto& [det, mat] : twin_pairs()) {
+    det->regenerate_dimensions(regen);
+    mat->regenerate_dimensions(regen);
+    Rng rng(8);
+    for (const auto* enc : {det.get(), mat.get()}) {
+      const auto x = rng.gaussian_vector(enc->input_dim());
+      const auto full = enc->encode(x);
+      std::vector<std::int8_t> partial(dims.size());
+      enc->encode_dims(x, dims, partial);
+      for (std::size_t j = 0; j < dims.size(); ++j) {
+        EXPECT_EQ(partial[j], full[dims[j]]) << "dim " << dims[j];
+      }
+    }
+  }
+}
+
+TEST(ProjectionModes, DeterministicHoldsNoResidentProjection) {
+  RbfEncoder det(16, 512, 9, 0.0F, RbfForm::kCosSin,
+                 ProjectionMode::kDeterministic);
+  RbfEncoder sto(16, 512, 9, 0.0F, RbfForm::kCosSin, ProjectionMode::kStored);
+  EXPECT_EQ(det.projection_resident_bytes(), 0u);
+  EXPECT_GE(sto.projection_resident_bytes(), 512u * 16 * sizeof(float));
+  // Regeneration allocates only the 2-byte generation counters.
+  det.regenerate_dimensions(std::vector<std::uint32_t>{1});
+  EXPECT_EQ(det.projection_resident_bytes(), 512u * sizeof(std::uint16_t));
+  // Out-of-range regeneration is rejected.
+  EXPECT_THROW(det.regenerate_dimensions(std::vector<std::uint32_t>{512}),
+               std::invalid_argument);
+}
+
+TEST(ProjectionModes, LegacyStoredEncodingsAreUnchangedBySeedSplit) {
+  // The stored mode must keep drawing the historical mt19937 sequences: an
+  // encoder built without a mode argument is the golden-pinned default.
+  RbfEncoder legacy(10, 256, 42);
+  RbfEncoder stored(10, 256, 42, 0.0F, RbfForm::kCosSin,
+                    ProjectionMode::kStored);
+  Rng rng(1);
+  const auto x = rng.gaussian_vector(10);
+  EXPECT_EQ(legacy.encode(x), stored.encode(x));
+}
+
+TEST(EncoderFactory, ForwardsProjectionMode) {
+  for (const auto kind : {EncoderKind::kRbfDense, EncoderKind::kRbfSparse}) {
+    const auto det =
+        make_encoder(kind, 12, 128, 1, ProjectionMode::kDeterministic);
+    const auto mat =
+        make_encoder(kind, 12, 128, 1, ProjectionMode::kMaterialized);
+    EXPECT_TRUE(det->supports_regeneration());
+    EXPECT_EQ(det->projection_resident_bytes(), 0u);
+    Rng rng(2);
+    const auto x = rng.gaussian_vector(12);
+    EXPECT_EQ(det->encode(x), mat->encode(x));
+  }
+  // The level encoder has no projection to derive; it ignores the mode and
+  // reports no regeneration support.
+  const auto lvl =
+      make_encoder(EncoderKind::kLinearLevel, 12, 128, 1,
+                   ProjectionMode::kDeterministic);
+  EXPECT_FALSE(lvl->supports_regeneration());
+  EXPECT_THROW(lvl->regenerate_dimensions(std::vector<std::uint32_t>{0}),
+               std::logic_error);
 }
 
 TEST(Encoder, DefaultEncodeRealMatchesBipolar) {

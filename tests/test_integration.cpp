@@ -276,6 +276,89 @@ TEST(ObsInvariants, RoutedResultAccountingMatchesRegistry) {
   EXPECT_EQ(serves, served);
 }
 
+// ---- adaptive dimensionality across the hierarchy --------------------------
+
+TEST(Integration, DimensionRegenerationIsIdenticalAcrossProviders) {
+  // The zero-resident deterministic provider and its materialized twin must
+  // drive the *entire* pipeline — encode, train, score, regenerate, patch
+  // propagation, retrain — to identical models at every node, in both
+  // aggregation modes. Accuracy and mean confidence are continuous in the
+  // model state, so exact equality at every node is a model-identity check.
+  for (const auto agg : {hier::AggregationMode::kConcatenation,
+                         hier::AggregationMode::kHolographic}) {
+    auto run = [agg](hdc::ProjectionMode mode) {
+      auto ds = data::make_synthetic("i7", 30, 3, {10, 10, 10}, 600, 150, 81,
+                                     3.6F, 0.5F, 0.5F);
+      data::zscore_normalize(ds);
+      core::SystemConfig cfg;
+      cfg.total_dim = 900;
+      cfg.batch_size = 4;
+      cfg.projection_mode = mode;
+      cfg.aggregation = agg;
+      core::EdgeHdSystem sys(ds, net::Topology::paper_tree(3), cfg);
+      sys.train_initial();
+      sys.retrain_batches();
+      sys.regenerate_dimensions(40);
+      sys.retrain_batches();
+      std::vector<double> state;
+      for (net::NodeId n = 0; n < sys.topology().num_nodes(); ++n) {
+        state.push_back(sys.accuracy_at_node(n));
+        state.push_back(sys.mean_confidence_at_node(n));
+      }
+      return state;
+    };
+    EXPECT_EQ(run(hdc::ProjectionMode::kDeterministic),
+              run(hdc::ProjectionMode::kMaterialized))
+        << "aggregation mode " << static_cast<int>(agg);
+  }
+}
+
+TEST(Integration, RegenerationShipsPatchesNotModelsAndKeepsAccuracy) {
+  auto ds = data::make_synthetic("i8", 30, 3, {10, 10, 10}, 900, 250, 83,
+                                 3.6F, 0.5F, 0.5F);
+  data::zscore_normalize(ds);
+  core::SystemConfig cfg;
+  cfg.total_dim = 900;
+  cfg.batch_size = 4;
+  cfg.projection_mode = hdc::ProjectionMode::kDeterministic;
+  cfg.aggregation = hier::AggregationMode::kConcatenation;
+  core::EdgeHdSystem sys(ds, net::Topology::paper_tree(3), cfg);
+  const auto initial = sys.train_initial();
+  sys.retrain_batches();
+  const auto root = sys.topology().root();
+  const double before = sys.accuracy_at_node(root);
+
+  const std::size_t k = sys.node_dim(root) / 10;
+  const auto patch = sys.regenerate_dimensions(k);
+  sys.retrain_batches();
+  const double after = sys.accuracy_at_node(root);
+
+  // The regeneration session moved something, and far less than the initial
+  // full-model exchange; replacing the worst-scored 10% then retraining must
+  // not dent the model.
+  EXPECT_GT(patch.messages, 0u);
+  EXPECT_GT(patch.bytes, 0u);
+  EXPECT_LT(patch.bytes, initial.bytes / 2);
+  EXPECT_GT(after, before - 0.05);
+}
+
+TEST(Integration, ConfigDrivenRegenerationRunsInsideTrain) {
+  // With regen_dims set, train() folds regenerate-retrain rounds in; the
+  // result must stay a healthy model without any extra calls.
+  auto ds = data::make_synthetic("i9", 24, 2, {12, 12}, 700, 200, 85, 3.4F,
+                                 0.55F, 0.5F);
+  data::zscore_normalize(ds);
+  core::SystemConfig cfg;
+  cfg.total_dim = 800;
+  cfg.batch_size = 4;
+  cfg.projection_mode = hdc::ProjectionMode::kDeterministic;
+  cfg.regen_dims = 32;
+  cfg.regen_rounds = 2;
+  core::EdgeHdSystem sys(ds, net::Topology::paper_tree(2), cfg);
+  sys.train();
+  EXPECT_GT(sys.accuracy_at_node(sys.topology().root()), 0.7);
+}
+
 TEST(Integration, DeterministicEndToEnd) {
   auto make = [] {
     auto ds = data::make_synthetic("i6", 20, 2, {10, 10}, 300, 80, 73, 3.4F,

@@ -110,6 +110,18 @@ std::vector<Envelope> corpus() {
                                       {random_accum(1, 1, 20)}}});
   out.push_back({proto::kProtoVersion, 1, 5,
                  proto::CollectivePlan{proto::kReduceBatch, 1, 16, 10}});
+  // Dimension-regeneration frames: the parent -> child request form (dims
+  // only) and the child -> parent patch form (per-class delta columns with
+  // generation counters), at sizes that exercise the packed tails.
+  out.push_back({proto::kProtoVersion, 6, 2,
+                 proto::DimensionPatch{3, {0, 7, 31, 100}, {}, {}}});
+  out.push_back({proto::kProtoVersion, 2, 6,
+                 proto::DimensionPatch{4,
+                                       {1, 8, 9, 63, 64},
+                                       {1, 1, 2, 1, 7},
+                                       {random_accum(5, 40, 21),
+                                        random_accum(5, 3, 22),
+                                        skewed_accum(5, 23)}}});
   return out;
 }
 
@@ -237,6 +249,20 @@ TEST(ProtoMessages, TypeNamesAreStable) {
   EXPECT_STREQ(proto::to_string(MsgType::kStateSync), "state_sync");
   EXPECT_STREQ(proto::to_string(MsgType::kReducePartial), "reduce_partial");
   EXPECT_STREQ(proto::to_string(MsgType::kCollectivePlan), "collective_plan");
+  EXPECT_STREQ(proto::to_string(MsgType::kDimensionPatch), "dimension_patch");
+}
+
+TEST(ProtoWireSize, DimensionPatchChargesDimsGensAndColumns) {
+  // Request form: 4 bytes per requested dim, nothing else (round is framing).
+  EXPECT_EQ(proto::wire_size(proto::DimensionPatch{1, {3, 9, 12}, {}, {}}),
+            3u * 4);
+  // Patch form adds 2 bytes per generation counter plus the packed columns.
+  const auto col0 = random_accum(4, 20, 70);
+  const auto col1 = random_accum(4, 6, 71);
+  const proto::DimensionPatch p{2, {0, 2, 5, 7}, {1, 1, 3, 1}, {col0, col1}};
+  EXPECT_EQ(proto::wire_size(p), 4u * 4 + 4 * 2 +
+                                     hdc::wire_bytes_accum(col0) +
+                                     hdc::wire_bytes_accum(col1));
 }
 
 // ---- envelope round trips --------------------------------------------------
@@ -318,8 +344,8 @@ TEST(EnvelopeReject, UnknownTypeByte) {
   auto buf = proto::encode(corpus().front());
   buf[3] = 0;
   EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadType);
-  // 12 is the first unassigned type byte (11 = collective_plan is valid).
-  buf[3] = 12;
+  // 13 is the first unassigned type byte (12 = dimension_patch is valid).
+  buf[3] = 13;
   EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadType);
   buf[3] = 255;
   EXPECT_EQ(proto::decode(buf).error, DecodeError::kBadType);
@@ -394,6 +420,44 @@ TEST(EnvelopeReject, ReducePartialBadSectionModeOrHugeDims) {
   EXPECT_EQ(proto::decode(buf).error, DecodeError::kCorruptPayload);
 }
 
+TEST(EnvelopeReject, DimensionPatchNonCanonicalShapes) {
+  // Payload: u32 round, u32 ndims, u32 ngens, u32 ncols, dims (u32 each),
+  // gens (u16 each), packed columns. Canonical form demands strictly
+  // ascending dims, ngens == ndims exactly when columns are present, and one
+  // ndims-sized column per class.
+  const proto::DimensionPatch p{1,
+                                {2, 5, 9},
+                                {1, 1, 1},
+                                {random_accum(3, 9, 80), random_accum(3, 9, 81)}};
+  const auto clean = proto::encode(Envelope{proto::kProtoVersion, 2, 6, p});
+  const std::size_t dims_at = proto::kHeaderSize + 4 * 4;
+
+  // Duplicate dim (5, 5): not strictly ascending.
+  auto buf = clean;
+  buf[dims_at + 4] = 9;
+  EXPECT_EQ(proto::decode(buf).error, DecodeError::kCorruptPayload);
+  // Descending pair (9, 5) after corrupting the first dim upward.
+  buf = clean;
+  buf[dims_at] = 200;
+  EXPECT_EQ(proto::decode(buf).error, DecodeError::kCorruptPayload);
+
+  // A request must carry zero generation counters; a patch exactly ndims.
+  const proto::DimensionPatch req{1, {2, 5, 9}, {}, {}};
+  auto rbuf = proto::encode(Envelope{proto::kProtoVersion, 6, 2, req});
+  rbuf[proto::kHeaderSize + 8] = 3;  // ngens = 3 with no columns
+  EXPECT_EQ(proto::decode(rbuf).error, DecodeError::kCorruptPayload);
+  buf = clean;
+  buf[proto::kHeaderSize + 8] = 2;  // ngens != ndims on a patch
+  EXPECT_EQ(proto::decode(buf).error, DecodeError::kCorruptPayload);
+
+  // Dim-count fields far beyond kMaxWireDim cannot size an allocation.
+  for (const std::size_t at : {proto::kHeaderSize + 4, proto::kHeaderSize + 12}) {
+    buf = clean;
+    for (std::size_t i = 0; i < 4; ++i) buf[at + i] = 0xFF;
+    EXPECT_EQ(proto::decode(buf).error, DecodeError::kCorruptPayload);
+  }
+}
+
 // ---- corpus-driven corruption sweep ----------------------------------------
 
 TEST(EnvelopeSweep, EveryTruncationFailsTyped) {
@@ -440,7 +504,7 @@ TEST(EnvelopeSweep, RandomGarbageNeverCrashes) {
       buf[0] = 'E';
       buf[1] = 'P';
       buf[2] = proto::kProtoVersion;
-      buf[3] = static_cast<std::uint8_t>(1 + round % 11);
+      buf[3] = static_cast<std::uint8_t>(1 + round % 12);
     }
     const auto r = proto::decode(buf);
     if (r.ok()) {
@@ -573,7 +637,7 @@ TEST(ProtoObs, PerTypeBytesPartitionCollectiveSessionTotals) {
   auto& reg = obs::MetricsRegistry::global();
   const auto totals = [&reg] {
     proto::CommStats sum;
-    for (std::uint8_t b = 1; b <= 11; ++b) {
+    for (std::uint8_t b = 1; b <= 12; ++b) {
       const std::string base =
           std::string("proto.") +
           proto::to_string(static_cast<MsgType>(b)) + ".";
@@ -592,6 +656,34 @@ TEST(ProtoObs, PerTypeBytesPartitionCollectiveSessionTotals) {
   // announcements carried the model traffic.
   EXPECT_GT(reg.counter_value("proto.reduce_partial.bytes"), 0u);
   EXPECT_GT(reg.counter_value("proto.collective_plan.messages"), 0u);
+}
+
+TEST(NodeRuntime, DimensionPatchRequiresRegenPhaseAndParentSender) {
+  const auto topo = net::Topology::paper_tree(4);
+  const net::NodeId gw = topo.parent(topo.leaves().front());
+  const net::NodeId root = topo.parent(gw);
+  proto::NodeRuntime rt;
+  rt.init(gw, topo, /*dim=*/32, /*num_classes=*/2);
+
+  const Envelope request{proto::kProtoVersion, root, gw,
+                         proto::DimensionPatch{1, {3, 17}, {}, {}}};
+  // Outside the regeneration phase: protocol violation.
+  EXPECT_THROW(rt.on_envelope(request), std::logic_error);
+
+  rt.begin_dimension_regen(1);
+  EXPECT_EQ(rt.phase(), proto::NodeRuntime::Phase::kDimensionRegen);
+  // Requests flow top-down: a child impersonating the parent is rejected.
+  const net::NodeId child = topo.children(gw).front();
+  EXPECT_THROW(rt.on_envelope({proto::kProtoVersion, child, gw,
+                               proto::DimensionPatch{1, {3}, {}, {}}}),
+               std::logic_error);
+  // Requested dims must fit this node's model.
+  EXPECT_THROW(rt.on_envelope({proto::kProtoVersion, root, gw,
+                               proto::DimensionPatch{1, {99}, {}, {}}}),
+               std::logic_error);
+  // A well-formed request from the parent is filed for the finish step.
+  EXPECT_NO_THROW(rt.on_envelope(request));
+  EXPECT_EQ(rt.regen_request(), (std::vector<std::uint32_t>{3, 17}));
 }
 
 TEST(NodeRuntime, ProbesAndQueriesAreCountedNotFiled) {
